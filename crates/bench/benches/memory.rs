@@ -1,0 +1,100 @@
+//! Experiment B5: one GODDAG vs N separate DOM trees.
+//!
+//! Not a timing benchmark: this harness prints the memory table directly
+//! (Criterion's `--bench` machinery is bypassed; the binary has
+//! `harness = false`). For a fixed amount of markup per hierarchy it sweeps
+//! the hierarchy count N and reports:
+//!
+//! * bytes for N separate DOM documents (the pre-GODDAG state of the art:
+//!   each document repeats the full text content);
+//! * bytes for the single GODDAG (content stored once in shared leaves);
+//! * the marginal cost of hierarchy N+1 for both (the *slope* is the
+//!   claim: DOM slope includes a full content copy, GODDAG slope is markup
+//!   only).
+
+use corpus::{generate, Params};
+use xmlcore::dom::Document;
+
+fn build_params(words: usize, nh: usize) -> Params {
+    Params {
+        words,
+        seed: 2005,
+        physical: nh >= 1,
+        linguistic: nh >= 2,
+        damage_density: if nh >= 3 { 0.08 } else { 0.0 },
+        restoration_density: if nh >= 3 { 0.05 } else { 0.0 },
+        ..Params::default()
+    }
+}
+
+fn main() {
+    println!("# B5: memory — one GODDAG vs N DOM trees");
+    for &words in &[2_000usize, 8_000] {
+        println!("\n## {words} words of content");
+        println!(
+            "{:>3} {:>14} {:>14} {:>12} {:>12} {:>8}",
+            "N", "DOMs (bytes)", "GODDAG (bytes)", "ΔDOM", "ΔGODDAG", "ratio"
+        );
+        let mut prev_dom = 0usize;
+        let mut prev_goddag = 0usize;
+        for nh in 1..=3usize {
+            let ms = generate(&build_params(words, nh));
+            let goddag_bytes = ms.goddag.stats().estimated_bytes;
+            let dom_bytes: usize = ms
+                .distributed()
+                .iter()
+                .map(|(_, xml)| Document::parse(xml).unwrap().estimated_bytes())
+                .sum();
+            let d_dom = dom_bytes.saturating_sub(prev_dom);
+            let d_goddag = goddag_bytes.saturating_sub(prev_goddag);
+            println!(
+                "{nh:>3} {dom_bytes:>14} {goddag_bytes:>14} {:>12} {:>12} {:>8.2}",
+                if nh == 1 { "-".to_string() } else { d_dom.to_string() },
+                if nh == 1 { "-".to_string() } else { d_goddag.to_string() },
+                goddag_bytes as f64 / dom_bytes as f64,
+            );
+            prev_dom = dom_bytes;
+            prev_goddag = goddag_bytes;
+        }
+        // Content-only reference: how much of each DOM is the repeated text.
+        let ms = generate(&build_params(words, 3));
+        println!(
+            "   (content itself: {} bytes, stored {}x by DOMs, 1x by the GODDAG)",
+            ms.goddag.content_len(),
+            ms.distributed().len()
+        );
+    }
+
+    // Second sweep: sparse markup (coarse elements only, no per-word tags).
+    // Here the text dominates, and the GODDAG's shared content pays off —
+    // each extra DOM repeats the full text, the GODDAG adds only elements.
+    println!("\n# B5b: sparse markup (content-dominated documents)");
+    for &words in &[8_000usize, 32_000] {
+        println!("\n## {words} words, coarse markup only");
+        println!("{:>3} {:>14} {:>14} {:>8}", "N", "DOMs (bytes)", "GODDAG (bytes)", "ratio");
+        for nh in 1..=3usize {
+            let ms = generate(&Params {
+                words,
+                seed: 2005,
+                word_markup_prob: 0.0, // no <w> elements
+                words_per_line: 40,
+                words_per_sentence: 60,
+                physical: nh >= 1,
+                linguistic: nh >= 2,
+                damage_density: if nh >= 3 { 0.02 } else { 0.0 },
+                restoration_density: 0.0,
+                ..Params::default()
+            });
+            let goddag_bytes = ms.goddag.stats().estimated_bytes;
+            let dom_bytes: usize = ms
+                .distributed()
+                .iter()
+                .map(|(_, xml)| Document::parse(xml).unwrap().estimated_bytes())
+                .sum();
+            println!(
+                "{nh:>3} {dom_bytes:>14} {goddag_bytes:>14} {:>8.2}",
+                goddag_bytes as f64 / dom_bytes as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Experiment B1: SACX parsing of concurrent XML into a GODDAG.
+//!
+//! Series regenerated:
+//! * `parse/distributed/{words}` — SACX parse time vs content size
+//!   (3 hierarchies; throughput in XML bytes/s — expect ~linear scaling);
+//! * `parse/hierarchies/{n}` — parse time vs hierarchy count at fixed size;
+//! * `parse/baseline_dom/{words}` — classic single-hierarchy DOM parse of
+//!   the same physical document (the traditional pipeline of Figure 3);
+//! * `parse/fragmentation_import/{words}` — importing the equivalent
+//!   single fragmented document;
+//! * `parse/event_stream/{words}` — the streaming half of SACX alone
+//!   (extract + merge, no GODDAG materialization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use cxml_bench::{workload, workload_hierarchies, SIZES};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &words in SIZES {
+        let w = workload(words);
+        group.throughput(Throughput::Bytes(w.xml_bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("distributed", words),
+            &w,
+            |b, w| {
+                b.iter(|| sacx::parse_distributed(black_box(&w.distributed)).unwrap());
+            },
+        );
+    }
+
+    // Hierarchy-count sweep at a fixed size.
+    let fixed_words = 4_000;
+    for nh in 1..=3usize {
+        let w = workload_hierarchies(fixed_words, nh);
+        group.throughput(Throughput::Bytes(w.xml_bytes as u64));
+        group.bench_with_input(BenchmarkId::new("hierarchies", nh), &w, |b, w| {
+            b.iter(|| sacx::parse_distributed(black_box(&w.distributed)).unwrap());
+        });
+    }
+
+    // Baseline: the traditional single-hierarchy DOM pipeline over the
+    // physical document only.
+    for &words in SIZES {
+        let w = workload(words);
+        let phys_doc = w.distributed[0].1.clone();
+        group.throughput(Throughput::Bytes(phys_doc.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("baseline_dom", words),
+            &phys_doc,
+            |b, doc| {
+                b.iter(|| xmlcore::dom::Document::parse(black_box(doc)).unwrap());
+            },
+        );
+    }
+
+    // Importing the same model from one fragmented document.
+    for &words in SIZES {
+        let w = workload(words);
+        let opts = sacx::FragmentationOptions::default();
+        let frag = sacx::export_fragmentation(&w.ms.goddag, &opts).unwrap();
+        group.throughput(Throughput::Bytes(frag.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("fragmentation_import", words),
+            &frag,
+            |b, doc| {
+                b.iter(|| sacx::import_fragmentation(black_box(doc), &opts).unwrap());
+            },
+        );
+    }
+
+    // The streaming half alone: per-document extraction + event merge.
+    for &words in SIZES {
+        let w = workload(words);
+        group.throughput(Throughput::Bytes(w.xml_bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("event_stream", words),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    let extracted: Vec<_> = w
+                        .distributed
+                        .iter()
+                        .map(|(n, x)| sacx::extract(black_box(x), n).unwrap())
+                        .collect();
+                    sacx::merge_events(&extracted)
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

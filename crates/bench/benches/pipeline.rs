@@ -1,0 +1,97 @@
+//! Experiment F3: the end-to-end framework pipeline vs the traditional XML
+//! pipeline it generalizes (paper Figure 3).
+//!
+//! Series regenerated:
+//! * `pipeline/concurrent/{words}` — distributed docs → SACX → GODDAG →
+//!   indexed Extended XPath (3 editorial queries) → filtered export;
+//! * `pipeline/traditional/{words}` — the same stages for one hierarchy on
+//!   the classic stack: DOM parse → manual traversal → serialize. The
+//!   concurrent pipeline handles 3 hierarchies plus overlap queries the
+//!   traditional one cannot express; the comparison prices that capability;
+//! * `pipeline/concurrent_parallel/{words}` — the read-only query stage
+//!   fanned out over 4 threads sharing one GODDAG (`&Goddag` is `Sync`;
+//!   crossbeam scoped threads), the concurrency story for servers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use cxml_bench::{workload, SIZES};
+use expath::Evaluator;
+use std::hint::black_box;
+
+const PIPELINE_QUERIES: &[&str] = &[
+    "//s/overlapping::phys:line",
+    "//dmg/overlapping::ling:w",
+    "count(//ling:w)",
+];
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &words in SIZES {
+        let w = workload(words);
+
+        group.bench_with_input(BenchmarkId::new("concurrent", words), &w, |b, w| {
+            b.iter(|| {
+                let g = sacx::parse_distributed(black_box(&w.distributed)).unwrap();
+                let ev = Evaluator::with_index(&g);
+                let mut total = 0usize;
+                for q in PIPELINE_QUERIES {
+                    match ev.eval_str(q).unwrap() {
+                        expath::Value::Nodes(ns) => total += ns.len(),
+                        expath::Value::Number(n) => total += n as usize,
+                        _ => {}
+                    }
+                }
+                let phys = g.hierarchy_by_name("phys").unwrap();
+                let out = g.to_xml(phys).unwrap();
+                (total, out.len())
+            });
+        });
+
+        let phys_doc = w.distributed[0].1.clone();
+        group.bench_with_input(
+            BenchmarkId::new("traditional", words),
+            &phys_doc,
+            |b, doc| {
+                b.iter(|| {
+                    let dom = xmlcore::dom::Document::parse(black_box(doc)).unwrap();
+                    // The only questions the classic pipeline can answer are
+                    // within-hierarchy ones.
+                    let lines = dom.elements_named(dom.root(), "line").len();
+                    let out = dom.to_xml().unwrap();
+                    (lines, out.len())
+                });
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("concurrent_parallel", words), &w, |b, w| {
+            let g = sacx::parse_distributed(&w.distributed).unwrap();
+            let ev = Evaluator::with_index(&g);
+            b.iter(|| {
+                crossbeam::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for _ in 0..4 {
+                        handles.push(scope.spawn(|_| {
+                            let mut total = 0usize;
+                            for q in PIPELINE_QUERIES {
+                                if let expath::Value::Nodes(ns) = ev.eval_str(q).unwrap() {
+                                    total += ns.len();
+                                }
+                            }
+                            total
+                        }));
+                    }
+                    handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Experiment B4: import/export across every representation.
+//!
+//! Series regenerated (per representation, per size):
+//! * `roundtrip/export_{repr}/{words}` — GODDAG → surface text;
+//! * `roundtrip/import_{repr}/{words}` — surface text → GODDAG;
+//! * `roundtrip/chain/{words}` — the full conversion chain distributed →
+//!   fragmentation → milestone → stand-off → GODDAG (the paper's "imported
+//!   into/exported from a wide range of representations" claim, F4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use cxml_bench::{workload, SIZES};
+use sacx::Driver;
+use std::hint::black_box;
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roundtrip");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &words in SIZES {
+        let w = workload(words);
+        let g = &w.ms.goddag;
+
+        // Distributed (multi-file) representation.
+        group.throughput(Throughput::Bytes(w.xml_bytes as u64));
+        group.bench_function(BenchmarkId::new("export_distributed", words), |b| {
+            b.iter(|| sacx::export_distributed(black_box(g)).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("import_distributed", words), |b| {
+            b.iter(|| sacx::parse_distributed(black_box(&w.distributed)).unwrap());
+        });
+
+        // Single-file drivers.
+        for driver in sacx::builtin_drivers("phys") {
+            let exported = driver.export(g).unwrap();
+            group.throughput(Throughput::Bytes(exported.len() as u64));
+            group.bench_function(
+                BenchmarkId::new(format!("export_{}", driver.name()), words),
+                |b| {
+                    b.iter(|| driver.export(black_box(g)).unwrap());
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("import_{}", driver.name()), words),
+                |b| {
+                    b.iter(|| driver.import(black_box(&exported)).unwrap());
+                },
+            );
+        }
+
+        // The full conversion chain.
+        group.bench_function(BenchmarkId::new("chain", words), |b| {
+            let frag = sacx::FragmentationDriver::default();
+            let ms = sacx::MilestoneDriver::new("phys");
+            let so = sacx::StandoffDriver;
+            b.iter(|| {
+                let g1 = sacx::parse_distributed(black_box(&w.distributed)).unwrap();
+                let g2 = frag.import(&frag.export(&g1).unwrap()).unwrap();
+                let g3 = ms.import(&ms.export(&g2).unwrap()).unwrap();
+                so.import(&so.export(&g3).unwrap()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrip);
+criterion_main!(benches);

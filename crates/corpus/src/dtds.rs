@@ -1,0 +1,101 @@
+//! Hierarchy DTDs for the manuscript vocabularies (substituting for the TEI
+//! P4 DTDs the paper's edition uses — same formal power: element
+//! declarations, content models, attribute lists).
+
+use xmlcore::dtd::{parse_dtd, Dtd};
+
+/// Physical structure: pages of lines (mixed content lines), page breaks.
+pub const PHYS_DTD: &str = "
+    <!ELEMENT r (#PCDATA | page | line | pb)*>
+    <!ELEMENT page (#PCDATA | line | pb)*>
+    <!ATTLIST page no NMTOKEN #IMPLIED>
+    <!ELEMENT line (#PCDATA)>
+    <!ATTLIST line n NMTOKEN #IMPLIED>
+    <!ELEMENT pb EMPTY>
+    <!ATTLIST pb no NMTOKEN #IMPLIED>
+";
+
+/// Document structure: sentences, phrases, words.
+pub const LING_DTD: &str = "
+    <!ELEMENT r (#PCDATA | s | w)*>
+    <!ELEMENT s (#PCDATA | phrase | w)*>
+    <!ATTLIST s n NMTOKEN #IMPLIED>
+    <!ELEMENT phrase (#PCDATA | w)*>
+    <!ELEMENT w (#PCDATA)>
+    <!ATTLIST w n NMTOKEN #IMPLIED type CDATA #IMPLIED>
+";
+
+/// Editorial annotations: damage, restoration, additions.
+pub const EDIT_DTD: &str = "
+    <!ELEMENT r (#PCDATA | dmg | res | add)*>
+    <!ELEMENT dmg (#PCDATA | res)*>
+    <!ATTLIST dmg id ID #IMPLIED agent CDATA #IMPLIED>
+    <!ELEMENT res (#PCDATA)>
+    <!ATTLIST res id ID #IMPLIED resp CDATA #IMPLIED>
+    <!ELEMENT add (#PCDATA)>
+";
+
+/// Parsed physical DTD.
+pub fn phys() -> Dtd {
+    parse_dtd(PHYS_DTD).expect("PHYS_DTD parses")
+}
+
+/// Parsed linguistic DTD.
+pub fn ling() -> Dtd {
+    parse_dtd(LING_DTD).expect("LING_DTD parses")
+}
+
+/// Parsed editorial DTD.
+pub fn edit() -> Dtd {
+    parse_dtd(EDIT_DTD).expect("EDIT_DTD parses")
+}
+
+/// Attach the standard DTDs to a generated manuscript's hierarchies by name.
+pub fn attach_standard(g: &mut goddag::Goddag) {
+    for (name, dtd) in [("phys", phys()), ("ling", ling()), ("edit", edit())] {
+        if let Some(h) = g.hierarchy_by_name(name) {
+            g.set_dtd(h, dtd).expect("hierarchy id from the same document");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_dtds_parse() {
+        assert!(phys().element("line").is_some());
+        assert!(ling().element("w").is_some());
+        assert!(edit().element("dmg").is_some());
+    }
+
+    #[test]
+    fn generated_manuscript_validates() {
+        let ms = crate::manuscript::generate(&crate::manuscript::Params::sized(200));
+        let mut g = ms.goddag;
+        attach_standard(&mut g);
+        for (h, report) in goddag::validate_all(&g) {
+            assert!(
+                report.is_valid(),
+                "hierarchy {h} invalid: {:?}",
+                &report.errors[..report.errors.len().min(5)]
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_validates_against_dtds() {
+        let mut g = crate::figure1::goddag();
+        // figure1 hierarchies: phys, ling, res, dmg — res/dmg both use the
+        // editorial vocabulary.
+        attach_standard(&mut g);
+        for name in ["res", "dmg"] {
+            let h = g.hierarchy_by_name(name).unwrap();
+            g.set_dtd(h, edit()).unwrap();
+        }
+        for (h, report) in goddag::validate_all(&g) {
+            assert!(report.is_valid(), "hierarchy {h}: {:?}", report.errors);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! A reconstruction of the paper's Figure 1: one manuscript fragment, four
+//! conflicting encodings over identical content, all rooted at `<r>`.
+//!
+//! The original figure reproduces folio 36v of the Boethius manuscript; the
+//! image is not in the paper text we work from, so the fragment below is a
+//! *reconstruction*: genuine Old English (the opening of the Meters of
+//! Boethius preface) carrying exactly the four encodings the paper
+//! describes — physical lines, words/sentences, a restoration, and a damage
+//! range — with the same conflict pattern (`<w>` vs `<line>`, `<res>`,
+//! `<dmg>`; `<dmg>` vs `<res>`).
+
+use goddag::Goddag;
+
+/// The shared content of the fragment.
+pub const CONTENT: &str = "ðus ælfred us ealdspell reahte cyning westsexna";
+
+/// Physical structure: two manuscript lines. The scribe broke the word
+/// "ealdspell" across the line end — `<line>` conflicts with `<w>`.
+pub const PHYS: &str = "<r><line n=\"1\">ðus ælfred us eald</line><line n=\"2\">spell reahte cyning westsexna</line></r>";
+
+/// Document structure: every word tagged, one sentence spanning the whole
+/// fragment (crossing the line break).
+pub const LING: &str = "<r><s><w>ðus</w> <w>ælfred</w> <w>us</w> <w>ealdspell</w> <w>reahte</w> <w>cyning</w> <w>westsexna</w></s></r>";
+
+/// Restoration: "ldspell reahte" restored by the editor — starts mid-word
+/// and crosses the line boundary.
+pub const RES: &str = "<r>ðus ælfred us ea<res resp=\"ed\">ldspell reahte</res> cyning westsexna</r>";
+
+/// Damage: "us ealdsp" damaged — ends mid-word, crosses the line boundary,
+/// and overlaps the restoration.
+pub const DMG: &str = "<r>ðus ælfred <dmg agent=\"fire\">us ealdsp</dmg>ell reahte cyning westsexna</r>";
+
+/// The four distributed documents, labelled by hierarchy.
+pub fn documents() -> Vec<(&'static str, &'static str)> {
+    vec![("phys", PHYS), ("ling", LING), ("res", RES), ("dmg", DMG)]
+}
+
+/// Parse the fragment into its GODDAG (the structure the paper's Figure 2
+/// draws).
+pub fn goddag() -> Goddag {
+    sacx::parse_distributed(&documents()).expect("the Figure 1 reconstruction always parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goddag::check_invariants;
+
+    #[test]
+    fn four_encodings_share_content() {
+        for (name, doc) in documents() {
+            let d = sacx::extract(doc, name).unwrap();
+            assert_eq!(d.content, CONTENT, "hierarchy {name}");
+            assert_eq!(d.root_name.local, "r", "hierarchy {name}");
+        }
+    }
+
+    #[test]
+    fn goddag_has_paper_structure() {
+        let g = goddag();
+        check_invariants(&g).unwrap();
+        assert_eq!(g.hierarchy_count(), 4);
+        assert_eq!(g.find_elements("line").len(), 2);
+        assert_eq!(g.find_elements("w").len(), 7);
+        assert_eq!(g.find_elements("s").len(), 1);
+        assert_eq!(g.find_elements("res").len(), 1);
+        assert_eq!(g.find_elements("dmg").len(), 1);
+    }
+
+    #[test]
+    fn conflicts_match_paper_description() {
+        // Paper §2: "some of <w> markup are in conflict with <line>, <res>,
+        // or <dmg>".
+        let g = goddag();
+        let res = g.find_elements("res")[0];
+        let dmg = g.find_elements("dmg")[0];
+        let s = g.find_elements("s")[0];
+        let lines = g.find_elements("line");
+        let words = g.find_elements("w");
+        // The line break splits "ealdspell" → a w overlaps a line.
+        assert!(words
+            .iter()
+            .any(|&w| lines.iter().any(|&l| g.span(w).overlaps(g.span(l)))));
+        // res starts mid-word ("ea|ldspell") → overlaps that w.
+        assert!(words.iter().any(|&w| g.span(w).overlaps(g.span(res))));
+        // dmg ends mid-word ("ealdsp|ell") → overlaps that w.
+        assert!(words.iter().any(|&w| g.span(w).overlaps(g.span(dmg))));
+        // res crosses the line boundary.
+        assert!(lines.iter().filter(|&&l| g.span(l).intersects(g.span(res))).count() == 2);
+        // dmg overlaps res.
+        assert!(g.span(dmg).overlaps(g.span(res)));
+        // The sentence crosses both lines (contains-or-overlaps them).
+        assert!(lines.iter().all(|&l| g.span(s).intersects(g.span(l))));
+    }
+
+    #[test]
+    fn single_document_union_impossible() {
+        // The encodings genuinely conflict: merging all four into one
+        // document must force fragmentation.
+        let g = goddag();
+        let frag = sacx::count_fragments(&g, &sacx::FragmentationOptions::default()).unwrap();
+        assert!(frag >= 2, "expected several fragmented elements, got {frag}");
+    }
+}

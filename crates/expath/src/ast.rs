@@ -1,0 +1,258 @@
+//! Abstract syntax of Extended XPath.
+
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+}
+
+/// Axes: the XPath 1.0 axes redefined on GODDAG, plus the concurrent-markup
+/// axes of the Extended XPath (paper §4: "the overlapping axis" and friends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Children within the node's hierarchy (all hierarchies from the root).
+    Child,
+    /// Transitive children.
+    Descendant,
+    /// Self plus descendants.
+    DescendantOrSelf,
+    /// All parents (one per hierarchy for shared leaves).
+    Parent,
+    /// Union of per-hierarchy ancestor chains.
+    Ancestor,
+    /// Self plus ancestors.
+    AncestorOrSelf,
+    /// Later siblings within the hierarchy.
+    FollowingSibling,
+    /// Earlier siblings within the hierarchy (nearest first).
+    PrecedingSibling,
+    /// Nodes strictly after in document order.
+    Following,
+    /// Nodes strictly before in document order.
+    Preceding,
+    /// The node itself.
+    SelfAxis,
+    /// Attributes.
+    Attribute,
+    /// **Extended**: elements whose span properly overlaps the context's
+    /// span (shares leaves, neither contains the other) — the paper's
+    /// signature axis for concurrent markup.
+    Overlapping,
+    /// **Extended**: elements of any hierarchy whose span contains the
+    /// context's span ("ancestors by extent").
+    Containing,
+    /// **Extended**: elements of any hierarchy whose span lies within the
+    /// context's span ("descendants by extent").
+    Contained,
+    /// **Extended**: elements with exactly the same span.
+    CoExtensive,
+}
+
+impl Axis {
+    /// Resolve an axis name.
+    pub fn from_name(name: &str) -> Option<Axis> {
+        Some(match name {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "parent" => Axis::Parent,
+            "ancestor" => Axis::Ancestor,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            "following-sibling" => Axis::FollowingSibling,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            "following" => Axis::Following,
+            "preceding" => Axis::Preceding,
+            "self" => Axis::SelfAxis,
+            "attribute" => Axis::Attribute,
+            "overlapping" => Axis::Overlapping,
+            "containing" => Axis::Containing,
+            "contained" => Axis::Contained,
+            "co-extensive" | "coextensive" => Axis::CoExtensive,
+            _ => return None,
+        })
+    }
+
+    /// Reverse axes order their results nearest-first, and `position()`
+    /// counts accordingly (XPath 1.0 §2.4).
+    pub fn is_reverse(self) -> bool {
+        matches!(
+            self,
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::PrecedingSibling
+                | Axis::Preceding
+        )
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+            Axis::SelfAxis => "self",
+            Axis::Attribute => "attribute",
+            Axis::Overlapping => "overlapping",
+            Axis::Containing => "containing",
+            Axis::Contained => "contained",
+            Axis::CoExtensive => "co-extensive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Node tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// `*` — any element (any hierarchy).
+    Any,
+    /// `prefix:*` — any element of the named hierarchy.
+    AnyInHierarchy(String),
+    /// `name` or `prefix:name` — element with the local name, optionally
+    /// restricted to the named hierarchy.
+    Name {
+        /// Hierarchy qualifier (the QName prefix).
+        hierarchy: Option<String>,
+        /// Local element name.
+        local: String,
+    },
+    /// `text()` — leaf nodes.
+    Text,
+    /// `node()` — any node.
+    Node,
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Predicate expressions.
+    pub predicates: Vec<Expr>,
+}
+
+/// Where a path starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathStart {
+    /// `/...` — the document root.
+    Root,
+    /// relative — the context node.
+    Context,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Node-set union `a | b`.
+    Union(Box<Expr>, Box<Expr>),
+    /// A location path.
+    Path {
+        /// Start anchor.
+        start: PathStart,
+        /// The steps.
+        steps: Vec<Step>,
+    },
+    /// A primary expression filtered by predicates and continued by a path:
+    /// `count(x)[...]/child::y` style. `steps` may be empty.
+    Filter {
+        /// The primary expression.
+        primary: Box<Expr>,
+        /// Predicates on the primary's node-set.
+        predicates: Vec<Expr>,
+        /// Trailing path steps.
+        steps: Vec<Step>,
+    },
+    /// String literal.
+    Literal(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Function call.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_from_name_roundtrip() {
+        for name in [
+            "child",
+            "descendant",
+            "descendant-or-self",
+            "parent",
+            "ancestor",
+            "ancestor-or-self",
+            "following-sibling",
+            "preceding-sibling",
+            "following",
+            "preceding",
+            "self",
+            "attribute",
+            "overlapping",
+            "containing",
+            "contained",
+            "co-extensive",
+        ] {
+            let axis = Axis::from_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(axis.to_string(), name);
+        }
+        assert_eq!(Axis::from_name("coextensive"), Some(Axis::CoExtensive));
+        assert_eq!(Axis::from_name("sideways"), None);
+    }
+
+    #[test]
+    fn reverse_axes() {
+        assert!(Axis::Ancestor.is_reverse());
+        assert!(Axis::PrecedingSibling.is_reverse());
+        assert!(!Axis::Child.is_reverse());
+        assert!(!Axis::Overlapping.is_reverse());
+    }
+}

@@ -1,0 +1,205 @@
+//! Unparsing: render an [`Expr`] back to query text.
+//!
+//! `parse(expr.to_string())` reproduces the same AST (tested below), which
+//! gives stable diagnostics, loggable query plans, and programmatic query
+//! construction.
+
+use crate::ast::{BinOp, Expr, NodeTest, PathStart, Step};
+use std::fmt;
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Any => f.write_str("*"),
+            NodeTest::AnyInHierarchy(h) => write!(f, "{h}:*"),
+            NodeTest::Name { hierarchy: Some(h), local } => write!(f, "{h}:{local}"),
+            NodeTest::Name { hierarchy: None, local } => f.write_str(local),
+            NodeTest::Text => f.write_str("text()"),
+            NodeTest::Node => f.write_str("node()"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.axis, self.test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+fn write_steps(f: &mut fmt::Formatter<'_>, steps: &[Step], leading_slash: bool) -> fmt::Result {
+    for (i, step) in steps.iter().enumerate() {
+        if i > 0 || leading_slash {
+            f.write_str("/")?;
+        }
+        write!(f, "{step}")?;
+    }
+    Ok(())
+}
+
+impl BinOp {
+    /// The operator's spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "or",
+            BinOp::And => "and",
+            BinOp::Eq => "=",
+            BinOp::Neq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Fully parenthesized binary forms: unambiguous and re-parseable.
+            Expr::Bin(op, lhs, rhs) => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            Expr::Neg(inner) => write!(f, "(- {inner})"),
+            Expr::Union(lhs, rhs) => write!(f, "({lhs} | {rhs})"),
+            Expr::Literal(s) => {
+                // Pick a quote not used in the literal (XPath has no escape).
+                if s.contains('\'') {
+                    write!(f, "\"{s}\"")
+                } else {
+                    write!(f, "'{s}'")
+                }
+            }
+            Expr::Number(n) => {
+                if *n < 0.0 {
+                    write!(f, "(- {})", crate::value::format_number(-n))
+                } else {
+                    f.write_str(&crate::value::format_number(*n))
+                }
+            }
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Path { start, steps } => {
+                match start {
+                    PathStart::Root => {
+                        if steps.is_empty() {
+                            return f.write_str("/");
+                        }
+                        write_steps(f, steps, true)
+                    }
+                    PathStart::Context => write_steps(f, steps, false),
+                }
+            }
+            Expr::Filter { primary, predicates, steps } => {
+                write!(f, "({primary})")?;
+                for p in predicates {
+                    write!(f, "[{p}]")?;
+                }
+                if !steps.is_empty() {
+                    write_steps(f, steps, true)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Parse → print → parse must be a fixpoint on the AST.
+    fn roundtrip(q: &str) {
+        let ast = parse(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        let printed = ast.to_string();
+        let again = parse(&printed).unwrap_or_else(|e| panic!("printed {printed:?}: {e}"));
+        assert_eq!(again, ast, "{q} -> {printed}");
+    }
+
+    #[test]
+    fn paths_roundtrip() {
+        for q in [
+            "/",
+            "//w",
+            "/line/w",
+            "//s/overlapping::phys:line",
+            "child::ling:*",
+            "//w[@type='noun'][2]",
+            "(//w)[1]/containing::*",
+            ".",
+            "..",
+            "./..",
+            "//line[1]/text()",
+            "self::node()",
+            "//dmg/contained::ling:w",
+            "//x/co-extensive::*",
+        ] {
+            roundtrip(q);
+        }
+    }
+
+    #[test]
+    fn expressions_roundtrip() {
+        for q in [
+            "1 + 2 * 3",
+            "count(//w) > 3 and not(false())",
+            "'lit' = \"lit\"",
+            "concat('a', 'b', 'c')",
+            "- 5",
+            "6 div 2 mod 2",
+            "//a | //b | //c",
+            "string-length(normalize-space(string(//w)))",
+            "overlaps(//s, //line) or contains('xy', 'x')",
+            "position() = last()",
+        ] {
+            roundtrip(q);
+        }
+    }
+
+    #[test]
+    fn printed_form_is_explicit() {
+        let ast = parse("//w[2]").unwrap();
+        let printed = ast.to_string();
+        // Abbreviations expand to explicit axes.
+        assert!(printed.contains("descendant-or-self::node()"), "{printed}");
+        assert!(printed.contains("child::w"), "{printed}");
+    }
+
+    #[test]
+    fn literals_with_quotes() {
+        let e = Expr::Literal("it's".into());
+        assert_eq!(e.to_string(), "\"it's\"");
+        roundtrip("\"it's\"");
+    }
+
+    #[test]
+    fn evaluation_agrees_after_roundtrip() {
+        let g = sacx::parse_distributed(&[
+            ("phys", "<r><line>ab cd</line></r>"),
+            ("ling", "<r><w>ab</w> <w>cd</w></r>"),
+        ])
+        .unwrap();
+        let ev = crate::Evaluator::new(&g);
+        for q in ["//w", "count(//w) * 2", "//line/overlapping::ling:w"] {
+            let direct = ev.eval_str(q).unwrap();
+            let printed = parse(q).unwrap().to_string();
+            let via_print = ev.eval_str(&printed).unwrap();
+            assert_eq!(direct, via_print, "{q} vs {printed}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Extended XPath error types.
+
+use std::fmt;
+
+/// Errors from parsing or evaluating Extended XPath expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XPathError {
+    /// Lexical or syntactic error, with the char offset in the expression.
+    Parse { pos: usize, detail: String },
+    /// Unknown function name.
+    UnknownFunction(String),
+    /// A function was called with the wrong number or type of arguments.
+    BadArguments { function: String, detail: String },
+    /// A hierarchy qualifier does not name a hierarchy of the document.
+    UnknownHierarchy(String),
+    /// Unknown axis name.
+    UnknownAxis(String),
+    /// Any other evaluation error.
+    Eval(String),
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XPathError::Parse { pos, detail } => {
+                write!(f, "XPath syntax error at offset {pos}: {detail}")
+            }
+            XPathError::UnknownFunction(name) => write!(f, "unknown function {name}()"),
+            XPathError::BadArguments { function, detail } => {
+                write!(f, "bad arguments to {function}(): {detail}")
+            }
+            XPathError::UnknownHierarchy(h) => write!(f, "unknown hierarchy {h:?}"),
+            XPathError::UnknownAxis(a) => write!(f, "unknown axis {a:?}"),
+            XPathError::Eval(s) => write!(f, "evaluation error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Result alias for XPath operations.
+pub type Result<T> = std::result::Result<T, XPathError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error() {
+        let e = XPathError::Parse { pos: 7, detail: "expected ']'".into() };
+        assert!(e.to_string().contains("offset 7"));
+    }
+}

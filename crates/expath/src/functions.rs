@@ -1,0 +1,265 @@
+//! The Extended XPath function library: the XPath 1.0 core plus
+//! concurrent-markup functions (`hierarchy()`, `overlaps()`, `leaves()`).
+
+use crate::error::{Result, XPathError};
+use crate::value::{AttrRef, Value};
+use goddag::{Goddag, NodeId};
+
+/// Static context passed to functions needing `position()`/`last()`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EvalCtx {
+    /// The context node.
+    pub node: NodeId,
+    /// 1-based context position.
+    pub position: usize,
+    /// Context size.
+    pub size: usize,
+}
+
+fn bad(function: &str, detail: impl Into<String>) -> XPathError {
+    XPathError::BadArguments { function: function.into(), detail: detail.into() }
+}
+
+fn arity(function: &str, args: &[Value], min: usize, max: usize) -> Result<()> {
+    if args.len() < min || args.len() > max {
+        Err(bad(
+            function,
+            format!("expected {min}..={max} arguments, got {}", args.len()),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// First node of a node-set argument, or the context node when absent.
+fn node_arg(function: &str, args: &[Value], ctx: &EvalCtx) -> Result<Option<NodeId>> {
+    match args.first() {
+        None => Ok(Some(ctx.node)),
+        Some(Value::Nodes(ns)) => Ok(ns.first().copied()),
+        Some(other) => Err(bad(function, format!("expected a node-set, got {other:?}"))),
+    }
+}
+
+/// Evaluate a function call with already-evaluated arguments.
+pub(crate) fn call(
+    g: &Goddag,
+    ctx: &EvalCtx,
+    name: &str,
+    args: Vec<Value>,
+) -> Result<Value> {
+    match name {
+        // Context ---------------------------------------------------------
+        "position" => {
+            arity(name, &args, 0, 0)?;
+            Ok(Value::Number(ctx.position as f64))
+        }
+        "last" => {
+            arity(name, &args, 0, 0)?;
+            Ok(Value::Number(ctx.size as f64))
+        }
+        "count" => {
+            arity(name, &args, 1, 1)?;
+            args[0]
+                .count()
+                .map(|c| Value::Number(c as f64))
+                .ok_or_else(|| bad(name, "expected a node-set"))
+        }
+        // Conversions -----------------------------------------------------
+        "string" => {
+            arity(name, &args, 0, 1)?;
+            let v = args
+                .first()
+                .cloned()
+                .unwrap_or_else(|| Value::Nodes(vec![ctx.node]));
+            Ok(Value::Str(v.string_value(g)))
+        }
+        "number" => {
+            arity(name, &args, 0, 1)?;
+            let v = args
+                .first()
+                .cloned()
+                .unwrap_or_else(|| Value::Nodes(vec![ctx.node]));
+            Ok(Value::Number(v.number_value(g)))
+        }
+        "boolean" => {
+            arity(name, &args, 1, 1)?;
+            Ok(Value::Bool(args[0].boolean_value(g)))
+        }
+        "not" => {
+            arity(name, &args, 1, 1)?;
+            Ok(Value::Bool(!args[0].boolean_value(g)))
+        }
+        "true" => {
+            arity(name, &args, 0, 0)?;
+            Ok(Value::Bool(true))
+        }
+        "false" => {
+            arity(name, &args, 0, 0)?;
+            Ok(Value::Bool(false))
+        }
+        // Names & hierarchy -------------------------------------------------
+        "name" => {
+            arity(name, &args, 0, 1)?;
+            Ok(Value::Str(match node_arg(name, &args, ctx)? {
+                Some(n) => g.name(n).map(|q| q.to_string()).unwrap_or_default(),
+                None => String::new(),
+            }))
+        }
+        "local-name" => {
+            arity(name, &args, 0, 1)?;
+            Ok(Value::Str(match node_arg(name, &args, ctx)? {
+                Some(n) => g.name(n).map(|q| q.local.clone()).unwrap_or_default(),
+                None => String::new(),
+            }))
+        }
+        "hierarchy" => {
+            arity(name, &args, 0, 1)?;
+            Ok(Value::Str(match node_arg(name, &args, ctx)? {
+                Some(n) => g
+                    .hierarchy_of(n)
+                    .and_then(|h| g.hierarchy(h).ok())
+                    .map(|h| h.name.clone())
+                    .unwrap_or_default(),
+                None => String::new(),
+            }))
+        }
+        // Strings -----------------------------------------------------------
+        "contains" => {
+            arity(name, &args, 2, 2)?;
+            let a = args[0].string_value(g);
+            let b = args[1].string_value(g);
+            Ok(Value::Bool(a.contains(&b)))
+        }
+        "starts-with" => {
+            arity(name, &args, 2, 2)?;
+            let a = args[0].string_value(g);
+            let b = args[1].string_value(g);
+            Ok(Value::Bool(a.starts_with(&b)))
+        }
+        "substring-before" => {
+            arity(name, &args, 2, 2)?;
+            let a = args[0].string_value(g);
+            let b = args[1].string_value(g);
+            Ok(Value::Str(a.split_once(&b).map(|(x, _)| x.to_string()).unwrap_or_default()))
+        }
+        "substring-after" => {
+            arity(name, &args, 2, 2)?;
+            let a = args[0].string_value(g);
+            let b = args[1].string_value(g);
+            Ok(Value::Str(a.split_once(&b).map(|(_, y)| y.to_string()).unwrap_or_default()))
+        }
+        "substring" => {
+            arity(name, &args, 2, 3)?;
+            let s = args[0].string_value(g);
+            let chars: Vec<char> = s.chars().collect();
+            let start = args[1].number_value(g).round();
+            let len = args.get(2).map(|v| v.number_value(g).round());
+            // XPath 1-based indexing with rounding semantics.
+            let from = (start as i64 - 1).max(0) as usize;
+            let to = match len {
+                Some(l) => ((start + l).round() as i64 - 1).max(0) as usize,
+                None => chars.len(),
+            };
+            let to = to.min(chars.len());
+            let from = from.min(to);
+            Ok(Value::Str(chars[from..to].iter().collect()))
+        }
+        "string-length" => {
+            arity(name, &args, 0, 1)?;
+            let s = match args.first() {
+                Some(v) => v.string_value(g),
+                None => g.text_of(ctx.node),
+            };
+            Ok(Value::Number(s.chars().count() as f64))
+        }
+        "normalize-space" => {
+            arity(name, &args, 0, 1)?;
+            let s = match args.first() {
+                Some(v) => v.string_value(g),
+                None => g.text_of(ctx.node),
+            };
+            Ok(Value::Str(s.split_whitespace().collect::<Vec<_>>().join(" ")))
+        }
+        "concat" => {
+            if args.len() < 2 {
+                return Err(bad(name, "needs at least two arguments"));
+            }
+            Ok(Value::Str(args.iter().map(|v| v.string_value(g)).collect()))
+        }
+        // Numbers -----------------------------------------------------------
+        "floor" => {
+            arity(name, &args, 1, 1)?;
+            Ok(Value::Number(args[0].number_value(g).floor()))
+        }
+        "ceiling" => {
+            arity(name, &args, 1, 1)?;
+            Ok(Value::Number(args[0].number_value(g).ceil()))
+        }
+        "round" => {
+            arity(name, &args, 1, 1)?;
+            Ok(Value::Number(args[0].number_value(g).round()))
+        }
+        "sum" => {
+            arity(name, &args, 1, 1)?;
+            match &args[0] {
+                Value::Nodes(ns) => Ok(Value::Number(
+                    ns.iter().map(|&n| Value::Nodes(vec![n]).number_value(g)).sum(),
+                )),
+                Value::Attrs(attrs) => Ok(Value::Number(
+                    attrs
+                        .iter()
+                        .map(|a| a.value(g).trim().parse::<f64>().unwrap_or(f64::NAN))
+                        .sum(),
+                )),
+                _ => Err(bad(name, "expected a node-set")),
+            }
+        }
+        // Concurrent-markup extensions --------------------------------------
+        "overlaps" => {
+            arity(name, &args, 2, 2)?;
+            let (Value::Nodes(a), Value::Nodes(b)) = (&args[0], &args[1]) else {
+                return Err(bad(name, "expected two node-sets"));
+            };
+            let found = a
+                .iter()
+                .any(|&x| b.iter().any(|&y| g.span(x).overlaps(g.span(y))));
+            Ok(Value::Bool(found))
+        }
+        "leaves" => {
+            arity(name, &args, 0, 1)?;
+            let nodes: Vec<NodeId> = match args.first() {
+                None => vec![ctx.node],
+                Some(Value::Nodes(ns)) => ns.clone(),
+                Some(other) => return Err(bad(name, format!("expected a node-set, got {other:?}"))),
+            };
+            let mut out: Vec<NodeId> = Vec::new();
+            for n in nodes {
+                out.extend_from_slice(g.leaves_of(n));
+            }
+            g.sort_doc_order(&mut out);
+            Ok(Value::Nodes(out))
+        }
+        "root" => {
+            arity(name, &args, 0, 0)?;
+            Ok(Value::Nodes(vec![g.root()]))
+        }
+        "id" => {
+            arity(name, &args, 1, 1)?;
+            let wanted = args[0].string_value(g);
+            let mut out: Vec<NodeId> = g
+                .elements()
+                .filter(|&e| {
+                    g.attr(e, "id").or_else(|| g.attr(e, "xml:id")) == Some(wanted.as_str())
+                })
+                .collect();
+            g.sort_doc_order(&mut out);
+            Ok(Value::Nodes(out))
+        }
+        other => Err(XPathError::UnknownFunction(other.to_string())),
+    }
+}
+
+/// Attribute reference constructor shared with the evaluator.
+pub(crate) fn attrs_of(g: &Goddag, n: NodeId) -> Vec<AttrRef> {
+    (0..g.attrs(n).len()).map(|index| AttrRef { element: n, index }).collect()
+}

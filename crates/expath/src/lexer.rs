@@ -1,0 +1,429 @@
+//! Tokenizer for Extended XPath expressions.
+//!
+//! Deviations from XPath 1.0 lexing, documented for users:
+//! * binary minus requires surrounding whitespace (`a - b`); a `-` directly
+//!   attached to a name is part of the name (`following-sibling`,
+//!   `co-extensive`);
+//! * `*` is emitted as a single token; the parser decides between wildcard
+//!   and multiplication by position, as the XPath spec prescribes.
+
+use crate::error::{Result, XPathError};
+
+/// One token with its char offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset of the token start in the expression.
+    pub pos: usize,
+    /// Token kind/payload.
+    pub kind: Tok,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (quotes stripped).
+    Literal(String),
+    /// A name: NCName, or `prefix:local`, or `prefix:*` (star captured as
+    /// `*` in `local`). Also operators spelled as names (`and`, `or`, `div`,
+    /// `mod`) — the parser decides by position.
+    Name { prefix: Option<String>, local: String },
+    /// `::`
+    DoubleColon,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `@`
+    At,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `+`
+    Plus,
+    /// `-` (standalone)
+    Minus,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `*`
+    Star,
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+/// Tokenize an expression.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut offsets: Vec<usize> = Vec::with_capacity(bytes.len() + 1);
+    {
+        let mut o = 0;
+        for c in &bytes {
+            offsets.push(o);
+            o += c.len_utf8();
+        }
+        offsets.push(o);
+    }
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = offsets[i];
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' => {
+                if bytes.get(i + 1) == Some(&'/') {
+                    tokens.push(Token { pos, kind: Tok::DoubleSlash });
+                    i += 2;
+                } else {
+                    tokens.push(Token { pos, kind: Tok::Slash });
+                    i += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&':') {
+                    tokens.push(Token { pos, kind: Tok::DoubleColon });
+                    i += 2;
+                } else {
+                    return Err(XPathError::Parse {
+                        pos,
+                        detail: "stray ':' (prefixes attach directly to names)".into(),
+                    });
+                }
+            }
+            '[' => {
+                tokens.push(Token { pos, kind: Tok::LBracket });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { pos, kind: Tok::RBracket });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { pos, kind: Tok::LParen });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { pos, kind: Tok::RParen });
+                i += 1;
+            }
+            '@' => {
+                tokens.push(Token { pos, kind: Tok::At });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { pos, kind: Tok::Comma });
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token { pos, kind: Tok::Pipe });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { pos, kind: Tok::Plus });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { pos, kind: Tok::Minus });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { pos, kind: Tok::Eq });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token { pos, kind: Tok::Neq });
+                    i += 2;
+                } else {
+                    return Err(XPathError::Parse { pos, detail: "'!' must be '!='".into() });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token { pos, kind: Tok::Le });
+                    i += 2;
+                } else {
+                    tokens.push(Token { pos, kind: Tok::Lt });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token { pos, kind: Tok::Ge });
+                    i += 2;
+                } else {
+                    tokens.push(Token { pos, kind: Tok::Gt });
+                    i += 1;
+                }
+            }
+            '*' => {
+                tokens.push(Token { pos, kind: Tok::Star });
+                i += 1;
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&'.') {
+                    tokens.push(Token { pos, kind: Tok::DotDot });
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    // .5 style number
+                    let (n, len) = scan_number(&bytes[i..], pos)?;
+                    tokens.push(Token { pos, kind: Tok::Number(n) });
+                    i += len;
+                } else {
+                    tokens.push(Token { pos, kind: Tok::Dot });
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut lit = String::new();
+                loop {
+                    match bytes.get(j) {
+                        Some(&ch) if ch == quote => break,
+                        Some(&ch) => {
+                            lit.push(ch);
+                            j += 1;
+                        }
+                        None => {
+                            return Err(XPathError::Parse {
+                                pos,
+                                detail: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token { pos, kind: Tok::Literal(lit) });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (n, len) = scan_number(&bytes[i..], pos)?;
+                tokens.push(Token { pos, kind: Tok::Number(n) });
+                i += len;
+            }
+            c if is_name_start(c) => {
+                let mut j = i + 1;
+                while bytes.get(j).copied().is_some_and(is_name_char) {
+                    j += 1;
+                }
+                let first: String = bytes[i..j].iter().collect();
+                // `prefix:local` or `prefix:*` — but not `::`.
+                if bytes.get(j) == Some(&':') && bytes.get(j + 1) != Some(&':') {
+                    let k = j + 1;
+                    if bytes.get(k) == Some(&'*') {
+                        tokens.push(Token {
+                            pos,
+                            kind: Tok::Name { prefix: Some(first), local: "*".into() },
+                        });
+                        i = k + 1;
+                        continue;
+                    }
+                    if bytes.get(k).copied().is_some_and(is_name_start) {
+                        let mut m = k + 1;
+                        while bytes.get(m).copied().is_some_and(is_name_char) {
+                            m += 1;
+                        }
+                        let local: String = bytes[k..m].iter().collect();
+                        tokens.push(Token {
+                            pos,
+                            kind: Tok::Name { prefix: Some(first), local },
+                        });
+                        i = m;
+                        continue;
+                    }
+                    return Err(XPathError::Parse {
+                        pos: offsets[j],
+                        detail: "expected a name or '*' after prefix ':'".into(),
+                    });
+                }
+                tokens.push(Token { pos, kind: Tok::Name { prefix: None, local: first } });
+                i = j;
+            }
+            other => {
+                return Err(XPathError::Parse {
+                    pos,
+                    detail: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn scan_number(chars: &[char], pos: usize) -> Result<(f64, usize)> {
+    let mut j = 0;
+    let mut seen_dot = false;
+    while j < chars.len() {
+        match chars[j] {
+            c if c.is_ascii_digit() => j += 1,
+            '.' if !(seen_dot || (j + 1 < chars.len() && chars[j + 1] == '.')) => {
+                seen_dot = true;
+                j += 1;
+            }
+            _ => break,
+        }
+    }
+    let s: String = chars[..j].iter().collect();
+    s.parse::<f64>()
+        .map(|n| (n, j))
+        .map_err(|e| XPathError::Parse { pos, detail: format!("bad number {s:?}: {e}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<Tok> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_path() {
+        assert_eq!(
+            kinds("/child::line"),
+            vec![
+                Tok::Slash,
+                Tok::Name { prefix: None, local: "child".into() },
+                Tok::DoubleColon,
+                Tok::Name { prefix: None, local: "line".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_names_and_axes() {
+        assert_eq!(
+            kinds("overlapping::phys:line"),
+            vec![
+                Tok::Name { prefix: None, local: "overlapping".into() },
+                Tok::DoubleColon,
+                Tok::Name { prefix: Some("phys".into()), local: "line".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_wildcard() {
+        assert_eq!(
+            kinds("ling:*"),
+            vec![Tok::Name { prefix: Some("ling".into()), local: "*".into() }]
+        );
+    }
+
+    #[test]
+    fn hyphen_in_names() {
+        assert_eq!(
+            kinds("following-sibling::w"),
+            vec![
+                Tok::Name { prefix: None, local: "following-sibling".into() },
+                Tok::DoubleColon,
+                Tok::Name { prefix: None, local: "w".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_needs_space() {
+        assert_eq!(
+            kinds("3 - 1"),
+            vec![Tok::Number(3.0), Tok::Minus, Tok::Number(1.0)]
+        );
+        // attached '-' binds into the name
+        assert_eq!(kinds("a-b"), vec![Tok::Name { prefix: None, local: "a-b".into() }]);
+    }
+
+    #[test]
+    fn numbers_and_literals() {
+        assert_eq!(
+            kinds("1.5 'two' \"three\" .25"),
+            vec![
+                Tok::Number(1.5),
+                Tok::Literal("two".into()),
+                Tok::Literal("three".into()),
+                Tok::Number(0.25),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a != b <= c >= d < e > f = g"),
+            vec![
+                Tok::Name { prefix: None, local: "a".into() },
+                Tok::Neq,
+                Tok::Name { prefix: None, local: "b".into() },
+                Tok::Le,
+                Tok::Name { prefix: None, local: "c".into() },
+                Tok::Ge,
+                Tok::Name { prefix: None, local: "d".into() },
+                Tok::Lt,
+                Tok::Name { prefix: None, local: "e".into() },
+                Tok::Gt,
+                Tok::Name { prefix: None, local: "f".into() },
+                Tok::Eq,
+                Tok::Name { prefix: None, local: "g".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn predicates_and_functions() {
+        assert_eq!(
+            kinds("//w[@type='noun'][position() > 2]").len(),
+            15
+        );
+    }
+
+    #[test]
+    fn dots() {
+        assert_eq!(kinds(". .. ./."), vec![Tok::Dot, Tok::DotDot, Tok::Dot, Tok::Slash, Tok::Dot]);
+    }
+
+    #[test]
+    fn errors_positioned() {
+        match tokenize("abc $x") {
+            Err(XPathError::Parse { pos, .. }) => assert_eq!(pos, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn double_slash() {
+        assert_eq!(kinds("//*")[0], Tok::DoubleSlash);
+    }
+}

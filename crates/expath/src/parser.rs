@@ -1,0 +1,559 @@
+//! Recursive-descent parser for Extended XPath.
+
+use crate::ast::{Axis, BinOp, Expr, NodeTest, PathStart, Step};
+use crate::error::{Result, XPathError};
+use crate::lexer::{tokenize, Tok, Token};
+
+/// Parse an Extended XPath expression.
+pub fn parse(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, i: 0, input_len: input.len() };
+    let expr = p.expr()?;
+    if let Some(t) = p.peek() {
+        return Err(XPathError::Parse {
+            pos: t.pos,
+            detail: format!("unexpected trailing token {:?}", t.kind),
+        });
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.i)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.i + 1)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn pos(&self) -> usize {
+        self.peek().map_or(self.input_len, |t| t.pos)
+    }
+
+    fn eat(&mut self, kind: &Tok) -> bool {
+        if self.peek().map(|t| &t.kind) == Some(kind) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &Tok, what: &str) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(XPathError::Parse { pos: self.pos(), detail: format!("expected {what}") })
+        }
+    }
+
+    /// Is the current token a bare (unprefixed) name equal to `s`?
+    fn at_name(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(Token { kind: Tok::Name { prefix: None, local }, .. }) if local == s)
+    }
+
+    // Precedence climbing -------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.at_name("or") {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.eq_expr()?;
+        while self.at_name("and") {
+            self.bump();
+            let rhs = self.eq_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(Tok::Eq) => BinOp::Eq,
+                Some(Tok::Neq) => BinOp::Neq,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.rel_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(Tok::Lt) => BinOp::Lt,
+                Some(Tok::Le) => BinOp::Le,
+                Some(Tok::Gt) => BinOp::Gt,
+                Some(Tok::Ge) => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                // `*` in operator position is multiplication.
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Name { prefix: None, local }) if local == "div" => BinOp::Div,
+                Some(Tok::Name { prefix: None, local }) if local == "mod" => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.union_expr()
+    }
+
+    fn union_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.path_expr()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.path_expr()?;
+            lhs = Expr::Union(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    // Paths ----------------------------------------------------------------
+
+    fn path_expr(&mut self) -> Result<Expr> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(Tok::Slash) => {
+                self.bump();
+                // Bare '/' is the root.
+                if self.starts_step() {
+                    let steps = self.relative_path()?;
+                    Ok(Expr::Path { start: PathStart::Root, steps })
+                } else {
+                    Ok(Expr::Path { start: PathStart::Root, steps: vec![] })
+                }
+            }
+            Some(Tok::DoubleSlash) => {
+                self.bump();
+                let mut steps = vec![descendant_or_self_node()];
+                steps.extend(self.relative_path()?);
+                Ok(Expr::Path { start: PathStart::Root, steps })
+            }
+            Some(Tok::Number(n)) => {
+                self.bump();
+                Ok(Expr::Number(n))
+            }
+            Some(Tok::Literal(s)) => {
+                self.bump();
+                Ok(Expr::Literal(s))
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.filter_tail(inner)
+            }
+            // Function call: name '(' — but not a node test like text().
+            Some(Tok::Name { prefix: None, ref local })
+                if matches!(self.peek2().map(|t| &t.kind), Some(Tok::LParen))
+                    && !matches!(local.as_str(), "text" | "node") =>
+            {
+                let name = local.clone();
+                self.bump();
+                self.bump(); // '('
+                let mut args = Vec::new();
+                if !self.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat(&Tok::RParen) {
+                            break;
+                        }
+                        self.expect(&Tok::Comma, "',' or ')'")?;
+                    }
+                }
+                self.filter_tail(Expr::Call { name, args })
+            }
+            _ if self.starts_step() => {
+                let steps = self.relative_path()?;
+                Ok(Expr::Path { start: PathStart::Context, steps })
+            }
+            other => Err(XPathError::Parse {
+                pos: self.pos(),
+                detail: format!("expected an expression, found {other:?}"),
+            }),
+        }
+    }
+
+    /// Predicates and a trailing relative path after a primary expression.
+    fn filter_tail(&mut self, primary: Expr) -> Result<Expr> {
+        let mut predicates = Vec::new();
+        while self.peek().map(|t| &t.kind) == Some(&Tok::LBracket) {
+            self.bump();
+            predicates.push(self.expr()?);
+            self.expect(&Tok::RBracket, "']'")?;
+        }
+        let mut steps = Vec::new();
+        loop {
+            match self.peek().map(|t| &t.kind) {
+                Some(Tok::Slash) => {
+                    self.bump();
+                    steps.push(self.step()?);
+                }
+                Some(Tok::DoubleSlash) => {
+                    self.bump();
+                    steps.push(descendant_or_self_node());
+                    steps.push(self.step()?);
+                }
+                _ => break,
+            }
+        }
+        if predicates.is_empty() && steps.is_empty() {
+            Ok(primary)
+        } else {
+            Ok(Expr::Filter { primary: Box::new(primary), predicates, steps })
+        }
+    }
+
+    fn starts_step(&self) -> bool {
+        matches!(
+            self.peek().map(|t| &t.kind),
+            Some(Tok::Name { .. } | Tok::Star | Tok::At | Tok::Dot | Tok::DotDot)
+        )
+    }
+
+    fn relative_path(&mut self) -> Result<Vec<Step>> {
+        let mut steps = vec![self.step()?];
+        loop {
+            match self.peek().map(|t| &t.kind) {
+                Some(Tok::Slash) => {
+                    self.bump();
+                    steps.push(self.step()?);
+                }
+                Some(Tok::DoubleSlash) => {
+                    self.bump();
+                    steps.push(descendant_or_self_node());
+                    steps.push(self.step()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(steps)
+    }
+
+    fn step(&mut self) -> Result<Step> {
+        // Abbreviations.
+        if self.eat(&Tok::Dot) {
+            return self.finish_step(Axis::SelfAxis, NodeTest::Node);
+        }
+        if self.eat(&Tok::DotDot) {
+            return self.finish_step(Axis::Parent, NodeTest::Node);
+        }
+        if self.eat(&Tok::At) {
+            let test = self.node_test()?;
+            return self.finish_step(Axis::Attribute, test);
+        }
+        // Explicit axis?
+        if let Some(Tok::Name { prefix: None, local }) = self.peek().map(|t| t.kind.clone()) {
+            if self.peek2().map(|t| &t.kind) == Some(&Tok::DoubleColon) {
+                let axis = Axis::from_name(&local)
+                    .ok_or_else(|| XPathError::UnknownAxis(local.clone()))?;
+                self.bump();
+                self.bump();
+                let test = self.node_test()?;
+                return self.finish_step(axis, test);
+            }
+        }
+        let test = self.node_test()?;
+        self.finish_step(Axis::Child, test)
+    }
+
+    fn finish_step(&mut self, axis: Axis, test: NodeTest) -> Result<Step> {
+        let mut predicates = Vec::new();
+        while self.peek().map(|t| &t.kind) == Some(&Tok::LBracket) {
+            self.bump();
+            predicates.push(self.expr()?);
+            self.expect(&Tok::RBracket, "']'")?;
+        }
+        Ok(Step { axis, test, predicates })
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest> {
+        match self.bump().map(|t| t.kind) {
+            Some(Tok::Star) => Ok(NodeTest::Any),
+            Some(Tok::Name { prefix, local }) => {
+                if local == "*" {
+                    return Ok(NodeTest::AnyInHierarchy(
+                        prefix.expect("lexer only emits * local with a prefix"),
+                    ));
+                }
+                // text() / node() kind tests.
+                if prefix.is_none() && self.peek().map(|t| &t.kind) == Some(&Tok::LParen) {
+                    match local.as_str() {
+                        "text" => {
+                            self.bump();
+                            self.expect(&Tok::RParen, "')'")?;
+                            return Ok(NodeTest::Text);
+                        }
+                        "node" => {
+                            self.bump();
+                            self.expect(&Tok::RParen, "')'")?;
+                            return Ok(NodeTest::Node);
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(NodeTest::Name { hierarchy: prefix, local })
+            }
+            other => Err(XPathError::Parse {
+                pos: self.pos(),
+                detail: format!("expected a node test, found {other:?}"),
+            }),
+        }
+    }
+}
+
+fn descendant_or_self_node() -> Step {
+    Step { axis: Axis::DescendantOrSelf, test: NodeTest::Node, predicates: vec![] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_path() {
+        assert_eq!(parse("/").unwrap(), Expr::Path { start: PathStart::Root, steps: vec![] });
+    }
+
+    #[test]
+    fn child_steps() {
+        let e = parse("/line/w").unwrap();
+        match e {
+            Expr::Path { start: PathStart::Root, steps } => {
+                assert_eq!(steps.len(), 2);
+                assert_eq!(steps[0].axis, Axis::Child);
+                assert_eq!(
+                    steps[0].test,
+                    NodeTest::Name { hierarchy: None, local: "line".into() }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_slash_expands() {
+        let e = parse("//w").unwrap();
+        match e {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps.len(), 2);
+                assert_eq!(steps[0].axis, Axis::DescendantOrSelf);
+                assert_eq!(steps[0].test, NodeTest::Node);
+                assert_eq!(steps[1].axis, Axis::Child);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_axes_and_hierarchy_test() {
+        let e = parse("overlapping::phys:line").unwrap();
+        match e {
+            Expr::Path { start: PathStart::Context, steps } => {
+                assert_eq!(steps[0].axis, Axis::Overlapping);
+                assert_eq!(
+                    steps[0].test,
+                    NodeTest::Name { hierarchy: Some("phys".into()), local: "line".into() }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hierarchy_wildcard() {
+        let e = parse("child::ling:*").unwrap();
+        match e {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[0].test, NodeTest::AnyInHierarchy("ling".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        let e = parse("//w[@type='noun'][2]").unwrap();
+        match e {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[1].predicates.len(), 2);
+                assert_eq!(steps[1].predicates[1], Expr::Number(2.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_abbreviation() {
+        let e = parse("@n").unwrap();
+        match e {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[0].axis, Axis::Attribute);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        let e = parse("./..").unwrap();
+        match e {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[0].axis, Axis::SelfAxis);
+                assert_eq!(steps[1].axis, Axis::Parent);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_calls() {
+        let e = parse("count(//w) > 3").unwrap();
+        match e {
+            Expr::Bin(BinOp::Gt, lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::Call { ref name, ref args } if name == "count" && args.len() == 1));
+                assert_eq!(*rhs, Expr::Number(3.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_node_test_not_function() {
+        let e = parse("//text()").unwrap();
+        match e {
+            Expr::Path { steps, .. } => assert_eq!(steps[1].test, NodeTest::Text),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Bin(BinOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        let e = parse("1 = 1 or 2 = 3 and 4 = 4").unwrap();
+        assert!(matches!(e, Expr::Bin(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn union_of_paths() {
+        let e = parse("//w | //line").unwrap();
+        assert!(matches!(e, Expr::Union(_, _)));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse("- 3").unwrap();
+        assert!(matches!(e, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn parenthesized_filter_with_path() {
+        let e = parse("(//w)[1]/parent::node()").unwrap();
+        match e {
+            Expr::Filter { predicates, steps, .. } => {
+                assert_eq!(predicates.len(), 1);
+                assert_eq!(steps.len(), 1);
+                assert_eq!(steps[0].axis, Axis::Parent);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("//w[").is_err());
+        assert!(parse("child::").is_err());
+        assert!(parse("sideways::w").is_err());
+        assert!(parse("//w)").is_err());
+        assert!(parse("count(").is_err());
+    }
+
+    #[test]
+    fn star_disambiguation() {
+        // wildcard then multiplication
+        let e = parse("count(child::*) * 2").unwrap();
+        assert!(matches!(e, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn div_and_mod() {
+        let e = parse("6 div 2 mod 2").unwrap();
+        assert!(matches!(e, Expr::Bin(BinOp::Mod, _, _)));
+    }
+}

@@ -1,0 +1,197 @@
+//! Leaf-index spans and the overlap algebra on them.
+//!
+//! Every GODDAG node dominates a contiguous range of leaves (restricted
+//! GODDAG, Sperberg-McQueen & Huitfeldt 2000). Overlap relations between
+//! markup from different hierarchies — the paper's reason to exist — reduce
+//! to interval algebra on these spans, which is what the Extended XPath
+//! `overlapping`, `containing`, `contained-in` and `co-extensive` axes
+//! evaluate.
+
+/// A half-open range of leaf indices `[start, end)`.
+///
+/// Empty spans (`start == end`) model empty elements (milestones); they sit
+/// *between* leaves at position `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// First leaf index covered.
+    pub start: u32,
+    /// One past the last leaf index covered.
+    pub end: u32,
+}
+
+impl Span {
+    /// Construct a span; `start` must not exceed `end`.
+    #[inline]
+    pub fn new(start: u32, end: u32) -> Span {
+        debug_assert!(start <= end, "invalid span {start}..{end}");
+        Span { start, end }
+    }
+
+    /// The empty span anchored at `at`.
+    #[inline]
+    pub fn empty_at(at: u32) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// Number of leaves covered.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True when no leaves are covered (an empty element / milestone).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Do `self` and `other` share at least one leaf?
+    ///
+    /// Empty spans cover no leaves, so they never intersect anything.
+    #[inline]
+    pub fn intersects(self, other: Span) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end
+            && other.start < self.end
+    }
+
+    /// *Proper* overlap: the spans intersect but neither contains the other.
+    /// This is the paper's "overlapping markup" relation (markup from two
+    /// hierarchies in conflict) and the semantics of the `overlapping` axis.
+    #[inline]
+    pub fn overlaps(self, other: Span) -> bool {
+        self.intersects(other) && !self.contains(other) && !other.contains(self)
+    }
+
+    /// Does `self` cover every leaf of `other`?
+    ///
+    /// An empty `other` is contained when its anchor lies within (or on the
+    /// boundary of) `self`.
+    #[inline]
+    pub fn contains(self, other: Span) -> bool {
+        if other.is_empty() {
+            self.start <= other.start && other.start <= self.end
+        } else {
+            self.start <= other.start && other.end <= self.end
+        }
+    }
+
+    /// Same leaf range.
+    #[inline]
+    pub fn co_extensive(self, other: Span) -> bool {
+        self == other
+    }
+
+    /// Every leaf of `self` is strictly before every leaf of `other`.
+    #[inline]
+    pub fn precedes(self, other: Span) -> bool {
+        self.end <= other.start
+    }
+
+    /// Is the leaf index `i` inside the span?
+    #[inline]
+    pub fn contains_leaf(self, i: u32) -> bool {
+        self.start <= i && i < self.end
+    }
+
+    /// Intersection, if non-degenerate.
+    pub fn intersection(self, other: Span) -> Option<Span> {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        if s < e {
+            Some(Span::new(s, e))
+        } else {
+            None
+        }
+    }
+
+    /// Smallest span covering both.
+    pub fn cover(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(a: u32, b: u32) -> Span {
+        Span::new(a, b)
+    }
+
+    #[test]
+    fn intersects_basics() {
+        assert!(s(0, 3).intersects(s(2, 5)));
+        assert!(!s(0, 2).intersects(s(2, 5)));
+        assert!(s(0, 5).intersects(s(1, 2)));
+        assert!(!s(0, 0).intersects(s(0, 5))); // empty intersects nothing
+        assert!(!s(1, 1).intersects(s(0, 2))); // even when strictly inside
+        assert!(!s(0, 2).intersects(s(1, 1)));
+    }
+
+    #[test]
+    fn proper_overlap_excludes_containment() {
+        assert!(s(0, 3).overlaps(s(2, 5)));
+        assert!(s(2, 5).overlaps(s(0, 3)));
+        assert!(!s(0, 5).overlaps(s(1, 2))); // containment
+        assert!(!s(1, 2).overlaps(s(0, 5)));
+        assert!(!s(0, 3).overlaps(s(0, 3))); // co-extensive
+        assert!(!s(0, 2).overlaps(s(2, 4))); // adjacency
+    }
+
+    #[test]
+    fn contains_with_empty() {
+        assert!(s(0, 5).contains(s(2, 2)));
+        assert!(s(0, 5).contains(s(0, 0)));
+        assert!(s(0, 5).contains(s(5, 5))); // boundary anchor
+        assert!(!s(0, 5).contains(s(6, 6)));
+        assert!(!s(2, 2).contains(s(0, 5)));
+        assert!(s(2, 2).contains(s(2, 2))); // empty contains itself (same anchor)
+    }
+
+    #[test]
+    fn precedes_is_strict() {
+        assert!(s(0, 2).precedes(s(2, 4)));
+        assert!(!s(0, 3).precedes(s(2, 4)));
+    }
+
+    #[test]
+    fn intersection_and_cover() {
+        assert_eq!(s(0, 4).intersection(s(2, 6)), Some(s(2, 4)));
+        assert_eq!(s(0, 2).intersection(s(2, 6)), None);
+        assert_eq!(s(0, 2).cover(s(4, 6)), s(0, 6));
+    }
+
+    #[test]
+    fn contains_leaf_bounds() {
+        assert!(s(1, 3).contains_leaf(1));
+        assert!(s(1, 3).contains_leaf(2));
+        assert!(!s(1, 3).contains_leaf(3));
+        assert!(!s(1, 1).contains_leaf(1));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_irreflexive() {
+        // A small exhaustive sweep over spans in [0, 6).
+        let spans: Vec<Span> = (0..6)
+            .flat_map(|a| (a..6).map(move |b| s(a, b)))
+            .collect();
+        for &a in &spans {
+            assert!(!a.overlaps(a), "{a} overlaps itself");
+            for &b in &spans {
+                assert_eq!(a.overlaps(b), b.overlaps(a), "{a} vs {b}");
+                if a.overlaps(b) {
+                    assert!(a.intersects(b));
+                    assert!(!a.contains(b) && !b.contains(a));
+                }
+            }
+        }
+    }
+}

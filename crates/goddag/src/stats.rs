@@ -1,0 +1,124 @@
+//! Size and composition statistics (experiment B5: one GODDAG vs N DOMs).
+
+use crate::graph::{Goddag, NodeKind};
+
+/// Size/composition summary of a GODDAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoddagStats {
+    /// Live element count per hierarchy.
+    pub elements_per_hierarchy: Vec<usize>,
+    /// Total live elements.
+    pub elements: usize,
+    /// Leaf count.
+    pub leaves: usize,
+    /// Content bytes (stored exactly once, in the shared leaves).
+    pub content_bytes: usize,
+    /// Tombstoned arena slots.
+    pub dead: usize,
+    /// Estimated heap footprint in bytes.
+    pub estimated_bytes: usize,
+}
+
+impl Goddag {
+    /// Compute size statistics.
+    pub fn stats(&self) -> GoddagStats {
+        let mut per_h = vec![0usize; self.hierarchy_count()];
+        let mut elements = 0usize;
+        let mut dead = 0usize;
+        let mut content_bytes = 0usize;
+        let mut estimated = std::mem::size_of::<Goddag>();
+
+        for d in self.nodes.iter() {
+            estimated += std::mem::size_of_val(d);
+            estimated += d.children.capacity() * std::mem::size_of::<crate::ids::NodeId>();
+            estimated += d.leaf_parents.capacity() * std::mem::size_of::<crate::ids::NodeId>();
+            if !d.alive {
+                dead += 1;
+                continue;
+            }
+            match &d.kind {
+                NodeKind::Root { name, attrs } => {
+                    estimated += name.local.capacity();
+                    for a in attrs {
+                        estimated += a.name.local.capacity() + a.value.capacity();
+                    }
+                }
+                NodeKind::Element { name, attrs, hierarchy } => {
+                    elements += 1;
+                    per_h[hierarchy.idx()] += 1;
+                    estimated += name.local.capacity()
+                        + name.prefix.as_ref().map_or(0, |p| p.capacity());
+                    for a in attrs {
+                        estimated += a.name.local.capacity() + a.value.capacity();
+                    }
+                }
+                NodeKind::Leaf { text } => {
+                    content_bytes += text.len();
+                    estimated += text.capacity();
+                }
+            }
+        }
+        estimated += self.leaves.capacity() * std::mem::size_of::<crate::ids::NodeId>();
+        for rc in &self.root_children {
+            estimated += rc.capacity() * std::mem::size_of::<crate::ids::NodeId>();
+        }
+
+        GoddagStats {
+            elements_per_hierarchy: per_h,
+            elements,
+            leaves: self.leaf_count(),
+            content_bytes,
+            dead,
+            estimated_bytes: estimated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GoddagBuilder;
+    use xmlcore::QName;
+
+    #[test]
+    fn stats_counts() {
+        let mut b = GoddagBuilder::new(QName::parse("r").unwrap());
+        b.content("one two three");
+        let phys = b.hierarchy("phys");
+        let ling = b.hierarchy("ling");
+        b.range(phys, "line", vec![], 0, 7).unwrap();
+        b.range(ling, "w", vec![], 0, 3).unwrap();
+        b.range(ling, "w", vec![], 4, 7).unwrap();
+        let mut g = b.finish().unwrap();
+        let s = g.stats();
+        assert_eq!(s.elements, 3);
+        assert_eq!(s.elements_per_hierarchy, vec![1, 2]);
+        assert_eq!(s.content_bytes, 13);
+        assert_eq!(s.dead, 0);
+        assert!(s.estimated_bytes > 0);
+
+        let w = g.find_elements("w")[0];
+        g.remove_element(w).unwrap();
+        let s2 = g.stats();
+        assert_eq!(s2.elements, 2);
+        assert_eq!(s2.dead, 1);
+    }
+
+    #[test]
+    fn content_stored_once_regardless_of_hierarchies() {
+        // The same markup volume over the same content, 1 vs 4 hierarchies:
+        // content bytes must not grow with hierarchy count.
+        let content = "word ".repeat(100);
+        let build = |nh: usize| {
+            let mut b = GoddagBuilder::new(QName::parse("r").unwrap());
+            b.content(content.clone());
+            for i in 0..nh {
+                let h = b.hierarchy(format!("h{i}"));
+                b.range(h, "e", vec![], 0, content.len()).unwrap();
+            }
+            b.finish().unwrap().stats()
+        };
+        let s1 = build(1);
+        let s4 = build(4);
+        assert_eq!(s1.content_bytes, s4.content_bytes);
+    }
+}

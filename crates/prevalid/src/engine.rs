@@ -1,0 +1,544 @@
+//! The potential-validity engine (Iacob, Dekhtyar & Dekhtyar, WebDB 2004).
+//!
+//! A partially marked-up document is **potentially valid** w.r.t. a DTD iff
+//! further markup *insertions* can turn it into a valid document. Insertions
+//! can do two things to an element's child sequence:
+//!
+//! 1. **insert** a brand-new element anywhere — legal whenever that element's
+//!    own content can be completed from nothing (an *insertable* element:
+//!    nullable content model, or one producible purely from other insertable
+//!    elements);
+//! 2. **wrap** a contiguous run of existing children (and/or text) in a new
+//!    element — the run must itself be potentially valid content for the
+//!    wrapper.
+//!
+//! The engine compiles every content model to a Glushkov automaton
+//! (`xmlcore::dtd::Automaton`), computes the *insertable* fixpoint, and
+//! decides sequences with a CYK-style dynamic program over (span, wrapper)
+//! pairs. Exact validity falls out as the same run with insertions and
+//! wrapping disabled.
+
+use std::collections::{BTreeMap, BTreeSet};
+use xmlcore::dtd::{Automaton, ContentSpec, Dtd, StateId};
+
+/// One item of an element's child sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Item {
+    /// A child element.
+    Elem(String),
+    /// Non-whitespace text content. (Whitespace-only text is insignificant
+    /// in element content and must be filtered out by the caller.)
+    Text,
+}
+
+impl Item {
+    /// Convenience constructor.
+    pub fn elem(name: impl Into<String>) -> Item {
+        Item::Elem(name.into())
+    }
+}
+
+/// Verdict with an explanation for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Is the sequence (potentially) valid?
+    pub ok: bool,
+    /// Explanation when not.
+    pub reason: Option<String>,
+}
+
+impl Verdict {
+    fn yes() -> Verdict {
+        Verdict { ok: true, reason: None }
+    }
+    fn no(reason: impl Into<String>) -> Verdict {
+        Verdict { ok: false, reason: Some(reason.into()) }
+    }
+}
+
+/// The compiled potential-validity engine for one DTD.
+#[derive(Debug)]
+pub struct PrevalidEngine {
+    dtd: Dtd,
+    automata: BTreeMap<String, Automaton>,
+    /// Elements whose content can be completed from nothing.
+    insertable: BTreeSet<String>,
+    /// Per-automaton free-insertion closure: `closure[name][q]` = states
+    /// reachable from `q` by consuming only insertable symbols.
+    closures: BTreeMap<String, Vec<BTreeSet<StateId>>>,
+}
+
+impl PrevalidEngine {
+    /// Compile the engine from a DTD.
+    pub fn new(dtd: Dtd) -> PrevalidEngine {
+        let mut automata = BTreeMap::new();
+        for (name, decl) in &dtd.elements {
+            if let ContentSpec::Children(model) = &decl.content {
+                automata.insert(name.clone(), Automaton::compile(model));
+            }
+        }
+        let mut engine = PrevalidEngine {
+            dtd,
+            automata,
+            insertable: BTreeSet::new(),
+            closures: BTreeMap::new(),
+        };
+        engine.compute_insertable();
+        engine.compute_closures();
+        engine
+    }
+
+    /// The underlying DTD.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// Elements whose content can be completed from nothing (so the element
+    /// itself may be freely inserted).
+    pub fn insertable(&self) -> &BTreeSet<String> {
+        &self.insertable
+    }
+
+    /// Fixpoint: x is insertable iff its content model accepts some word of
+    /// insertable symbols (in particular the empty word).
+    fn compute_insertable(&mut self) {
+        loop {
+            let mut changed = false;
+            for (name, decl) in &self.dtd.elements {
+                if self.insertable.contains(name) {
+                    continue;
+                }
+                let ok = match &decl.content {
+                    ContentSpec::Empty | ContentSpec::Any | ContentSpec::Mixed(_) => true,
+                    ContentSpec::Children(_) => {
+                        let a = &self.automata[name];
+                        // Accepts using only currently-known insertable
+                        // symbols?
+                        self.accepts_free(a, &self.insertable)
+                    }
+                };
+                if ok {
+                    self.insertable.insert(name.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Does `a` accept any word over the `free` symbol set?
+    fn accepts_free(&self, a: &Automaton, free: &BTreeSet<String>) -> bool {
+        let mut seen: BTreeSet<StateId> = BTreeSet::from([0]);
+        let mut frontier = vec![0];
+        while let Some(q) = frontier.pop() {
+            if a.is_accepting(q) {
+                return true;
+            }
+            for &t in a.transitions_from(q) {
+                let sym = a.entry_symbol(t).expect("non-start states have symbols");
+                if free.contains(sym) && seen.insert(t) {
+                    frontier.push(t);
+                }
+            }
+        }
+        false
+    }
+
+    /// Precompute, per automaton, the closure over insertable-symbol
+    /// transitions.
+    fn compute_closures(&mut self) {
+        let mut closures = BTreeMap::new();
+        for (name, a) in &self.automata {
+            let n = a.num_states();
+            let mut closure: Vec<BTreeSet<StateId>> = Vec::with_capacity(n);
+            for q in 0..n {
+                let mut set = BTreeSet::from([q]);
+                let mut frontier = vec![q];
+                while let Some(s) = frontier.pop() {
+                    for &t in a.transitions_from(s) {
+                        let sym = a.entry_symbol(t).expect("non-start states have symbols");
+                        if self.insertable.contains(sym) && set.insert(t) {
+                            frontier.push(t);
+                        }
+                    }
+                }
+                closure.push(set);
+            }
+            closures.insert(name.clone(), closure);
+        }
+        self.closures = closures;
+    }
+
+    fn close(&self, element: &str, states: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let closure = &self.closures[element];
+        let mut out = BTreeSet::new();
+        for &q in states {
+            out.extend(closure[q].iter().copied());
+        }
+        out
+    }
+
+    // ----------------------------------------------------------------------
+    // Sequence checking
+    // ----------------------------------------------------------------------
+
+    /// Is `items` potentially valid content for `element` (insertions and
+    /// wrapping allowed)?
+    pub fn check_sequence(&self, element: &str, items: &[Item]) -> Verdict {
+        self.check(element, items, true)
+    }
+
+    /// Is `items` *exactly* valid content for `element` (no edits)?
+    pub fn check_sequence_strict(&self, element: &str, items: &[Item]) -> Verdict {
+        self.check(element, items, false)
+    }
+
+    fn check(&self, element: &str, items: &[Item], potential: bool) -> Verdict {
+        let Some(decl) = self.dtd.element(element) else {
+            return Verdict::no(format!("element <{element}> is not declared"));
+        };
+        // Undeclared child elements are unfixable by insertion.
+        for item in items {
+            if let Item::Elem(n) = item {
+                if self.dtd.element(n).is_none() {
+                    return Verdict::no(format!("child element <{n}> is not declared"));
+                }
+            }
+        }
+        match &decl.content {
+            ContentSpec::Empty => {
+                if items.is_empty() {
+                    Verdict::yes()
+                } else {
+                    Verdict::no(format!("<{element}> is EMPTY but has content"))
+                }
+            }
+            ContentSpec::Any => Verdict::yes(),
+            ContentSpec::Mixed(_) | ContentSpec::Children(_) => {
+                let wrap = if potential { self.build_wrap_table(items) } else { WrapTable::empty() };
+                if self.spans_model(element, items, 0, items.len(), &wrap, potential) {
+                    Verdict::yes()
+                } else if potential {
+                    Verdict::no(format!(
+                        "children of <{element}> cannot be extended to match its content model"
+                    ))
+                } else {
+                    Verdict::no(format!(
+                        "children of <{element}> do not match its content model"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Can `items[i..j)` be transformed (with insertions/wrapping if
+    /// `potential`) into valid content for `element`?
+    fn spans_model(
+        &self,
+        element: &str,
+        items: &[Item],
+        i: usize,
+        j: usize,
+        wrap: &WrapTable,
+        potential: bool,
+    ) -> bool {
+        let decl = match self.dtd.element(element) {
+            Some(d) => d,
+            None => return false,
+        };
+        match &decl.content {
+            ContentSpec::Empty => i == j,
+            ContentSpec::Any => true,
+            ContentSpec::Mixed(allowed) => {
+                // Text is free; names must be allowed directly or a run must
+                // wrap into an allowed element.
+                let mut reach = vec![false; j - i + 1];
+                reach[0] = true;
+                for p in i..j {
+                    if !reach[p - i] {
+                        continue;
+                    }
+                    match &items[p] {
+                        Item::Text => reach[p - i + 1] = true,
+                        Item::Elem(n) if allowed.iter().any(|a| a == n) => {
+                            reach[p - i + 1] = true;
+                        }
+                        Item::Elem(_) => {}
+                    }
+                    if potential {
+                        for m in p + 1..=j {
+                            if allowed.iter().any(|x| wrap.get(p, m, x)) {
+                                reach[m - i] = true;
+                            }
+                        }
+                    }
+                }
+                reach[j - i]
+            }
+            ContentSpec::Children(_) => {
+                let a = &self.automata[element];
+                // states[p] = automaton states reachable having covered
+                // items[i..p).
+                let mut states: Vec<BTreeSet<StateId>> = vec![BTreeSet::new(); j - i + 1];
+                states[0] = if potential {
+                    self.close(element, &BTreeSet::from([0]))
+                } else {
+                    BTreeSet::from([0])
+                };
+                for p in i..j {
+                    if states[p - i].is_empty() {
+                        continue;
+                    }
+                    // Direct consumption.
+                    if let Item::Elem(n) = &items[p] {
+                        let stepped = a.step(&states[p - i], n);
+                        if !stepped.is_empty() {
+                            let next = if potential { self.close(element, &stepped) } else { stepped };
+                            states[p - i + 1].extend(next);
+                        }
+                    }
+                    // Wrapped runs.
+                    if potential {
+                        for m in p + 1..=j {
+                            for x in wrap.wrappers(p, m) {
+                                let stepped = a.step(&states[p - i], x);
+                                if !stepped.is_empty() {
+                                    let next = self.close(element, &stepped);
+                                    states[m - i].extend(next);
+                                }
+                            }
+                        }
+                    }
+                }
+                states[j - i].iter().any(|&q| a.is_accepting(q))
+            }
+        }
+    }
+
+    /// CYK-style table: `(p, m, x)` present iff `items[p..m)` can be wrapped
+    /// into a single `<x>`.
+    fn build_wrap_table(&self, items: &[Item]) -> WrapTable {
+        let n = items.len();
+        let names: Vec<&String> = self.dtd.elements.keys().collect();
+        let mut table = WrapTable::new(n);
+        for len in 0..=n {
+            for p in 0..=n.saturating_sub(len) {
+                let m = p + len;
+                if len == 0 {
+                    continue; // empty wrap == plain insertion, handled by closures
+                }
+                // Fixpoint over same-span chains (x wraps a single y that
+                // wraps the same span).
+                loop {
+                    let mut changed = false;
+                    for &x in &names {
+                        if table.get(p, m, x) {
+                            continue;
+                        }
+                        if self.spans_model(x, items, p, m, &table, true) {
+                            table.set(p, m, x);
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+            }
+        }
+        table
+    }
+}
+
+/// Sparse `(start, end) -> wrappers` table.
+#[derive(Debug, Default)]
+struct WrapTable {
+    map: BTreeMap<(usize, usize), BTreeSet<String>>,
+}
+
+impl WrapTable {
+    fn new(_n: usize) -> WrapTable {
+        WrapTable::default()
+    }
+    fn empty() -> WrapTable {
+        WrapTable::default()
+    }
+    fn get(&self, p: usize, m: usize, x: &str) -> bool {
+        self.map.get(&(p, m)).is_some_and(|s| s.contains(x))
+    }
+    fn set(&mut self, p: usize, m: usize, x: &str) {
+        self.map.entry((p, m)).or_default().insert(x.to_string());
+    }
+    fn wrappers(&self, p: usize, m: usize) -> impl Iterator<Item = &str> {
+        self.map.get(&(p, m)).into_iter().flatten().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlcore::dtd::parse_dtd;
+
+    fn engine(dtd: &str) -> PrevalidEngine {
+        PrevalidEngine::new(parse_dtd(dtd).unwrap())
+    }
+
+    fn elems(names: &[&str]) -> Vec<Item> {
+        names.iter().map(|n| Item::elem(*n)).collect()
+    }
+
+    #[test]
+    fn insertable_fixpoint_basics() {
+        let e = engine(
+            "<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c EMPTY> <!ELEMENT d (e+)> <!ELEMENT e (d)>",
+        );
+        // b: mixed -> insertable; c: EMPTY -> insertable; a: (b,c) both
+        // insertable -> insertable; d/e: mutual non-nullable cycle -> NOT
+        // insertable.
+        assert!(e.insertable().contains("a"));
+        assert!(e.insertable().contains("b"));
+        assert!(e.insertable().contains("c"));
+        assert!(!e.insertable().contains("d"));
+        assert!(!e.insertable().contains("e"));
+    }
+
+    #[test]
+    fn subsequence_completion() {
+        // page requires (head, line+, foot); a lone line is potentially
+        // valid (insert head and foot) but a lone foot-then-head is not.
+        let e = engine(
+            "<!ELEMENT page (head, line+, foot)>
+             <!ELEMENT head (#PCDATA)> <!ELEMENT line (#PCDATA)> <!ELEMENT foot (#PCDATA)>",
+        );
+        assert!(e.check_sequence("page", &elems(&["line"])).ok);
+        assert!(e.check_sequence("page", &elems(&["head", "line"])).ok);
+        assert!(e.check_sequence("page", &elems(&["line", "line", "foot"])).ok);
+        assert!(!e.check_sequence("page", &elems(&["foot", "head"])).ok);
+        assert!(!e.check_sequence("page", &elems(&["line", "head"])).ok);
+        // Strict check: only complete sequences pass.
+        assert!(!e.check_sequence_strict("page", &elems(&["line"])).ok);
+        assert!(e.check_sequence_strict("page", &elems(&["head", "line", "foot"])).ok);
+    }
+
+    #[test]
+    fn insertion_requires_insertable_symbols() {
+        // page requires (head, line+); head itself requires a non-insertable
+        // child (img with (data) where data has (img) — cycle), so a lone
+        // line can NOT be completed.
+        let e = engine(
+            "<!ELEMENT page (head, line+)>
+             <!ELEMENT head (img)> <!ELEMENT img (data)> <!ELEMENT data (img)>
+             <!ELEMENT line (#PCDATA)>",
+        );
+        assert!(!e.insertable().contains("head"));
+        assert!(!e.check_sequence("page", &elems(&["line"])).ok);
+        // But with head present, the sequence is fine potentially... head's
+        // own content is checked separately, at head itself.
+        assert!(e.check_sequence("page", &elems(&["head", "line"])).ok);
+    }
+
+    #[test]
+    fn wrapping_repairs_structure() {
+        // doc requires (section+); section holds (title?, p+). Bare p's can
+        // be wrapped into a section.
+        let e = engine(
+            "<!ELEMENT doc (section+)>
+             <!ELEMENT section (title?, p+)>
+             <!ELEMENT title (#PCDATA)> <!ELEMENT p (#PCDATA)>",
+        );
+        assert!(e.check_sequence("doc", &elems(&["p", "p"])).ok);
+        assert!(e.check_sequence("doc", &elems(&["section", "p"])).ok);
+        assert!(e.check_sequence("doc", &[]).ok); // insert a whole section
+        assert!(!e.check_sequence_strict("doc", &elems(&["p"])).ok);
+    }
+
+    #[test]
+    fn text_must_be_wrappable() {
+        // doc has element content (p+); raw text can be wrapped into p
+        // (mixed), so text is potentially valid.
+        let e = engine("<!ELEMENT doc (p+)> <!ELEMENT p (#PCDATA)>");
+        assert!(e.check_sequence("doc", &[Item::Text]).ok);
+        assert!(!e.check_sequence_strict("doc", &[Item::Text]).ok);
+        // But if p had EMPTY content, text is unfixable.
+        let e2 = engine("<!ELEMENT doc (p+)> <!ELEMENT p EMPTY>");
+        assert!(!e2.check_sequence("doc", &[Item::Text]).ok);
+    }
+
+    #[test]
+    fn mixed_content_checks() {
+        let e = engine("<!ELEMENT s (#PCDATA | w | pc)*> <!ELEMENT w (#PCDATA)> <!ELEMENT pc EMPTY> <!ELEMENT zap EMPTY>");
+        assert!(e.check_sequence("s", &[Item::Text, Item::elem("w"), Item::Text]).ok);
+        assert!(e.check_sequence("s", &[]).ok);
+        // zap is not allowed in s and wrapping can't hide it... wrapping zap
+        // inside w? w is mixed (#PCDATA) only — elements not allowed. So no.
+        assert!(!e.check_sequence("s", &[Item::elem("zap")]).ok);
+    }
+
+    #[test]
+    fn wrapping_chain_same_span() {
+        // a -> (b); b -> (c); c mixed. Text wraps into c, c into b... from
+        // a's perspective the text run becomes a single b.
+        let e = engine(
+            "<!ELEMENT a (b)> <!ELEMENT b (c)> <!ELEMENT c (#PCDATA)>",
+        );
+        assert!(e.check_sequence("a", &[Item::Text]).ok);
+        assert!(e.check_sequence("a", &elems(&["c"])).ok);
+        assert!(e.check_sequence("a", &elems(&["b"])).ok);
+        assert!(!e.check_sequence("a", &elems(&["b", "b"])).ok);
+    }
+
+    #[test]
+    fn empty_content_model() {
+        let e = engine("<!ELEMENT pb EMPTY> <!ELEMENT x (#PCDATA)>");
+        assert!(e.check_sequence("pb", &[]).ok);
+        assert!(!e.check_sequence("pb", &[Item::Text]).ok);
+        assert!(!e.check_sequence("pb", &elems(&["x"])).ok);
+    }
+
+    #[test]
+    fn any_content_model() {
+        let e = engine("<!ELEMENT r ANY> <!ELEMENT x (#PCDATA)>");
+        assert!(e.check_sequence("r", &[Item::Text, Item::elem("x")]).ok);
+        assert!(!e.check_sequence("r", &elems(&["undeclared"])).ok);
+    }
+
+    #[test]
+    fn undeclared_elements_rejected() {
+        let e = engine("<!ELEMENT r (a)> <!ELEMENT a EMPTY>");
+        assert!(!e.check_sequence("r", &elems(&["ghost"])).ok);
+        assert!(!e.check_sequence("ghost", &[]).ok);
+    }
+
+    #[test]
+    fn verdict_reasons() {
+        let e = engine("<!ELEMENT r (a)> <!ELEMENT a EMPTY>");
+        let v = e.check_sequence("r", &elems(&["a", "a"]));
+        assert!(!v.ok);
+        assert!(v.reason.unwrap().contains("cannot be extended"));
+    }
+
+    #[test]
+    fn interleaved_completion() {
+        // r = (a, b, a, b); partial [b, a] fits as _ b a _.
+        let e = engine(
+            "<!ELEMENT r (a, b, a, b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>",
+        );
+        assert!(e.check_sequence("r", &elems(&["b", "a"])).ok);
+        assert!(e.check_sequence("r", &elems(&["a", "a"])).ok);
+        assert!(e.check_sequence("r", &elems(&["a", "b", "a", "b"])).ok);
+        assert!(!e.check_sequence("r", &elems(&["b", "b", "b"])).ok);
+        assert!(!e.check_sequence("r", &elems(&["a", "a", "a"])).ok);
+    }
+
+    #[test]
+    fn non_insertable_required_sibling_blocks() {
+        // r = (a, k) where k = (k) is non-insertable: nothing is ever
+        // potentially valid for r except sequences already containing k.
+        let e = engine("<!ELEMENT r (a, k)> <!ELEMENT a EMPTY> <!ELEMENT k (k)>");
+        assert!(!e.check_sequence("r", &elems(&["a"])).ok);
+        assert!(e.check_sequence("r", &elems(&["a", "k"])).ok);
+        assert!(!e.check_sequence("r", &[]).ok);
+    }
+}

@@ -1,0 +1,376 @@
+//! Potential-validity checking over GODDAG hierarchies, plus the two editor
+//! services xTagger builds on (paper §4):
+//!
+//! * [`check_hierarchy`] — is the current (partial) encoding of one hierarchy
+//!   still extendable to a valid document? Run after every edit.
+//! * [`check_insertion`] — *prevalidation* proper: would inserting `<tag>`
+//!   over a given content range keep the hierarchy potentially valid?
+//!   Evaluated without mutating the document.
+//! * [`suggest_tags`] — every tag the DTD allows over a selection: exactly
+//!   xTagger's "choose the appropriate markup" list.
+
+use crate::engine::{Item, PrevalidEngine, Verdict};
+use goddag::{Goddag, HierarchyId, NodeId, NodeKind, Span};
+
+/// Result of a whole-hierarchy check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyReport {
+    /// Per-element failures `(node, reason)`; empty means potentially valid.
+    pub failures: Vec<(NodeId, String)>,
+}
+
+impl HierarchyReport {
+    /// No failures?
+    pub fn is_potentially_valid(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The child sequence of `n` in hierarchy `h`, as engine items
+/// (whitespace-only leaves dropped).
+fn item_sequence(g: &Goddag, h: HierarchyId, n: NodeId) -> Vec<Item> {
+    g.children_in(n, h)
+        .iter()
+        .filter_map(|&c| match g.kind(c) {
+            NodeKind::Element { name, .. } => Some(Item::Elem(name.local.clone())),
+            NodeKind::Leaf { text } => {
+                (!text.chars().all(char::is_whitespace)).then_some(Item::Text)
+            }
+            NodeKind::Root { .. } => None,
+        })
+        .collect()
+}
+
+/// Check every element of hierarchy `h` (and the root) for potential
+/// validity of its content.
+pub fn check_hierarchy(engine: &PrevalidEngine, g: &Goddag, h: HierarchyId) -> HierarchyReport {
+    let mut failures = Vec::new();
+    let mut stack = vec![g.root()];
+    while let Some(n) = stack.pop() {
+        let name = match g.name(n) {
+            Some(q) => q.local.clone(),
+            None => continue,
+        };
+        let items = item_sequence(g, h, n);
+        let verdict = engine.check_sequence(&name, &items);
+        if !verdict.ok {
+            failures.push((n, verdict.reason.unwrap_or_else(|| "invalid".into())));
+        }
+        for &c in g.children_in(n, h) {
+            if g.is_element(c) {
+                stack.push(c);
+            }
+        }
+    }
+    failures.reverse();
+    HierarchyReport { failures }
+}
+
+/// Would inserting `<tag>` over content bytes `start..end` keep hierarchy
+/// `h` potentially valid? Pure check — the document is not modified.
+///
+/// Returns `Verdict::no` with a reason when the insertion is rejected
+/// (crossing markup in `h`, or a content-model dead end for either the host
+/// or the new element).
+pub fn check_insertion(
+    engine: &PrevalidEngine,
+    g: &Goddag,
+    h: HierarchyId,
+    tag: &str,
+    start: usize,
+    end: usize,
+) -> Verdict {
+    if engine.dtd().element(tag).is_none() {
+        return Verdict { ok: false, reason: Some(format!("element <{tag}> is not declared")) };
+    }
+    if start > end || end > g.content_len() {
+        return Verdict {
+            ok: false,
+            reason: Some(format!("range {start}..{end} out of bounds")),
+        };
+    }
+    let content = g.content();
+    if !content.is_char_boundary(start) || !content.is_char_boundary(end) {
+        return Verdict {
+            ok: false,
+            reason: Some(format!("range {start}..{end} splits a character")),
+        };
+    }
+
+    // Locate the host (deepest element of h covering the range) without
+    // requiring leaf boundaries at start/end.
+    let host = host_by_chars(g, h, start, end);
+    let host_name = match g.name(host) {
+        Some(q) => q.local.clone(),
+        None => return Verdict { ok: false, reason: Some("host has no name".into()) },
+    };
+
+    // Partition the host's children against the byte range.
+    let mut before: Vec<Item> = Vec::new();
+    let mut inside: Vec<Item> = Vec::new();
+    let mut after: Vec<Item> = Vec::new();
+    for &c in g.children_in(host, h) {
+        let (cs, ce) = g.char_range(c);
+        let item = match g.kind(c) {
+            NodeKind::Element { name, .. } => Some(Item::Elem(name.local.clone())),
+            NodeKind::Leaf { text } => {
+                (!text.chars().all(char::is_whitespace)).then_some(Item::Text)
+            }
+            NodeKind::Root { .. } => None,
+        };
+        // A leaf partially covered by the range splits: parts may fall on
+        // both sides and inside.
+        if g.is_leaf(c) {
+            let text = g.leaf_text(c).expect("leaf has text");
+            let piece = |a: usize, b: usize| -> Option<Item> {
+                if a >= b {
+                    return None;
+                }
+                let lo = a.max(cs) - cs;
+                let hi = b.min(ce) - cs;
+                if lo >= hi {
+                    return None;
+                }
+                (!text[lo..hi].chars().all(char::is_whitespace)).then_some(Item::Text)
+            };
+            if let Some(i) = piece(cs, start.min(ce)) {
+                before.push(i);
+            }
+            if let Some(i) = piece(start.max(cs), end.min(ce)) {
+                inside.push(i);
+            }
+            if let Some(i) = piece(end.max(cs), ce) {
+                after.push(i);
+            }
+            continue;
+        }
+        let Some(item) = item else { continue };
+        // Empty children (milestones, cs == ce) at the boundaries fall into
+        // the before/after arms via the same comparisons.
+        if ce <= start {
+            before.push(item);
+        } else if cs >= end {
+            after.push(item);
+        } else if start <= cs && ce <= end {
+            inside.push(item);
+        } else {
+            return Verdict {
+                ok: false,
+                reason: Some(format!(
+                    "range {start}..{end} would cross <{}> ({cs}..{ce}) in the same hierarchy",
+                    g.name(c).map(|q| q.local.clone()).unwrap_or_default()
+                )),
+            };
+        }
+    }
+
+    // The new element must accept the covered items...
+    let inner = engine.check_sequence(tag, &inside);
+    if !inner.ok {
+        return Verdict {
+            ok: false,
+            reason: Some(format!(
+                "<{tag}> cannot hold the selected content: {}",
+                inner.reason.unwrap_or_default()
+            )),
+        };
+    }
+    // ...and the host must accept its new sequence.
+    let mut new_seq = before;
+    new_seq.push(Item::Elem(tag.to_string()));
+    new_seq.extend(after);
+    let outer = engine.check_sequence(&host_name, &new_seq);
+    if !outer.ok {
+        return Verdict {
+            ok: false,
+            reason: Some(format!(
+                "<{tag}> not allowed inside <{host_name}> here: {}",
+                outer.reason.unwrap_or_default()
+            )),
+        };
+    }
+    Verdict { ok: true, reason: None }
+}
+
+/// The deepest element of `h` whose byte range covers `start..end` (root as
+/// fallback).
+fn host_by_chars(g: &Goddag, h: HierarchyId, start: usize, end: usize) -> NodeId {
+    let mut cur = g.root();
+    'descend: loop {
+        for &c in g.children_in(cur, h) {
+            if !g.is_element(c) {
+                continue;
+            }
+            let (cs, ce) = g.char_range(c);
+            let span = g.span(c);
+            if !Span::is_empty(span) && cs <= start && end <= ce {
+                cur = c;
+                continue 'descend;
+            }
+        }
+        return cur;
+    }
+}
+
+/// All DTD elements that could legally wrap `start..end` in hierarchy `h` —
+/// xTagger's tag suggestion list, sorted by name.
+pub fn suggest_tags(
+    engine: &PrevalidEngine,
+    g: &Goddag,
+    h: HierarchyId,
+    start: usize,
+    end: usize,
+) -> Vec<String> {
+    let mut out: Vec<String> = engine
+        .dtd()
+        .elements
+        .keys()
+        .filter(|tag| check_insertion(engine, g, h, tag, start, end).ok)
+        .cloned()
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlcore::dtd::parse_dtd;
+    use xmlcore::QName;
+
+    const DTD: &str = "
+        <!ELEMENT r (page+)>
+        <!ELEMENT page (line+)>
+        <!ELEMENT line (#PCDATA | w)*>
+        <!ELEMENT w (#PCDATA)>
+    ";
+
+    fn setup() -> (PrevalidEngine, Goddag, HierarchyId) {
+        let engine = PrevalidEngine::new(parse_dtd(DTD).unwrap());
+        let mut b = goddag::GoddagBuilder::new(QName::parse("r").unwrap());
+        b.content("swa hwa swe");
+        let phys = b.hierarchy("phys");
+        b.range(phys, "page", vec![], 0, 11).unwrap();
+        b.range(phys, "line", vec![], 0, 7).unwrap();
+        b.range(phys, "line", vec![], 8, 11).unwrap();
+        let g = b.finish().unwrap();
+        (engine, g, phys)
+    }
+
+    #[test]
+    fn complete_hierarchy_is_potentially_valid() {
+        let (engine, g, h) = setup();
+        let report = check_hierarchy(&engine, &g, h);
+        assert!(report.is_potentially_valid(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn partial_hierarchy_is_potentially_valid() {
+        // Only one line, no page yet: lines at root level are not directly
+        // allowed (r needs page+), but wrapping the lines into a page fixes
+        // it -> potentially valid.
+        let engine = PrevalidEngine::new(parse_dtd(DTD).unwrap());
+        let mut b = goddag::GoddagBuilder::new(QName::parse("r").unwrap());
+        b.content("swa hwa");
+        let phys = b.hierarchy("phys");
+        b.range(phys, "line", vec![], 0, 7).unwrap();
+        let g = b.finish().unwrap();
+        let report = check_hierarchy(&engine, &g, phys);
+        assert!(report.is_potentially_valid(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn dead_end_reported() {
+        // A w directly under r can never be fixed: r needs page+, and w
+        // cannot be wrapped into page (page holds line+, line allows w...
+        // wait: w wraps into line wraps into page). Use a DTD without that
+        // chain instead.
+        let dtd = "<!ELEMENT r (page+)> <!ELEMENT page (pb)> <!ELEMENT pb EMPTY> <!ELEMENT w (#PCDATA)>";
+        let engine = PrevalidEngine::new(parse_dtd(dtd).unwrap());
+        let mut b = goddag::GoddagBuilder::new(QName::parse("r").unwrap());
+        b.content("x");
+        let h = b.hierarchy("phys");
+        b.range(h, "w", vec![], 0, 1).unwrap();
+        let g = b.finish().unwrap();
+        let report = check_hierarchy(&engine, &g, h);
+        assert!(!report.is_potentially_valid());
+    }
+
+    #[test]
+    fn check_insertion_accepts_legal_wrap() {
+        let (engine, g, h) = setup();
+        // Wrap "swa" (0..3) in <w> inside line 1.
+        let v = check_insertion(&engine, &g, h, "w", 0, 3);
+        assert!(v.ok, "{:?}", v.reason);
+    }
+
+    #[test]
+    fn check_insertion_rejects_crossing() {
+        let (engine, g, h) = setup();
+        // 4..9 crosses the line boundary at 7.
+        let v = check_insertion(&engine, &g, h, "w", 4, 9);
+        assert!(!v.ok);
+        assert!(v.reason.unwrap().contains("cross"));
+    }
+
+    #[test]
+    fn check_insertion_rejects_bad_content() {
+        let (engine, g, h) = setup();
+        // A <page> inside a line: line's mixed content doesn't allow page,
+        // and no wrapping chain fixes page-under-line.
+        let v = check_insertion(&engine, &g, h, "page", 1, 2);
+        assert!(!v.ok, "page inside line must be rejected");
+    }
+
+    #[test]
+    fn check_insertion_rejects_undeclared() {
+        let (engine, g, h) = setup();
+        assert!(!check_insertion(&engine, &g, h, "ghost", 0, 3).ok);
+    }
+
+    #[test]
+    fn check_insertion_out_of_bounds() {
+        let (engine, g, h) = setup();
+        assert!(!check_insertion(&engine, &g, h, "w", 0, 999).ok);
+    }
+
+    #[test]
+    fn empty_range_insertion() {
+        let (engine, g, h) = setup();
+        // An empty <w/> between words — w is insertable (mixed content).
+        let v = check_insertion(&engine, &g, h, "w", 4, 4);
+        assert!(v.ok, "{:?}", v.reason);
+    }
+
+    #[test]
+    fn suggest_tags_lists_legal_wraps() {
+        let (engine, g, h) = setup();
+        // Over "swa" inside line 1: w fits; nothing else fits there.
+        let tags = suggest_tags(&engine, &g, h, 0, 3);
+        assert_eq!(tags, ["w"]);
+        // Over a whole line (line can wrap into page? page needs line+ and
+        // a page around line 1 nests under page... host of 0..7 is line!
+        // The line itself covers 0..7; host is the existing <line>, so
+        // wrapping 0..7 in another line or w stays inside it.
+        let tags = suggest_tags(&engine, &g, h, 0, 7);
+        assert!(tags.contains(&"w".to_string()), "{tags:?}");
+    }
+
+    #[test]
+    fn insertion_check_does_not_mutate() {
+        let (engine, g, h) = setup();
+        let before = g.stats();
+        let _ = check_insertion(&engine, &g, h, "w", 0, 3);
+        let _ = suggest_tags(&engine, &g, h, 0, 3);
+        assert_eq!(g.stats(), before);
+    }
+
+    #[test]
+    fn partial_leaf_coverage_splits_text() {
+        let (engine, g, h) = setup();
+        // Wrap "wa h" (1..5) — splits the leaf; line keeps text on both
+        // sides, all still valid mixed content.
+        let v = check_insertion(&engine, &g, h, "w", 1, 5);
+        assert!(v.ok, "{:?}", v.reason);
+    }
+}

@@ -1,0 +1,32 @@
+//! # prevalid — potential validity checking
+//!
+//! The prevalidation engine behind xTagger (paper §4: "prevalidation
+//! checking, which detects encodings that cannot be extended to valid XML
+//! with further markup insertions", after Iacob, Dekhtyar & Dekhtyar,
+//! WebDB 2004).
+//!
+//! A document being authored is almost never valid *yet*; the useful
+//! question is whether it can still *become* valid. The engine decides this
+//! per element-content sequence using the Glushkov automata of the DTD's
+//! content models, an *insertable elements* fixpoint, and a CYK-style
+//! dynamic program for markup wrapping. On top of that sit the GODDAG-level
+//! services: whole-hierarchy checks, single-insertion prevalidation, and
+//! tag suggestions for a selection.
+//!
+//! ```
+//! use prevalid::{PrevalidEngine, Item};
+//! use xmlcore::dtd::parse_dtd;
+//!
+//! let dtd = parse_dtd("<!ELEMENT page (head, line+)> \
+//!                      <!ELEMENT head (#PCDATA)> <!ELEMENT line (#PCDATA)>").unwrap();
+//! let engine = PrevalidEngine::new(dtd);
+//! // A lone <line> is not valid, but inserting a <head> fixes it:
+//! assert!(engine.check_sequence("page", &[Item::elem("line")]).ok);
+//! assert!(!engine.check_sequence_strict("page", &[Item::elem("line")]).ok);
+//! ```
+
+mod engine;
+mod goddag_check;
+
+pub use engine::{Item, PrevalidEngine, Verdict};
+pub use goddag_check::{check_hierarchy, check_insertion, suggest_tags, HierarchyReport};

@@ -1,0 +1,88 @@
+//! SACX error types.
+
+use std::fmt;
+
+/// Errors raised while parsing or exporting concurrent XML.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SacxError {
+    /// Underlying XML parse error (with the hierarchy it came from).
+    Xml { hierarchy: String, source: xmlcore::XmlError },
+    /// Underlying GODDAG construction error.
+    Goddag(goddag::GoddagError),
+    /// Distributed documents must share the same root element name.
+    RootMismatch { expected: String, found: String, hierarchy: String },
+    /// Distributed documents must have byte-identical content; the first
+    /// divergence is reported.
+    ContentMismatch {
+        hierarchy: String,
+        /// Byte offset of the first divergence.
+        offset: usize,
+        /// A few bytes of context from the reference document.
+        expected: String,
+        /// A few bytes of context from the offending document.
+        found: String,
+    },
+    /// A fragmented element's pieces could not be merged (non-adjacent
+    /// fragments, missing join id, ...).
+    Fragmentation(String),
+    /// Milestones could not be paired (unmatched start/end, crossing pairs
+    /// with the same id, ...).
+    Milestone(String),
+    /// Stand-off syntax error.
+    Standoff { line: usize, detail: String },
+    /// No documents supplied.
+    Empty,
+}
+
+impl fmt::Display for SacxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SacxError::Xml { hierarchy, source } => {
+                write!(f, "XML error in hierarchy {hierarchy:?}: {source}")
+            }
+            SacxError::Goddag(e) => write!(f, "GODDAG error: {e}"),
+            SacxError::RootMismatch { expected, found, hierarchy } => write!(
+                f,
+                "root element mismatch: hierarchy {hierarchy:?} has <{found}>, expected <{expected}>"
+            ),
+            SacxError::ContentMismatch { hierarchy, offset, expected, found } => write!(
+                f,
+                "content mismatch in hierarchy {hierarchy:?} at byte {offset}: expected {expected:?}, found {found:?}"
+            ),
+            SacxError::Fragmentation(s) => write!(f, "fragmentation error: {s}"),
+            SacxError::Milestone(s) => write!(f, "milestone error: {s}"),
+            SacxError::Standoff { line, detail } => {
+                write!(f, "stand-off format error at line {line}: {detail}")
+            }
+            SacxError::Empty => write!(f, "no documents supplied"),
+        }
+    }
+}
+
+impl std::error::Error for SacxError {}
+
+impl From<goddag::GoddagError> for SacxError {
+    fn from(e: goddag::GoddagError) -> SacxError {
+        SacxError::Goddag(e)
+    }
+}
+
+/// Result alias for SACX operations.
+pub type Result<T> = std::result::Result<T, SacxError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_content_mismatch() {
+        let e = SacxError::ContentMismatch {
+            hierarchy: "ling".into(),
+            offset: 42,
+            expected: "abc".into(),
+            found: "abd".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("ling"), "{s}");
+    }
+}

@@ -1,0 +1,292 @@
+//! The merged SAX-for-concurrent-XML event stream (SACX proper).
+//!
+//! `merge_events` interleaves the markup events of all hierarchies into a
+//! single stream ordered by content offset, with deterministic tie-breaking
+//! (ends before empties before starts; outer-before-inner for starts,
+//! inner-before-outer for ends). Streaming consumers — validators, filters,
+//! progress meters — can subscribe via [`SacxHandler`] without materializing
+//! a GODDAG; the GODDAG builder itself is just one consumer of the same
+//! ordering rules.
+
+use crate::extract::ExtractedDoc;
+use goddag::HierarchyId;
+use xmlcore::{Attribute, QName};
+
+/// One event in the merged concurrent-markup stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SacxEvent {
+    /// An element of `hierarchy` opens at `offset`.
+    Start { hierarchy: HierarchyId, name: QName, attrs: Vec<Attribute>, offset: usize },
+    /// An element of `hierarchy` closes at `offset`.
+    End { hierarchy: HierarchyId, name: QName, offset: usize },
+    /// An empty element (milestone) of `hierarchy` at `offset`.
+    Empty { hierarchy: HierarchyId, name: QName, attrs: Vec<Attribute>, offset: usize },
+    /// The content bytes `start..end` (uninterrupted by any markup event).
+    Text { start: usize, end: usize },
+}
+
+impl SacxEvent {
+    /// The content offset the event fires at.
+    pub fn offset(&self) -> usize {
+        match self {
+            SacxEvent::Start { offset, .. }
+            | SacxEvent::End { offset, .. }
+            | SacxEvent::Empty { offset, .. } => *offset,
+            SacxEvent::Text { start, .. } => *start,
+        }
+    }
+}
+
+/// Callback interface for streaming consumption.
+pub trait SacxHandler {
+    /// Start of an element in `hierarchy`.
+    fn start_element(&mut self, hierarchy: HierarchyId, name: &QName, attrs: &[Attribute]);
+    /// End of an element in `hierarchy`.
+    fn end_element(&mut self, hierarchy: HierarchyId, name: &QName);
+    /// An empty element in `hierarchy`.
+    fn empty_element(&mut self, hierarchy: HierarchyId, name: &QName, attrs: &[Attribute]) {
+        self.start_element(hierarchy, name, attrs);
+        self.end_element(hierarchy, name);
+    }
+    /// A run of shared text content.
+    fn characters(&mut self, text: &str);
+}
+
+/// Merge the extracted documents (one per hierarchy, in hierarchy-id order)
+/// into a single event stream.
+///
+/// Tie-breaking at equal offsets follows the GODDAG builder exactly:
+/// 1. `End` events (inner ranges first);
+/// 2. `Empty` events (document order);
+/// 3. `Start` events (outer ranges first);
+///
+/// and among equal keys, hierarchy id then extraction order.
+pub fn merge_events(docs: &[ExtractedDoc]) -> Vec<SacxEvent> {
+    #[derive(Clone)]
+    struct Raw {
+        offset: usize,
+        class: u8, // 0 = end, 1 = empty, 2 = start
+        // Sub-keys resolved below.
+        other_end: usize,
+        hierarchy: u16,
+        order: usize,
+        ev: SacxEvent,
+    }
+    let mut raw: Vec<Raw> = Vec::new();
+    for (h, doc) in docs.iter().enumerate() {
+        let hid = HierarchyId(h as u16);
+        for (i, r) in doc.ranges.iter().enumerate() {
+            if r.empty || r.start == r.end {
+                raw.push(Raw {
+                    offset: r.start,
+                    class: 1,
+                    other_end: r.start,
+                    hierarchy: h as u16,
+                    order: i,
+                    ev: SacxEvent::Empty {
+                        hierarchy: hid,
+                        name: r.name.clone(),
+                        attrs: r.attrs.clone(),
+                        offset: r.start,
+                    },
+                });
+            } else {
+                raw.push(Raw {
+                    offset: r.start,
+                    class: 2,
+                    other_end: r.end,
+                    hierarchy: h as u16,
+                    order: i,
+                    ev: SacxEvent::Start {
+                        hierarchy: hid,
+                        name: r.name.clone(),
+                        attrs: r.attrs.clone(),
+                        offset: r.start,
+                    },
+                });
+                raw.push(Raw {
+                    offset: r.end,
+                    class: 0,
+                    other_end: r.start,
+                    hierarchy: h as u16,
+                    order: i,
+                    ev: SacxEvent::End { hierarchy: hid, name: r.name.clone(), offset: r.end },
+                });
+            }
+        }
+    }
+    raw.sort_by(|a, b| {
+        (a.offset, a.class)
+            .cmp(&(b.offset, b.class))
+            .then_with(|| match a.class {
+                // Ends: inner first — larger start offset, then later order.
+                0 => b
+                    .other_end
+                    .cmp(&a.other_end)
+                    .then(a.hierarchy.cmp(&b.hierarchy))
+                    .then(b.order.cmp(&a.order)),
+                // Empties: hierarchy, then document order.
+                1 => a.hierarchy.cmp(&b.hierarchy).then(a.order.cmp(&b.order)),
+                // Starts: outer first — larger end offset, then earlier order.
+                _ => b
+                    .other_end
+                    .cmp(&a.other_end)
+                    .then(a.hierarchy.cmp(&b.hierarchy))
+                    .then(a.order.cmp(&b.order)),
+            })
+    });
+
+    // Interleave text segments between event offsets.
+    let content_len = docs.first().map_or(0, |d| d.content.len());
+    let mut out: Vec<SacxEvent> = Vec::with_capacity(raw.len() * 2);
+    let mut cursor = 0usize;
+    for r in raw {
+        if r.offset > cursor {
+            out.push(SacxEvent::Text { start: cursor, end: r.offset });
+            cursor = r.offset;
+        }
+        out.push(r.ev);
+    }
+    if cursor < content_len {
+        out.push(SacxEvent::Text { start: cursor, end: content_len });
+    }
+    out
+}
+
+/// Drive a handler over a merged stream.
+pub fn drive<H: SacxHandler>(events: &[SacxEvent], content: &str, handler: &mut H) {
+    for ev in events {
+        match ev {
+            SacxEvent::Start { hierarchy, name, attrs, .. } => {
+                handler.start_element(*hierarchy, name, attrs)
+            }
+            SacxEvent::End { hierarchy, name, .. } => handler.end_element(*hierarchy, name),
+            SacxEvent::Empty { hierarchy, name, attrs, .. } => {
+                handler.empty_element(*hierarchy, name, attrs)
+            }
+            SacxEvent::Text { start, end } => handler.characters(&content[*start..*end]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+
+    fn merged(docs: &[&str]) -> (Vec<SacxEvent>, String) {
+        let extracted: Vec<ExtractedDoc> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| extract(d, &format!("h{i}")).unwrap())
+            .collect();
+        let content = extracted[0].content.clone();
+        (merge_events(&extracted), content)
+    }
+
+    #[test]
+    fn single_doc_stream_order() {
+        let (evs, _) = merged(&["<r><a>xy</a>z</r>"]);
+        let kinds: Vec<&str> = evs
+            .iter()
+            .map(|e| match e {
+                SacxEvent::Start { .. } => "S",
+                SacxEvent::End { .. } => "E",
+                SacxEvent::Empty { .. } => "M",
+                SacxEvent::Text { .. } => "T",
+            })
+            .collect();
+        assert_eq!(kinds, ["S", "T", "E", "T"]);
+    }
+
+    #[test]
+    fn overlap_interleaves_by_offset() {
+        // h0: <a> covers 0..4; h1: <b> covers 2..6 of "abcdef".
+        let (evs, _) = merged(&["<r><a>abcd</a>ef</r>", "<r>ab<b>cdef</b></r>"]);
+        let trace: Vec<String> = evs
+            .iter()
+            .map(|e| match e {
+                SacxEvent::Start { name, offset, .. } => format!("S{name}@{offset}"),
+                SacxEvent::End { name, offset, .. } => format!("E{name}@{offset}"),
+                SacxEvent::Empty { name, offset, .. } => format!("M{name}@{offset}"),
+                SacxEvent::Text { start, end } => format!("T{start}..{end}"),
+            })
+            .collect();
+        assert_eq!(
+            trace,
+            ["Sa@0", "T0..2", "Sb@2", "T2..4", "Ea@4", "T4..6", "Eb@6"]
+        );
+    }
+
+    #[test]
+    fn ties_ends_before_starts() {
+        // a ends exactly where b starts.
+        let (evs, _) = merged(&["<r><a>ab</a><b>cd</b></r>"]);
+        let pos_ea = evs.iter().position(|e| matches!(e, SacxEvent::End { name, .. } if name.local == "a")).unwrap();
+        let pos_sb = evs.iter().position(|e| matches!(e, SacxEvent::Start { name, .. } if name.local == "b")).unwrap();
+        assert!(pos_ea < pos_sb);
+    }
+
+    #[test]
+    fn outer_starts_first_inner_ends_first() {
+        let (evs, _) = merged(&["<r><o><i>x</i>y</o></r>"]);
+        let starts: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e {
+                SacxEvent::Start { name, .. } => Some(name.local.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, ["o", "i"]);
+        // Co-located end at 1 for i; o ends later — check i's end comes first.
+        let ends: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e {
+                SacxEvent::End { name, .. } => Some(name.local.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends, ["i", "o"]);
+    }
+
+    #[test]
+    fn empty_elements_between_ends_and_starts() {
+        let (evs, _) = merged(&["<r><a>ab</a><pb/><b>cd</b></r>"]);
+        let trace: Vec<&str> = evs
+            .iter()
+            .map(|e| match e {
+                SacxEvent::Start { .. } => "S",
+                SacxEvent::End { .. } => "E",
+                SacxEvent::Empty { .. } => "M",
+                SacxEvent::Text { .. } => "T",
+            })
+            .collect();
+        assert_eq!(trace, ["S", "T", "E", "M", "S", "T", "E"]);
+    }
+
+    #[test]
+    fn handler_sees_full_text() {
+        struct Collect {
+            text: String,
+            starts: usize,
+            ends: usize,
+        }
+        impl SacxHandler for Collect {
+            fn start_element(&mut self, _: HierarchyId, _: &QName, _: &[Attribute]) {
+                self.starts += 1;
+            }
+            fn end_element(&mut self, _: HierarchyId, _: &QName) {
+                self.ends += 1;
+            }
+            fn characters(&mut self, text: &str) {
+                self.text.push_str(text);
+            }
+        }
+        let (evs, content) = merged(&["<r><a>abcd</a>ef</r>", "<r>ab<b>cdef</b></r>"]);
+        let mut h = Collect { text: String::new(), starts: 0, ends: 0 };
+        drive(&evs, &content, &mut h);
+        assert_eq!(h.text, "abcdef");
+        assert_eq!(h.starts, 2);
+        assert_eq!(h.ends, 2);
+    }
+}

@@ -1,0 +1,505 @@
+//! The fragmentation representation (TEI Guidelines solution 1, paper §2):
+//! a *single* well-formed document holding all hierarchies, where any element
+//! that would cross another is split into fragments glued together by a
+//! shared id attribute (`cx:join`).
+//!
+//! * **Export**: a two-pass sweep over all hierarchies' ranges. Pass 1
+//!   simulates the tag stack to discover which elements must fragment; pass 2
+//!   emits the document, force-closing and reopening crossing elements with
+//!   `cx:join` ids.
+//! * **Import**: fragments with the same `cx:join` id merge back into one
+//!   logical element; hierarchy membership comes from the name prefix
+//!   (`phys:line` → hierarchy `phys`, unprefixed → the default hierarchy).
+//!
+//! Round-trip: `import(export(g))` reproduces `g`'s elements, spans and
+//! attributes exactly (tested below and in the property suite).
+
+use crate::error::{Result, SacxError};
+use crate::extract::{extract, ExtractedRange};
+use crate::prefix::{exported_name, hierarchy_registry, split_prefix};
+use goddag::{Goddag, GoddagBuilder, HierarchyId, RangeSpec};
+use std::collections::{BTreeMap, HashSet};
+use xmlcore::{Attribute, QName, Writer};
+
+/// The fragment-glue attribute.
+pub const CX_JOIN: &str = "cx:join";
+
+/// Options for the fragmentation driver.
+#[derive(Debug, Clone)]
+pub struct FragmentationOptions {
+    /// Hierarchy name used for unprefixed elements.
+    pub default_hierarchy: String,
+}
+
+impl Default for FragmentationOptions {
+    fn default() -> FragmentationOptions {
+        FragmentationOptions { default_hierarchy: "main".into() }
+    }
+}
+
+/// A logical element gathered from the GODDAG for export.
+struct Logical {
+    name: QName,
+    attrs: Vec<Attribute>,
+    start: usize,
+    end: usize,
+    empty: bool,
+}
+
+/// Export a GODDAG as a single fragmented document.
+pub fn export_fragmentation(g: &Goddag, opts: &FragmentationOptions) -> Result<String> {
+    let elems = collect_logical(g, opts);
+    let events = build_events(&elems);
+    // Pass 1: find which elements fragment.
+    let fragmented = sweep(&elems, &events, g, None)?;
+    // Pass 2: emit.
+    let mut writer = Writer::new();
+    writer.start_with(
+        g.name(g.root()).expect("root is named"),
+        g.attrs(g.root()),
+    );
+    let mut emit = Emit { writer, join_seq: 0, join_ids: BTreeMap::new(), fragmented };
+    sweep(&elems, &events, g, Some(&mut emit))?;
+    emit.writer.end().map_err(wrap_xml)?;
+    emit.writer.finish().map_err(wrap_xml)
+}
+
+fn wrap_xml(e: xmlcore::XmlError) -> SacxError {
+    SacxError::Fragmentation(e.to_string())
+}
+
+fn collect_logical(g: &Goddag, opts: &FragmentationOptions) -> Vec<Logical> {
+    let mut elems: Vec<(NodeOrd, Logical)> = Vec::new();
+    for h in g.hierarchy_ids() {
+        let hname = &g.hierarchy(h).expect("live id").name;
+        for e in g.elements_in(h) {
+            let (start, end) = g.char_range(e);
+            let name = exported_name(
+                g.name(e).expect("elements are named"),
+                hname,
+                &opts.default_hierarchy,
+            );
+            elems.push((
+                g.doc_order_key(e),
+                Logical {
+                    name,
+                    attrs: g.attrs(e).to_vec(),
+                    start,
+                    end,
+                    empty: g.span(e).is_empty(),
+                },
+            ));
+        }
+    }
+    elems.sort_by_key(|(k, _)| *k);
+    elems.into_iter().map(|(_, l)| l).collect()
+}
+
+type NodeOrd = (u32, i64, u8, u16, u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvClass {
+    End = 0,
+    Empty = 1,
+    Start = 2,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    offset: usize,
+    class: EvClass,
+    elem: usize,
+}
+
+fn build_events(elems: &[Logical]) -> Vec<Ev> {
+    let mut events = Vec::with_capacity(elems.len() * 2);
+    for (i, l) in elems.iter().enumerate() {
+        if l.empty || l.start == l.end {
+            events.push(Ev { offset: l.start, class: EvClass::Empty, elem: i });
+        } else {
+            events.push(Ev { offset: l.start, class: EvClass::Start, elem: i });
+            events.push(Ev { offset: l.end, class: EvClass::End, elem: i });
+        }
+    }
+    events.sort_by(|a, b| {
+        (a.offset, a.class).cmp(&(b.offset, b.class)).then_with(|| match a.class {
+            // Starts: outer first (larger end), then collection order.
+            EvClass::Start => elems[b.elem].end.cmp(&elems[a.elem].end).then(a.elem.cmp(&b.elem)),
+            // Ends: handled dynamically by the stack; static order is a hint.
+            EvClass::End => elems[b.elem].start.cmp(&elems[a.elem].start).then(b.elem.cmp(&a.elem)),
+            EvClass::Empty => a.elem.cmp(&b.elem),
+        })
+    });
+    events
+}
+
+struct Emit {
+    writer: Writer,
+    join_seq: usize,
+    join_ids: BTreeMap<usize, String>,
+    fragmented: HashSet<usize>,
+}
+
+impl Emit {
+    fn open(&mut self, elems: &[Logical], i: usize) {
+        let l = &elems[i];
+        let mut attrs = l.attrs.clone();
+        if self.fragmented.contains(&i) {
+            let id = self.join_ids.entry(i).or_insert_with(|| {
+                self.join_seq += 1;
+                format!("j{}", self.join_seq)
+            });
+            attrs.push(Attribute::new(CX_JOIN, id.clone()));
+        }
+        self.writer.start_with(&l.name, &attrs);
+    }
+
+    /// Reopen a continuation fragment: join id only, no original attributes
+    /// (they live on the first fragment).
+    fn reopen(&mut self, elems: &[Logical], i: usize) {
+        let l = &elems[i];
+        let id = self.join_ids.get(&i).expect("fragmented element has a join id").clone();
+        self.writer.start_with(&l.name, &[Attribute::new(CX_JOIN, id)]);
+    }
+}
+
+/// The shared sweep: with `emit == None` it only records which elements get
+/// force-closed (pass 1); with a writer it produces the document (pass 2,
+/// where `emit.fragmented` comes from pass 1).
+fn sweep(
+    elems: &[Logical],
+    events: &[Ev],
+    g: &Goddag,
+    mut emit: Option<&mut Emit>,
+) -> Result<HashSet<usize>> {
+    let content = g.content();
+    let mut fragmented: HashSet<usize> = HashSet::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut cursor = 0usize;
+    let mut i = 0usize;
+    while i < events.len() {
+        let offset = events[i].offset;
+        // Text up to this offset.
+        if offset > cursor {
+            if let Some(e) = emit.as_deref_mut() {
+                e.writer.text(&content[cursor..offset]);
+            }
+            cursor = offset;
+        }
+        // Gather all events at this offset.
+        let mut ends: HashSet<usize> = HashSet::new();
+        let mut empties: Vec<usize> = Vec::new();
+        let mut starts: Vec<usize> = Vec::new();
+        while i < events.len() && events[i].offset == offset {
+            match events[i].class {
+                EvClass::End => {
+                    ends.insert(events[i].elem);
+                }
+                EvClass::Empty => empties.push(events[i].elem),
+                EvClass::Start => starts.push(events[i].elem),
+            }
+            i += 1;
+        }
+        // Close ends, force-closing (fragmenting) anything in the way.
+        let mut reopen: Vec<usize> = Vec::new();
+        while !ends.is_empty() {
+            let top = *stack.last().ok_or_else(|| {
+                SacxError::Fragmentation("internal: end event with empty stack".into())
+            })?;
+            stack.pop();
+            if let Some(e) = emit.as_deref_mut() {
+                e.writer.end().map_err(wrap_xml)?;
+            }
+            if ends.remove(&top) {
+                // Real close.
+            } else {
+                // Forced close: `top` continues past this offset.
+                fragmented.insert(top);
+                reopen.push(top);
+            }
+        }
+        for &r in reopen.iter().rev() {
+            if let Some(e) = emit.as_deref_mut() {
+                e.reopen(elems, r);
+            }
+            stack.push(r);
+        }
+        // Empties.
+        for m in empties {
+            if let Some(e) = emit.as_deref_mut() {
+                let l = &elems[m];
+                e.writer.empty(&l.name, &l.attrs);
+            }
+        }
+        // Starts.
+        for s in starts {
+            if let Some(e) = emit.as_deref_mut() {
+                e.open(elems, s);
+            }
+            stack.push(s);
+        }
+    }
+    // Trailing text.
+    if cursor < content.len() {
+        if let Some(e) = emit {
+            e.writer.text(&content[cursor..]);
+        }
+    }
+    debug_assert!(stack.is_empty(), "all elements closed by their end events");
+    Ok(fragmented)
+}
+
+/// Import a fragmented document into a GODDAG.
+pub fn import_fragmentation(xml: &str, opts: &FragmentationOptions) -> Result<Goddag> {
+    let doc = extract(xml, "fragmentation")?;
+
+    // Merge fragments by join id; keep everything in start-tag order.
+    struct Pending {
+        order: usize,
+        name: QName,
+        attrs: Vec<Attribute>,
+        start: usize,
+        end: usize,
+        last_end: usize,
+    }
+    let mut merged: BTreeMap<String, Pending> = BTreeMap::new();
+    let mut plain: Vec<(usize, ExtractedRange)> = Vec::new();
+    for (order, r) in doc.ranges.iter().enumerate() {
+        let join = r.attrs.iter().find(|a| a.name.as_str() == CX_JOIN);
+        match join {
+            None => plain.push((order, r.clone())),
+            Some(j) => {
+                let id = j.value.clone();
+                match merged.get_mut(&id) {
+                    None => {
+                        let attrs: Vec<Attribute> = r
+                            .attrs
+                            .iter()
+                            .filter(|a| a.name.as_str() != CX_JOIN)
+                            .cloned()
+                            .collect();
+                        merged.insert(
+                            id,
+                            Pending {
+                                order,
+                                name: r.name.clone(),
+                                attrs,
+                                start: r.start,
+                                end: r.end,
+                                last_end: r.end,
+                            },
+                        );
+                    }
+                    Some(p) => {
+                        if p.name != r.name {
+                            return Err(SacxError::Fragmentation(format!(
+                                "fragments with join id {:?} have different names <{}> vs <{}>",
+                                j.value, p.name, r.name
+                            )));
+                        }
+                        if r.start < p.last_end {
+                            return Err(SacxError::Fragmentation(format!(
+                                "fragments with join id {:?} overlap (at byte {})",
+                                j.value, r.start
+                            )));
+                        }
+                        p.last_end = r.end;
+                        p.end = p.end.max(r.end);
+                    }
+                }
+            }
+        }
+    }
+
+    // Final logical ranges in original start order.
+    let mut logical: Vec<(usize, QName, Vec<Attribute>, usize, usize)> = Vec::new();
+    for (order, r) in plain {
+        logical.push((order, r.name, r.attrs, r.start, r.end));
+    }
+    for (_, p) in merged {
+        logical.push((p.order, p.name, p.attrs, p.start, p.end));
+    }
+    logical.sort_by_key(|(order, ..)| *order);
+
+    // Hierarchies from prefixes, in first-appearance order.
+    let prefixes: Vec<String> = logical
+        .iter()
+        .map(|(_, name, ..)| split_prefix(name, &opts.default_hierarchy).0)
+        .collect();
+    let registry = hierarchy_registry(&prefixes, &opts.default_hierarchy);
+
+    let mut b = GoddagBuilder::new(doc.root_name.clone());
+    b.root_attrs(doc.root_attrs.clone());
+    b.content(doc.content.clone());
+    let mut hids: BTreeMap<String, HierarchyId> = BTreeMap::new();
+    for name in &registry {
+        hids.insert(name.clone(), b.hierarchy(name.clone()));
+    }
+    for (_, name, attrs, start, end) in logical {
+        let (hname, local) = split_prefix(&name, &opts.default_hierarchy);
+        let h = hids[&hname];
+        b.range_spec(RangeSpec { hierarchy: h, name: QName::local(local), attrs, start, end });
+    }
+    Ok(b.finish()?)
+}
+
+/// Count the fragments a GODDAG would need in this representation — a cheap
+/// measure of "how overlapping" a document is (used by benches and examples).
+pub fn count_fragments(g: &Goddag, opts: &FragmentationOptions) -> Result<usize> {
+    let elems = collect_logical(g, opts);
+    let events = build_events(&elems);
+    let fragmented = sweep(&elems, &events, g, None)?;
+    Ok(fragmented.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::parse_distributed;
+    use goddag::check_invariants;
+
+    fn opts() -> FragmentationOptions {
+        FragmentationOptions::default()
+    }
+
+    fn sample() -> Goddag {
+        parse_distributed(&[
+            ("phys", "<r><line>swa hwa swe</line><line>nu sculon</line></r>"),
+            ("ling", "<r><w>swa</w> <w>hwa</w> <s><w>swenu</w> <w>sculon</w></s></r>"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn export_produces_wellformed_single_doc() {
+        let g = sample();
+        let xml = export_fragmentation(&g, &opts()).unwrap();
+        let dom = xmlcore::dom::Document::parse(&xml).unwrap();
+        assert_eq!(dom.text_content(dom.root()), g.content());
+    }
+
+    #[test]
+    fn crossing_elements_get_join_ids() {
+        let g = sample();
+        let xml = export_fragmentation(&g, &opts()).unwrap();
+        // The sentence <s> crosses the line boundary, so it (or the line)
+        // must appear fragmented.
+        assert!(xml.contains(CX_JOIN), "{xml}");
+        assert!(count_fragments(&g, &opts()).unwrap() >= 1);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = sample();
+        let xml = export_fragmentation(&g, &opts()).unwrap();
+        let g2 = import_fragmentation(&xml, &opts()).unwrap();
+        check_invariants(&g2).unwrap();
+        assert_eq!(g2.content(), g.content());
+        assert_eq!(g2.element_count(), g.element_count());
+        // Same spans per element name multiset.
+        let spans = |g: &Goddag| {
+            let mut v: Vec<(String, usize, usize)> = g
+                .elements()
+                .map(|e| {
+                    let (s, en) = g.char_range(e);
+                    (g.name(e).unwrap().local.clone(), s, en)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(spans(&g), spans(&g2));
+    }
+
+    #[test]
+    fn hierarchies_recovered_from_prefixes() {
+        let g = sample();
+        let xml = export_fragmentation(&g, &opts()).unwrap();
+        let g2 = import_fragmentation(&xml, &opts()).unwrap();
+        assert_eq!(g2.hierarchy_count(), g.hierarchy_count());
+        assert!(g2.hierarchy_by_name("phys").is_some());
+        assert!(g2.hierarchy_by_name("ling").is_some());
+    }
+
+    #[test]
+    fn attributes_survive_roundtrip() {
+        let g = parse_distributed(&[
+            ("phys", r#"<r><line n="1">ab cd</line></r>"#),
+            ("ling", r#"<r><w type="noun">ab</w> <s id="s1">cd</s></r>"#),
+        ])
+        .unwrap();
+        let xml = export_fragmentation(&g, &opts()).unwrap();
+        let g2 = import_fragmentation(&xml, &opts()).unwrap();
+        let line = g2.find_elements("line")[0];
+        assert_eq!(g2.attr(line, "n"), Some("1"));
+        let w = g2.find_elements("w")[0];
+        assert_eq!(g2.attr(w, "type"), Some("noun"));
+    }
+
+    #[test]
+    fn empty_elements_roundtrip() {
+        let g = parse_distributed(&[
+            ("phys", "<r>ab<pb n=\"2\"/>cd</r>"),
+            ("ling", "<r><w>abcd</w></r>"),
+        ])
+        .unwrap();
+        let xml = export_fragmentation(&g, &opts()).unwrap();
+        let g2 = import_fragmentation(&xml, &opts()).unwrap();
+        let pb = g2.find_elements("pb")[0];
+        assert!(g2.span(pb).is_empty());
+        assert_eq!(g2.attr(pb, "n"), Some("2"));
+    }
+
+    #[test]
+    fn no_overlap_no_fragments() {
+        let g = parse_distributed(&[
+            ("phys", "<r><line>ab</line><line>cd</line></r>"),
+            ("ling", "<r><w>ab</w><w>cd</w></r>"),
+        ])
+        .unwrap();
+        assert_eq!(count_fragments(&g, &opts()).unwrap(), 0);
+        let xml = export_fragmentation(&g, &opts()).unwrap();
+        assert!(!xml.contains(CX_JOIN));
+    }
+
+    #[test]
+    fn import_rejects_mismatched_fragment_names() {
+        let xml = r#"<r><a cx:join="j1">x</a><b cx:join="j1">y</b></r>"#;
+        assert!(matches!(
+            import_fragmentation(xml, &opts()),
+            Err(SacxError::Fragmentation(_))
+        ));
+    }
+
+    #[test]
+    fn import_rejects_overlapping_fragments() {
+        // Same join id but the "fragments" overlap — impossible from a real
+        // fragmentation, reject.
+        let xml = r#"<r><a cx:join="j1">xy</a></r>"#;
+        // Single fragment is fine; craft overlap via nesting instead:
+        let ok = import_fragmentation(xml, &opts());
+        assert!(ok.is_ok());
+        let bad = r#"<r><a cx:join="j1">x<a cx:join="j1">y</a></a></r>"#;
+        assert!(matches!(
+            import_fragmentation(bad, &opts()),
+            Err(SacxError::Fragmentation(_))
+        ));
+    }
+
+    #[test]
+    fn three_hierarchy_pairwise_overlap() {
+        let g = parse_distributed(&[
+            ("a", "<r><x>0123</x>45678</r>"),
+            ("b", "<r>01<y>2345</y>678</r>"),
+            ("c", "<r>0123<z>45</z>678</r>"),
+        ])
+        .unwrap();
+        let xml = export_fragmentation(&g, &opts()).unwrap();
+        let g2 = import_fragmentation(&xml, &opts()).unwrap();
+        assert_eq!(g2.element_count(), 3);
+        let x = g2.find_elements("x")[0];
+        let y = g2.find_elements("y")[0];
+        assert!(g2.span(x).overlaps(g2.span(y)));
+        check_invariants(&g2).unwrap();
+    }
+}

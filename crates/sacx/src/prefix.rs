@@ -1,0 +1,74 @@
+//! Hierarchy tagging via QName prefixes.
+//!
+//! Single-document representations (fragmentation, milestones) need to say
+//! which hierarchy each element belongs to. The convention — also usable
+//! with real namespace declarations — is: the element's prefix names its
+//! hierarchy (`phys:line` → hierarchy `phys`), and unprefixed elements belong
+//! to the configured default hierarchy.
+
+use xmlcore::QName;
+
+/// Split an element name into `(hierarchy name, local name)`.
+pub fn split_prefix(name: &QName, default_hierarchy: &str) -> (String, String) {
+    match &name.prefix {
+        Some(p) => (p.clone(), name.local.clone()),
+        None => (default_hierarchy.to_string(), name.local.clone()),
+    }
+}
+
+/// The exported element name for an element whose hierarchy is `hierarchy`:
+/// unprefixed when it belongs to the default hierarchy, `hierarchy:local`
+/// otherwise. Any original prefix is replaced by the hierarchy name.
+pub fn exported_name(name: &QName, hierarchy: &str, default_hierarchy: &str) -> QName {
+    if hierarchy == default_hierarchy {
+        QName::local(name.local.clone())
+    } else {
+        QName::prefixed(hierarchy, name.local.clone())
+    }
+}
+
+/// Hierarchy names in first-appearance order, with the default hierarchy
+/// included (first) iff it is actually used.
+pub fn hierarchy_registry(prefixes: &[String], default_hierarchy: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    if prefixes.iter().any(|p| p == default_hierarchy) {
+        out.push(default_hierarchy.to_string());
+    }
+    for p in prefixes {
+        if !out.contains(p) {
+            out.push(p.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_with_and_without_prefix() {
+        let q = QName::parse("phys:line").unwrap();
+        assert_eq!(split_prefix(&q, "main"), ("phys".into(), "line".into()));
+        let q = QName::parse("w").unwrap();
+        assert_eq!(split_prefix(&q, "main"), ("main".into(), "w".into()));
+    }
+
+    #[test]
+    fn exported_name_prefixes_non_default() {
+        let q = QName::parse("line").unwrap();
+        assert_eq!(exported_name(&q, "phys", "main").to_string(), "phys:line");
+        assert_eq!(exported_name(&q, "main", "main").to_string(), "line");
+        // An original prefix is replaced by the hierarchy name.
+        let q = QName::parse("old:line").unwrap();
+        assert_eq!(exported_name(&q, "phys", "main").to_string(), "phys:line");
+    }
+
+    #[test]
+    fn registry_order_and_default() {
+        let prefixes = vec!["phys".to_string(), "main".into(), "ling".into(), "phys".into()];
+        assert_eq!(hierarchy_registry(&prefixes, "main"), ["main", "phys", "ling"]);
+        let no_default = vec!["phys".to_string(), "ling".into()];
+        assert_eq!(hierarchy_registry(&no_default, "main"), ["phys", "ling"]);
+    }
+}

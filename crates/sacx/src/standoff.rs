@@ -1,0 +1,466 @@
+//! Stand-off annotation: the representation that separates content from
+//! markup entirely — a base text plus `(hierarchy, tag, start, end)` records.
+//!
+//! This is the most direct surface form of the GODDAG (ranges *are* the
+//! model) and the interchange format used by annotation pipelines. The
+//! serialized form is a simple line-oriented text format:
+//!
+//! ```text
+//! #cxml-standoff v1
+//! root r id=ms1
+//! hierarchy phys
+//! hierarchy ling
+//! content 18
+//! one two three four
+//! annot 0 line 0 7 n=1
+//! annot 1 w 0 3
+//! ```
+//!
+//! Attribute values are percent-encoded (`%xx`) so they survive whitespace
+//! and newlines. The in-memory types also derive `serde` traits for use with
+//! any serde serializer.
+
+use crate::error::{Result, SacxError};
+use goddag::{Goddag, GoddagBuilder, HierarchyId, RangeSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use xmlcore::{Attribute, QName};
+
+/// One stand-off annotation record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// Index into [`StandoffDoc::hierarchies`].
+    pub hierarchy: u16,
+    /// Element name (local).
+    pub tag: String,
+    /// Content byte range (empty when `start == end`).
+    pub start: usize,
+    /// End offset (exclusive).
+    pub end: usize,
+    /// `(name, value)` attribute pairs.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// A complete stand-off document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StandoffDoc {
+    /// Shared root element name.
+    pub root: String,
+    /// Root attributes.
+    pub root_attrs: Vec<(String, String)>,
+    /// Hierarchy names.
+    pub hierarchies: Vec<String>,
+    /// The base text.
+    pub content: String,
+    /// Annotations in document order (outer-first for equal spans).
+    pub annotations: Vec<Annotation>,
+}
+
+fn enc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'%' | b'\n' | b'\r' | b' ' | b'=' | 0..=0x1f => {
+                let _ = write!(out, "%{b:02x}");
+            }
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+fn dec(s: &str, line: usize) -> Result<String> {
+    let mut bytes: Vec<u8> = Vec::with_capacity(s.len());
+    let raw = s.as_bytes();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == b'%' {
+            let hex = raw.get(i + 1..i + 3).ok_or(SacxError::Standoff {
+                line,
+                detail: "truncated percent escape".into(),
+            })?;
+            let hex = std::str::from_utf8(hex).map_err(|_| SacxError::Standoff {
+                line,
+                detail: "invalid percent escape".into(),
+            })?;
+            let b = u8::from_str_radix(hex, 16).map_err(|_| SacxError::Standoff {
+                line,
+                detail: format!("invalid percent escape %{hex}"),
+            })?;
+            bytes.push(b);
+            i += 3;
+        } else {
+            bytes.push(raw[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(bytes).map_err(|_| SacxError::Standoff {
+        line,
+        detail: "escape does not decode to UTF-8".into(),
+    })
+}
+
+impl StandoffDoc {
+    /// Build the stand-off view of a GODDAG.
+    pub fn from_goddag(g: &Goddag) -> StandoffDoc {
+        let mut annotations: Vec<(goddag::NodeId, Annotation)> = Vec::new();
+        for h in g.hierarchy_ids() {
+            for e in g.elements_in(h) {
+                let (start, end) = g.char_range(e);
+                annotations.push((
+                    e,
+                    Annotation {
+                        hierarchy: h.0,
+                        tag: g.name(e).expect("named").local.clone(),
+                        start,
+                        end,
+                        attrs: g
+                            .attrs(e)
+                            .iter()
+                            .map(|a| (a.name.to_string(), a.value.clone()))
+                            .collect(),
+                    },
+                ));
+            }
+        }
+        annotations.sort_by_key(|(e, _)| g.doc_order_key(*e));
+        StandoffDoc {
+            root: g.name(g.root()).expect("root is named").to_string(),
+            root_attrs: g
+                .attrs(g.root())
+                .iter()
+                .map(|a| (a.name.to_string(), a.value.clone()))
+                .collect(),
+            hierarchies: g
+                .hierarchy_ids()
+                .map(|h| g.hierarchy(h).expect("live id").name.clone())
+                .collect(),
+            content: g.content(),
+            annotations: annotations.into_iter().map(|(_, a)| a).collect(),
+        }
+    }
+
+    /// Materialize the GODDAG.
+    pub fn to_goddag(&self) -> Result<Goddag> {
+        let root = QName::parse(&self.root).map_err(|e| SacxError::Standoff {
+            line: 0,
+            detail: format!("bad root name: {e}"),
+        })?;
+        let mut b = GoddagBuilder::new(root);
+        b.root_attrs(
+            self.root_attrs
+                .iter()
+                .map(|(n, v)| Attribute::new(n.as_str(), v.clone()))
+                .collect(),
+        );
+        b.content(self.content.clone());
+        let hids: Vec<HierarchyId> =
+            self.hierarchies.iter().map(|n| b.hierarchy(n.clone())).collect();
+        for a in &self.annotations {
+            let h = *hids.get(a.hierarchy as usize).ok_or(SacxError::Standoff {
+                line: 0,
+                detail: format!("annotation references unknown hierarchy {}", a.hierarchy),
+            })?;
+            let name = QName::parse(&a.tag).map_err(|e| SacxError::Standoff {
+                line: 0,
+                detail: format!("bad tag name {:?}: {e}", a.tag),
+            })?;
+            b.range_spec(RangeSpec {
+                hierarchy: h,
+                name,
+                attrs: a
+                    .attrs
+                    .iter()
+                    .map(|(n, v)| Attribute::new(n.as_str(), v.clone()))
+                    .collect(),
+                start: a.start,
+                end: a.end,
+            });
+        }
+        Ok(b.finish()?)
+    }
+
+    /// Serialize to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("#cxml-standoff v1\n");
+        let _ = write!(out, "root {}", enc(&self.root));
+        for (n, v) in &self.root_attrs {
+            let _ = write!(out, " {}={}", enc(n), enc(v));
+        }
+        out.push('\n');
+        for h in &self.hierarchies {
+            let _ = writeln!(out, "hierarchy {}", enc(h));
+        }
+        let _ = writeln!(out, "content {}", self.content.len());
+        out.push_str(&self.content);
+        out.push('\n');
+        for a in &self.annotations {
+            let _ = write!(out, "annot {} {} {} {}", a.hierarchy, enc(&a.tag), a.start, a.end);
+            for (n, v) in &a.attrs {
+                let _ = write!(out, " {}={}", enc(n), enc(v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the line-oriented text format.
+    pub fn parse_text(input: &str) -> Result<StandoffDoc> {
+        let mut rest = input;
+        let next_line = |rest: &mut &str| -> Option<String> {
+            if rest.is_empty() {
+                return None;
+            }
+            match rest.find('\n') {
+                Some(i) => {
+                    let l = rest[..i].to_string();
+                    *rest = &rest[i + 1..];
+                    Some(l)
+                }
+                None => {
+                    let l = rest.to_string();
+                    *rest = "";
+                    Some(l)
+                }
+            }
+        };
+
+        let header = next_line(&mut rest).ok_or(SacxError::Standoff {
+            line: 1,
+            detail: "empty input".into(),
+        })?;
+        if header.trim() != "#cxml-standoff v1" {
+            return Err(SacxError::Standoff { line: 1, detail: "bad magic line".into() });
+        }
+
+        let mut root: Option<String> = None;
+        let mut root_attrs: Vec<(String, String)> = Vec::new();
+        let mut hierarchies: Vec<String> = Vec::new();
+        let mut content: Option<String> = None;
+        let mut annotations: Vec<Annotation> = Vec::new();
+        let mut ln = 1usize;
+        while let Some(line) = next_line(&mut rest) {
+            ln += 1;
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split(' ');
+            match parts.next() {
+                Some("root") => {
+                    let name = parts.next().ok_or(SacxError::Standoff {
+                        line: ln,
+                        detail: "root needs a name".into(),
+                    })?;
+                    root = Some(dec(name, ln)?);
+                    for kv in parts {
+                        let (k, v) = kv.split_once('=').ok_or(SacxError::Standoff {
+                            line: ln,
+                            detail: format!("bad attribute {kv:?}"),
+                        })?;
+                        root_attrs.push((dec(k, ln)?, dec(v, ln)?));
+                    }
+                }
+                Some("hierarchy") => {
+                    let name = parts.next().ok_or(SacxError::Standoff {
+                        line: ln,
+                        detail: "hierarchy needs a name".into(),
+                    })?;
+                    hierarchies.push(dec(name, ln)?);
+                }
+                Some("content") => {
+                    let len: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(SacxError::Standoff {
+                            line: ln,
+                            detail: "content needs a byte length".into(),
+                        })?;
+                    if rest.len() < len {
+                        return Err(SacxError::Standoff {
+                            line: ln,
+                            detail: format!(
+                                "content length {len} exceeds remaining input {}",
+                                rest.len()
+                            ),
+                        });
+                    }
+                    if !rest.is_char_boundary(len) {
+                        return Err(SacxError::Standoff {
+                            line: ln,
+                            detail: "content length splits a UTF-8 char".into(),
+                        });
+                    }
+                    content = Some(rest[..len].to_string());
+                    rest = &rest[len..];
+                    // Consume the newline terminating the content block.
+                    if let Some(r) = rest.strip_prefix('\n') {
+                        rest = r;
+                    }
+                }
+                Some("annot") => {
+                    let h: u16 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(SacxError::Standoff {
+                            line: ln,
+                            detail: "annot needs a hierarchy index".into(),
+                        })?;
+                    let tag = dec(
+                        parts.next().ok_or(SacxError::Standoff {
+                            line: ln,
+                            detail: "annot needs a tag".into(),
+                        })?,
+                        ln,
+                    )?;
+                    let start: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(SacxError::Standoff {
+                            line: ln,
+                            detail: "annot needs a start offset".into(),
+                        })?;
+                    let end: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(SacxError::Standoff {
+                            line: ln,
+                            detail: "annot needs an end offset".into(),
+                        })?;
+                    let mut attrs = Vec::new();
+                    for kv in parts {
+                        if kv.is_empty() {
+                            continue;
+                        }
+                        let (k, v) = kv.split_once('=').ok_or(SacxError::Standoff {
+                            line: ln,
+                            detail: format!("bad attribute {kv:?}"),
+                        })?;
+                        attrs.push((dec(k, ln)?, dec(v, ln)?));
+                    }
+                    annotations.push(Annotation { hierarchy: h, tag, start, end, attrs });
+                }
+                Some(other) => {
+                    return Err(SacxError::Standoff {
+                        line: ln,
+                        detail: format!("unknown directive {other:?}"),
+                    })
+                }
+                None => {}
+            }
+        }
+        Ok(StandoffDoc {
+            root: root.ok_or(SacxError::Standoff { line: ln, detail: "missing root".into() })?,
+            root_attrs,
+            hierarchies,
+            content: content.ok_or(SacxError::Standoff {
+                line: ln,
+                detail: "missing content".into(),
+            })?,
+            annotations,
+        })
+    }
+}
+
+/// Convenience: GODDAG → stand-off text.
+pub fn export_standoff(g: &Goddag) -> String {
+    StandoffDoc::from_goddag(g).to_text()
+}
+
+/// Convenience: stand-off text → GODDAG.
+pub fn import_standoff(input: &str) -> Result<Goddag> {
+    StandoffDoc::parse_text(input)?.to_goddag()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::parse_distributed;
+    use goddag::check_invariants;
+
+    fn sample() -> Goddag {
+        parse_distributed(&[
+            ("phys", "<r><line n=\"1\">swa hwa swe</line><line n=\"2\">nu sculon</line></r>"),
+            ("ling", "<r><w>swa</w> <w>hwa</w> <s><w>swenu</w> <w>sculon</w></s></r>"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let text = export_standoff(&g);
+        let g2 = import_standoff(&text).unwrap();
+        check_invariants(&g2).unwrap();
+        assert_eq!(g2.content(), g.content());
+        assert_eq!(g2.element_count(), g.element_count());
+        assert_eq!(export_standoff(&g2), text);
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let g = sample();
+        let doc = StandoffDoc::from_goddag(&g);
+        assert_eq!(doc.hierarchies, ["phys", "ling"]);
+        assert_eq!(doc.annotations.len(), 7);
+        let g2 = doc.to_goddag().unwrap();
+        assert_eq!(g2.to_xml(goddag::HierarchyId(0)).unwrap(), g.to_xml(goddag::HierarchyId(0)).unwrap());
+    }
+
+    #[test]
+    fn escaping_attrs_and_names() {
+        let g = parse_distributed(&[(
+            "a",
+            "<r><w note=\"two words = tricky\nnewline\">x</w></r>",
+        )])
+        .unwrap();
+        let text = export_standoff(&g);
+        let g2 = import_standoff(&text).unwrap();
+        let w = g2.find_elements("w")[0];
+        assert_eq!(g2.attr(w, "note"), Some("two words = tricky\nnewline"));
+    }
+
+    #[test]
+    fn content_with_newlines_survives() {
+        let g = parse_distributed(&[("a", "<r>line one\nline two\n</r>")]).unwrap();
+        let text = export_standoff(&g);
+        let g2 = import_standoff(&text).unwrap();
+        assert_eq!(g2.content(), "line one\nline two\n");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            StandoffDoc::parse_text("not standoff"),
+            Err(SacxError::Standoff { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_content_rejected() {
+        let bad = "#cxml-standoff v1\nroot r\ncontent 100\nshort";
+        assert!(matches!(StandoffDoc::parse_text(bad), Err(SacxError::Standoff { .. })));
+    }
+
+    #[test]
+    fn unknown_hierarchy_index_rejected() {
+        let bad = "#cxml-standoff v1\nroot r\nhierarchy a\ncontent 2\nxy\nannot 5 w 0 1\n";
+        let doc = StandoffDoc::parse_text(bad).unwrap();
+        assert!(matches!(doc.to_goddag(), Err(SacxError::Standoff { .. })));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let bad = "#cxml-standoff v1\nroot r\nwat 1\ncontent 0\n\n";
+        assert!(matches!(StandoffDoc::parse_text(bad), Err(SacxError::Standoff { .. })));
+    }
+
+    #[test]
+    fn empty_document_roundtrip() {
+        let g = parse_distributed(&[("a", "<r/>")]).unwrap();
+        let text = export_standoff(&g);
+        let g2 = import_standoff(&text).unwrap();
+        assert_eq!(g2.content(), "");
+        assert_eq!(g2.element_count(), 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! A classic single-hierarchy DOM tree.
+//!
+//! This is the *baseline* data structure of the paper's Figure 3 ("traditional
+//! XML processing framework"): one tree per document. The GODDAG crate
+//! generalizes it; the benchmark harness compares against it (experiments B1,
+//! B5).
+
+use crate::error::{Result, XmlError};
+use crate::event::{Attribute, Event};
+use crate::name::QName;
+use crate::reader::Reader;
+use crate::writer::Writer;
+
+/// Index of a node in a [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomId(pub u32);
+
+impl DomId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Payload of a DOM node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomNode {
+    /// An element with a name and attributes.
+    Element { name: QName, attrs: Vec<Attribute> },
+    /// A text node.
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    Pi { target: String, data: String },
+}
+
+#[derive(Debug, Clone)]
+struct DomEntry {
+    node: DomNode,
+    parent: Option<DomId>,
+    children: Vec<DomId>,
+}
+
+/// An arena-backed DOM document.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<DomEntry>,
+    root: DomId,
+}
+
+impl Document {
+    /// Parse a document from XML text.
+    pub fn parse(input: &str) -> Result<Document> {
+        let mut reader = Reader::new(input);
+        let mut nodes: Vec<DomEntry> = Vec::new();
+        let mut stack: Vec<DomId> = Vec::new();
+        let mut root: Option<DomId> = None;
+
+        let push = |nodes: &mut Vec<DomEntry>,
+                        stack: &[DomId],
+                        root: &mut Option<DomId>,
+                        node: DomNode|
+         -> DomId {
+            let id = DomId(nodes.len() as u32);
+            let parent = stack.last().copied();
+            nodes.push(DomEntry { node, parent, children: Vec::new() });
+            if let Some(p) = parent {
+                nodes[p.idx()].children.push(id);
+            } else if matches!(nodes[id.idx()].node, DomNode::Element { .. }) && root.is_none() {
+                *root = Some(id);
+            }
+            id
+        };
+
+        loop {
+            match reader.next_event()? {
+                Event::StartElement { name, attrs, .. } => {
+                    let id = push(&mut nodes, &stack, &mut root, DomNode::Element { name, attrs });
+                    stack.push(id);
+                }
+                Event::EmptyElement { name, attrs, .. } => {
+                    push(&mut nodes, &stack, &mut root, DomNode::Element { name, attrs });
+                }
+                Event::EndElement { .. } => {
+                    stack.pop();
+                }
+                Event::Text { text, .. } => {
+                    // Merge adjacent text nodes (CDATA + text runs).
+                    if let Some(&parent) = stack.last() {
+                        if let Some(&last) = nodes[parent.idx()].children.last() {
+                            if let DomNode::Text(t) = &mut nodes[last.idx()].node {
+                                t.push_str(&text);
+                                continue;
+                            }
+                        }
+                    }
+                    push(&mut nodes, &stack, &mut root, DomNode::Text(text));
+                }
+                Event::Comment { text, .. } => {
+                    push(&mut nodes, &stack, &mut root, DomNode::Comment(text));
+                }
+                Event::ProcessingInstruction { target, data, .. } => {
+                    push(&mut nodes, &stack, &mut root, DomNode::Pi { target, data });
+                }
+                Event::Eof => break,
+            }
+        }
+        let root = root.ok_or(XmlError::NoRootElement)?;
+        Ok(Document { nodes, root })
+    }
+
+    /// Build a document consisting of a single root element.
+    pub fn with_root(name: QName, attrs: Vec<Attribute>) -> Document {
+        Document {
+            nodes: vec![DomEntry {
+                node: DomNode::Element { name, attrs },
+                parent: None,
+                children: Vec::new(),
+            }],
+            root: DomId(0),
+        }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> DomId {
+        self.root
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document holds no nodes (never after a successful parse).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The payload of `id`.
+    pub fn node(&self, id: DomId) -> &DomNode {
+        &self.nodes[id.idx()].node
+    }
+
+    /// The parent of `id`.
+    pub fn parent(&self, id: DomId) -> Option<DomId> {
+        self.nodes[id.idx()].parent
+    }
+
+    /// The children of `id`, in document order.
+    pub fn children(&self, id: DomId) -> &[DomId] {
+        &self.nodes[id.idx()].children
+    }
+
+    /// Append a child node under `parent`.
+    pub fn append(&mut self, parent: DomId, node: DomNode) -> DomId {
+        let id = DomId(self.nodes.len() as u32);
+        self.nodes.push(DomEntry { node, parent: Some(parent), children: Vec::new() });
+        self.nodes[parent.idx()].children.push(id);
+        id
+    }
+
+    /// Element name, if `id` is an element.
+    pub fn name(&self, id: DomId) -> Option<&QName> {
+        match self.node(id) {
+            DomNode::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Attribute value lookup on an element.
+    pub fn attr(&self, id: DomId, name: &str) -> Option<&str> {
+        match self.node(id) {
+            DomNode::Element { attrs, .. } => crate::event::find_attr(attrs, name),
+            _ => None,
+        }
+    }
+
+    /// Concatenated text content under `id` (document order).
+    pub fn text_content(&self, id: DomId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: DomId, out: &mut String) {
+        match self.node(id) {
+            DomNode::Text(t) => out.push_str(t),
+            DomNode::Element { .. } => {
+                for &c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Pre-order traversal of the whole document.
+    pub fn descendants(&self, id: DomId) -> Vec<DomId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All element descendants (excluding `id` itself) with a given local
+    /// name.
+    pub fn elements_named(&self, id: DomId, local: &str) -> Vec<DomId> {
+        self.descendants(id)
+            .into_iter()
+            .skip(1)
+            .filter(|&n| self.name(n).is_some_and(|q| q.local == local))
+            .collect()
+    }
+
+    /// Serialize back to XML text (compact; loss-free for content).
+    pub fn to_xml(&self) -> Result<String> {
+        let mut w = Writer::new();
+        self.write_node(self.root, &mut w)?;
+        w.finish()
+    }
+
+    fn write_node(&self, id: DomId, w: &mut Writer) -> Result<()> {
+        match self.node(id) {
+            DomNode::Element { name, attrs } => {
+                if self.children(id).is_empty() {
+                    w.empty(name, attrs);
+                } else {
+                    w.start_with(name, attrs);
+                    for &c in self.children(id) {
+                        self.write_node(c, w)?;
+                    }
+                    w.end()?;
+                }
+            }
+            DomNode::Text(t) => {
+                w.text(t);
+            }
+            DomNode::Comment(t) => {
+                w.comment(t)?;
+            }
+            DomNode::Pi { target, data } => {
+                w.pi(target, data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rough in-memory footprint in bytes (for experiment B5).
+    pub fn estimated_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Document>()
+            + self.nodes.capacity() * std::mem::size_of::<DomEntry>();
+        for e in &self.nodes {
+            total += e.children.capacity() * std::mem::size_of::<DomId>();
+            match &e.node {
+                DomNode::Element { name, attrs } => {
+                    total += name.local.capacity()
+                        + name.prefix.as_ref().map_or(0, |p| p.capacity());
+                    for a in attrs {
+                        total += a.name.local.capacity()
+                            + a.name.prefix.as_ref().map_or(0, |p| p.capacity())
+                            + a.value.capacity();
+                    }
+                }
+                DomNode::Text(t) | DomNode::Comment(t) => total += t.capacity(),
+                DomNode::Pi { target, data } => total += target.capacity() + data.capacity(),
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str =
+        r#"<r><line n="1"><w>swa</w> <w>hwa</w></line><line n="2"><w>swe</w></line></r>"#;
+
+    #[test]
+    fn parse_builds_tree() {
+        let d = Document::parse(DOC).unwrap();
+        let root = d.root();
+        assert_eq!(d.name(root).unwrap().local, "r");
+        assert_eq!(d.children(root).len(), 2);
+        let line1 = d.children(root)[0];
+        assert_eq!(d.attr(line1, "n"), Some("1"));
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let d = Document::parse(DOC).unwrap();
+        assert_eq!(d.text_content(d.root()), "swa hwaswe");
+    }
+
+    #[test]
+    fn elements_named_finds_all() {
+        let d = Document::parse(DOC).unwrap();
+        assert_eq!(d.elements_named(d.root(), "w").len(), 3);
+        assert_eq!(d.elements_named(d.root(), "line").len(), 2);
+        assert_eq!(d.elements_named(d.root(), "nope").len(), 0);
+    }
+
+    #[test]
+    fn to_xml_roundtrip() {
+        let d = Document::parse(DOC).unwrap();
+        let xml = d.to_xml().unwrap();
+        let d2 = Document::parse(&xml).unwrap();
+        assert_eq!(d2.text_content(d2.root()), d.text_content(d.root()));
+        assert_eq!(d2.len(), d.len());
+    }
+
+    #[test]
+    fn parent_links_consistent() {
+        let d = Document::parse(DOC).unwrap();
+        for id in d.descendants(d.root()) {
+            for &c in d.children(id) {
+                assert_eq!(d.parent(c), Some(id));
+            }
+        }
+        assert_eq!(d.parent(d.root()), None);
+    }
+
+    #[test]
+    fn adjacent_text_merged() {
+        let d = Document::parse("<r>a<![CDATA[b]]>c</r>").unwrap();
+        assert_eq!(d.children(d.root()).len(), 1);
+        assert_eq!(d.text_content(d.root()), "abc");
+    }
+
+    #[test]
+    fn append_extends_tree() {
+        let mut d = Document::with_root(QName::parse("r").unwrap(), vec![]);
+        let w = d.append(d.root(), DomNode::Element { name: QName::parse("w").unwrap(), attrs: vec![] });
+        d.append(w, DomNode::Text("word".into()));
+        assert_eq!(d.to_xml().unwrap(), "<r><w>word</w></r>");
+    }
+
+    #[test]
+    fn estimated_bytes_nonzero() {
+        let d = Document::parse(DOC).unwrap();
+        assert!(d.estimated_bytes() > 100);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let d = Document::parse("<a><b><c/></b><d/></a>").unwrap();
+        let names: Vec<String> = d
+            .descendants(d.root())
+            .iter()
+            .filter_map(|&n| d.name(n).map(|q| q.local.clone()))
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Glushkov automata compiled from content models.
+//!
+//! The automaton serves two consumers:
+//!
+//! * **Validation** (this crate): simulate the NFA over an element's child
+//!   name sequence; accept iff an accepting state is active at the end.
+//! * **Prevalidation** (`prevalid` crate): potential validity asks whether the
+//!   child sequence is a *scattered subsequence* of some accepted word, which
+//!   reduces to the same simulation over the automaton's transitive
+//!   reachability closure (computed there).
+//!
+//! Glushkov construction: one state per name occurrence (position) in the
+//! content model plus a start state; transitions follow the classic
+//! first/last/follow sets. The automaton's size is linear in the content
+//! model, and matching is `O(children × states²)` worst case (states are tiny
+//! for realistic DTDs).
+
+use super::content_model::ContentModel;
+use std::collections::BTreeSet;
+
+/// Automaton state index. State 0 is always the start state; states `1..`
+/// correspond to name positions in the content model.
+pub type StateId = usize;
+
+/// A Glushkov NFA over element-name symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Automaton {
+    /// `symbol[p]` is the element name consumed entering state `p+1`.
+    symbols: Vec<String>,
+    /// `transitions[s]` = sorted (symbol position) targets reachable from `s`
+    /// by consuming `symbols[target-1]`.
+    transitions: Vec<Vec<StateId>>,
+    /// Accepting states.
+    accepting: BTreeSet<StateId>,
+}
+
+/// first/last/follow computation result for a subexpression.
+struct Sets {
+    nullable: bool,
+    first: Vec<usize>, // positions (1-based states)
+    last: Vec<usize>,
+}
+
+impl Automaton {
+    /// Compile a content model into its Glushkov automaton.
+    pub fn compile(model: &ContentModel) -> Automaton {
+        let mut symbols: Vec<String> = Vec::new();
+        let mut follow: Vec<BTreeSet<usize>> = Vec::new();
+        let sets = build(model, &mut symbols, &mut follow);
+
+        let nstates = symbols.len() + 1;
+        let mut transitions: Vec<Vec<StateId>> = vec![Vec::new(); nstates];
+        // Start state: transitions into each first position.
+        transitions[0] = sets.first.clone();
+        for (p, follows) in follow.iter().enumerate() {
+            transitions[p + 1] = follows.iter().copied().collect();
+        }
+        let mut accepting: BTreeSet<StateId> = sets.last.iter().copied().collect();
+        if sets.nullable {
+            accepting.insert(0);
+        }
+        Automaton { symbols, transitions, accepting }
+    }
+
+    /// Number of states (including the start state).
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The symbol consumed when *entering* state `s` (None for the start).
+    pub fn entry_symbol(&self, s: StateId) -> Option<&str> {
+        if s == 0 {
+            None
+        } else {
+            Some(&self.symbols[s - 1])
+        }
+    }
+
+    /// Raw transition list out of `s`.
+    pub fn transitions_from(&self, s: StateId) -> &[StateId] {
+        &self.transitions[s]
+    }
+
+    /// Is `s` accepting?
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accepting.contains(&s)
+    }
+
+    /// Successor states of the active `states` set on consuming `symbol`.
+    pub fn step(&self, states: &BTreeSet<StateId>, symbol: &str) -> BTreeSet<StateId> {
+        let mut next = BTreeSet::new();
+        for &s in states {
+            for &t in &self.transitions[s] {
+                if self.symbols[t - 1] == symbol {
+                    next.insert(t);
+                }
+            }
+        }
+        next
+    }
+
+    /// Run the automaton over a sequence of child element names.
+    pub fn matches<I, S>(&self, names: I) -> bool
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut states: BTreeSet<StateId> = BTreeSet::from([0]);
+        for name in names {
+            states = self.step(&states, name.as_ref());
+            if states.is_empty() {
+                return false;
+            }
+        }
+        states.iter().any(|&s| self.is_accepting(s))
+    }
+
+    /// Which symbols can be consumed next from the active `states` set?
+    /// (Used by validation diagnostics and by xTagger tag suggestions.)
+    pub fn expected_next(&self, states: &BTreeSet<StateId>) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for &s in states {
+            for &t in &self.transitions[s] {
+                let sym = self.symbols[t - 1].as_str();
+                if !out.contains(&sym) {
+                    out.push(sym);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+fn build(
+    model: &ContentModel,
+    symbols: &mut Vec<String>,
+    follow: &mut Vec<BTreeSet<usize>>,
+) -> Sets {
+    match model {
+        ContentModel::Name(n) => {
+            symbols.push(n.clone());
+            follow.push(BTreeSet::new());
+            let p = symbols.len(); // 1-based position == state id
+            Sets { nullable: false, first: vec![p], last: vec![p] }
+        }
+        ContentModel::Seq(items) => {
+            let mut acc = Sets { nullable: true, first: Vec::new(), last: Vec::new() };
+            for item in items {
+                let s = build(item, symbols, follow);
+                // follow(last(acc)) ∪= first(s)
+                for &l in &acc.last {
+                    for &f in &s.first {
+                        follow[l - 1].insert(f);
+                    }
+                }
+                if acc.nullable {
+                    acc.first.extend_from_slice(&s.first);
+                }
+                if s.nullable {
+                    acc.last.extend_from_slice(&s.last);
+                } else {
+                    acc.last = s.last;
+                }
+                acc.nullable &= s.nullable;
+            }
+            acc
+        }
+        ContentModel::Choice(items) => {
+            let mut acc = Sets { nullable: false, first: Vec::new(), last: Vec::new() };
+            for item in items {
+                let s = build(item, symbols, follow);
+                acc.nullable |= s.nullable;
+                acc.first.extend(s.first);
+                acc.last.extend(s.last);
+            }
+            acc
+        }
+        ContentModel::Repeat(inner, occ) => {
+            let s = build(inner, symbols, follow);
+            if occ.repeats() {
+                // follow(last) ∪= first — looping back.
+                for &l in &s.last {
+                    for &f in &s.first {
+                        follow[l - 1].insert(f);
+                    }
+                }
+            }
+            Sets {
+                nullable: s.nullable || occ.allows_empty(),
+                first: s.first,
+                last: s.last,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::content_model::ContentModel as M;
+
+    fn m_doc() -> M {
+        // (head?, (p | list)+, trailer?)
+        M::seq([
+            M::name("head").opt(),
+            M::choice([M::name("p"), M::name("list")]).plus(),
+            M::name("trailer").opt(),
+        ])
+    }
+
+    #[test]
+    fn single_name() {
+        let a = Automaton::compile(&M::name("w"));
+        assert!(a.matches(["w"]));
+        assert!(!a.matches::<_, &str>([]));
+        assert!(!a.matches(["w", "w"]));
+        assert!(!a.matches(["v"]));
+    }
+
+    #[test]
+    fn star_matches_any_count() {
+        let a = Automaton::compile(&M::name("w").star());
+        assert!(a.matches::<_, &str>([]));
+        assert!(a.matches(["w"]));
+        assert!(a.matches(vec!["w"; 50]));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let a = Automaton::compile(&M::name("w").plus());
+        assert!(!a.matches::<_, &str>([]));
+        assert!(a.matches(["w", "w", "w"]));
+    }
+
+    #[test]
+    fn seq_order_enforced() {
+        let a = Automaton::compile(&M::seq([M::name("a"), M::name("b")]));
+        assert!(a.matches(["a", "b"]));
+        assert!(!a.matches(["b", "a"]));
+        assert!(!a.matches(["a"]));
+        assert!(!a.matches(["a", "b", "b"]));
+    }
+
+    #[test]
+    fn choice_alternatives() {
+        let a = Automaton::compile(&M::choice([M::name("a"), M::name("b")]));
+        assert!(a.matches(["a"]));
+        assert!(a.matches(["b"]));
+        assert!(!a.matches(["a", "b"]));
+    }
+
+    #[test]
+    fn document_model() {
+        let a = Automaton::compile(&m_doc());
+        assert!(a.matches(["head", "p", "trailer"]));
+        assert!(a.matches(["p"]));
+        assert!(a.matches(["p", "list", "p"]));
+        assert!(a.matches(["head", "list"]));
+        assert!(!a.matches(["head", "trailer"]));
+        assert!(!a.matches(["head"]));
+        assert!(!a.matches(["trailer", "p"]));
+        assert!(!a.matches(["p", "head"]));
+    }
+
+    #[test]
+    fn nested_repeats() {
+        // ((a, b?)+)*  — equivalent to (a, b?)*
+        let a = Automaton::compile(&M::seq([M::name("a"), M::name("b").opt()]).plus().star());
+        assert!(a.matches::<_, &str>([]));
+        assert!(a.matches(["a", "a", "b", "a"]));
+        assert!(!a.matches(["b"]));
+    }
+
+    #[test]
+    fn expected_next_from_start() {
+        let a = Automaton::compile(&m_doc());
+        let start = BTreeSet::from([0]);
+        assert_eq!(a.expected_next(&start), ["head", "list", "p"]);
+        let after_head = a.step(&start, "head");
+        assert_eq!(a.expected_next(&after_head), ["list", "p"]);
+    }
+
+    #[test]
+    fn entry_symbols_exposed() {
+        let a = Automaton::compile(&M::seq([M::name("a"), M::name("b")]));
+        assert_eq!(a.entry_symbol(0), None);
+        assert_eq!(a.entry_symbol(1), Some("a"));
+        assert_eq!(a.entry_symbol(2), Some("b"));
+        assert_eq!(a.num_states(), 3);
+    }
+
+    #[test]
+    fn repeated_symbol_positions_distinct() {
+        // (a, a) — two positions for the same symbol.
+        let a = Automaton::compile(&M::seq([M::name("a"), M::name("a")]));
+        assert!(a.matches(["a", "a"]));
+        assert!(!a.matches(["a"]));
+        assert!(!a.matches(["a", "a", "a"]));
+    }
+}

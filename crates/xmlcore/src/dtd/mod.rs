@@ -1,0 +1,183 @@
+//! DTD support: the schema formalism the paper uses to define hierarchies.
+//!
+//! A *concurrent markup hierarchy* (paper §3) is "a collection of DTD elements
+//! that are not in conflict with each other" — i.e. each hierarchy is
+//! described by its own DTD. This module provides the DTD model, a parser for
+//! DTD text, Glushkov automata compiled from content models (shared with the
+//! `prevalid` crate for potential-validity checking), and a validator.
+
+mod automaton;
+mod content_model;
+mod parser;
+mod serialize;
+mod validate;
+
+pub use automaton::{Automaton, StateId};
+pub use content_model::{ContentModel, Occurrence};
+pub use parser::parse_dtd;
+pub use validate::{
+    validate_attrs, validate_children, validate_document, AutomatonCache, ValidationReport,
+};
+
+use std::collections::BTreeMap;
+
+/// Content specification of an element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentSpec {
+    /// `EMPTY` — no content at all.
+    Empty,
+    /// `ANY` — any well-formed content.
+    Any,
+    /// `(#PCDATA)` or `(#PCDATA | a | b)*` — text freely interleaved with the
+    /// named elements.
+    Mixed(Vec<String>),
+    /// An element-content model (children only; whitespace-only text allowed
+    /// between them).
+    Children(ContentModel),
+}
+
+impl ContentSpec {
+    /// Whether text content is permitted.
+    pub fn allows_text(&self) -> bool {
+        matches!(self, ContentSpec::Any | ContentSpec::Mixed(_))
+    }
+
+    /// Whether a child element with this name is ever permitted.
+    pub fn mentions(&self, name: &str) -> bool {
+        match self {
+            ContentSpec::Empty => false,
+            ContentSpec::Any => true,
+            ContentSpec::Mixed(names) => names.iter().any(|n| n == name),
+            ContentSpec::Children(m) => m.mentions(name),
+        }
+    }
+}
+
+/// Declared attribute type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttType {
+    /// `CDATA`
+    Cdata,
+    /// `ID`
+    Id,
+    /// `IDREF`
+    IdRef,
+    /// `NMTOKEN`
+    NmToken,
+    /// `(v1 | v2 | ...)`
+    Enumeration(Vec<String>),
+}
+
+/// Declared attribute default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttDefault {
+    /// `#REQUIRED`
+    Required,
+    /// `#IMPLIED`
+    Implied,
+    /// `#FIXED "v"`
+    Fixed(String),
+    /// `"v"`
+    Value(String),
+}
+
+/// One attribute definition from an `<!ATTLIST>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttDef {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttType,
+    /// Default declaration.
+    pub default: AttDefault,
+}
+
+/// One `<!ELEMENT>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Element name.
+    pub name: String,
+    /// Content specification.
+    pub content: ContentSpec,
+    /// Attribute definitions (merged from all ATTLISTs for this element).
+    pub attrs: Vec<AttDef>,
+}
+
+/// A parsed DTD: the schema of one markup hierarchy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dtd {
+    /// Declarations keyed by element name (deterministic iteration order).
+    pub elements: BTreeMap<String, ElementDecl>,
+    /// The designated root element, if known (first declared element by
+    /// convention, overridable).
+    pub root: Option<String>,
+}
+
+impl Dtd {
+    /// Empty DTD.
+    pub fn new() -> Dtd {
+        Dtd::default()
+    }
+
+    /// Look up a declaration.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.get(name)
+    }
+
+    /// Declare an element (replacing any previous declaration).
+    pub fn declare(&mut self, decl: ElementDecl) {
+        if self.root.is_none() {
+            self.root = Some(decl.name.clone());
+        }
+        self.elements.insert(decl.name.clone(), decl);
+    }
+
+    /// Names of all declared elements.
+    pub fn element_names(&self) -> impl Iterator<Item = &str> {
+        self.elements.keys().map(String::as_str)
+    }
+
+    /// An attribute definition on an element.
+    pub fn attr_def(&self, element: &str, attr: &str) -> Option<&AttDef> {
+        self.element(element)?.attrs.iter().find(|a| a.name == attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_spec_allows_text() {
+        assert!(ContentSpec::Any.allows_text());
+        assert!(ContentSpec::Mixed(vec![]).allows_text());
+        assert!(!ContentSpec::Empty.allows_text());
+        assert!(!ContentSpec::Children(ContentModel::name("w")).allows_text());
+    }
+
+    #[test]
+    fn mentions_by_spec_kind() {
+        assert!(!ContentSpec::Empty.mentions("w"));
+        assert!(ContentSpec::Any.mentions("w"));
+        assert!(ContentSpec::Mixed(vec!["w".into()]).mentions("w"));
+        assert!(!ContentSpec::Mixed(vec!["v".into()]).mentions("w"));
+    }
+
+    #[test]
+    fn dtd_declare_and_lookup() {
+        let mut dtd = Dtd::new();
+        dtd.declare(ElementDecl {
+            name: "r".into(),
+            content: ContentSpec::Any,
+            attrs: vec![AttDef {
+                name: "id".into(),
+                ty: AttType::Id,
+                default: AttDefault::Implied,
+            }],
+        });
+        assert_eq!(dtd.root.as_deref(), Some("r"));
+        assert!(dtd.element("r").is_some());
+        assert!(dtd.attr_def("r", "id").is_some());
+        assert!(dtd.attr_def("r", "nope").is_none());
+    }
+}

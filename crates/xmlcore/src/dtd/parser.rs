@@ -1,0 +1,487 @@
+//! Parser for DTD text (external-subset syntax): `<!ELEMENT>` and
+//! `<!ATTLIST>` declarations, comments, and processing instructions.
+//!
+//! Parameter entities and conditional sections are out of scope — the
+//! hierarchy DTDs the framework deals in (paper §3: one small DTD per
+//! hierarchy) do not use them.
+
+use super::content_model::{ContentModel, Occurrence};
+use super::{AttDef, AttDefault, AttType, ContentSpec, Dtd, ElementDecl};
+use crate::error::{Pos, Result, XmlError};
+use crate::name::{is_name_char, is_name_start_char};
+
+struct DtdParser<'a> {
+    rest: &'a str,
+    pos: Pos,
+}
+
+impl<'a> DtdParser<'a> {
+    fn err(&self, detail: impl Into<String>) -> XmlError {
+        XmlError::Dtd { pos: self.pos, detail: detail.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest.chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest.chars().next()?;
+        self.rest = &self.rest[c.len_utf8()..];
+        self.pos.advance(c);
+        Some(c)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest.starts_with(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn require_ws(&mut self) -> Result<()> {
+        match self.peek() {
+            Some(c) if c.is_ascii_whitespace() => {
+                self.skip_ws();
+                Ok(())
+            }
+            _ => Err(self.err("expected whitespace")),
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.rest;
+        match self.peek() {
+            Some(c) if is_name_start_char(c) => {
+                self.bump();
+            }
+            other => return Err(self.err(format!("expected a name, found {other:?}"))),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c) || c == ':') {
+            self.bump();
+        }
+        Ok(start[..start.len() - self.rest.len()].to_string())
+    }
+
+    fn parse(&mut self) -> Result<Dtd> {
+        let mut dtd = Dtd::new();
+        loop {
+            self.skip_ws();
+            if self.rest.is_empty() {
+                return Ok(dtd);
+            }
+            if self.eat("<!--") {
+                self.skip_comment()?;
+            } else if self.eat("<!ELEMENT") {
+                let decl = self.element_decl()?;
+                // Keep attributes if an ATTLIST came first.
+                let attrs = dtd
+                    .elements
+                    .get(&decl.name)
+                    .map(|d| d.attrs.clone())
+                    .unwrap_or_default();
+                dtd.declare(ElementDecl { attrs, ..decl });
+            } else if self.eat("<!ATTLIST") {
+                self.attlist_decl(&mut dtd)?;
+            } else if self.eat("<?") {
+                self.skip_pi()?;
+            } else {
+                return Err(self.err(format!(
+                    "expected declaration, found {:?}...",
+                    &self.rest[..self.rest.len().min(20)]
+                )));
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<()> {
+        loop {
+            if self.rest.is_empty() {
+                return Err(self.err("unterminated comment"));
+            }
+            if self.eat("-->") {
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<()> {
+        loop {
+            if self.rest.is_empty() {
+                return Err(self.err("unterminated processing instruction"));
+            }
+            if self.eat("?>") {
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+
+    fn element_decl(&mut self) -> Result<ElementDecl> {
+        self.require_ws()?;
+        let name = self.name()?;
+        self.require_ws()?;
+        let content = if self.eat("EMPTY") {
+            ContentSpec::Empty
+        } else if self.eat("ANY") {
+            ContentSpec::Any
+        } else if self.peek() == Some('(') {
+            self.content_spec()?
+        } else {
+            return Err(self.err("expected EMPTY, ANY or a content model"));
+        };
+        self.skip_ws();
+        self.expect('>')?;
+        Ok(ElementDecl { name, content, attrs: Vec::new() })
+    }
+
+    /// Parse `( ... )` which is either mixed content or element content.
+    fn content_spec(&mut self) -> Result<ContentSpec> {
+        // Look ahead for #PCDATA right after the opening paren.
+        let save_rest = self.rest;
+        let save_pos = self.pos;
+        self.expect('(')?;
+        self.skip_ws();
+        if self.eat("#PCDATA") {
+            let mut names = Vec::new();
+            loop {
+                self.skip_ws();
+                if self.eat(")") {
+                    // Optional '*' — required when names are present.
+                    let starred = self.eat("*");
+                    if !names.is_empty() && !starred {
+                        return Err(self.err("mixed content with names must end in ')*'"));
+                    }
+                    return Ok(ContentSpec::Mixed(names));
+                }
+                self.expect('|')?;
+                self.skip_ws();
+                names.push(self.name()?);
+            }
+        }
+        // Element content: rewind and parse as a content model.
+        self.rest = save_rest;
+        self.pos = save_pos;
+        let model = self.particle()?;
+        Ok(ContentSpec::Children(model))
+    }
+
+    /// particle := (name | group) occurrence?
+    fn particle(&mut self) -> Result<ContentModel> {
+        self.skip_ws();
+        let base = if self.peek() == Some('(') {
+            self.group()?
+        } else {
+            ContentModel::Name(self.name()?)
+        };
+        Ok(self.occurrence(base))
+    }
+
+    fn occurrence(&mut self, base: ContentModel) -> ContentModel {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                ContentModel::Repeat(Box::new(base), Occurrence::Opt)
+            }
+            Some('*') => {
+                self.bump();
+                ContentModel::Repeat(Box::new(base), Occurrence::Star)
+            }
+            Some('+') => {
+                self.bump();
+                ContentModel::Repeat(Box::new(base), Occurrence::Plus)
+            }
+            _ => base,
+        }
+    }
+
+    /// group := '(' particle (sep particle)* ')' where sep is consistently
+    /// ',' or '|'.
+    fn group(&mut self) -> Result<ContentModel> {
+        self.expect('(')?;
+        let first = self.particle()?;
+        self.skip_ws();
+        let mut items = vec![first];
+        let sep = match self.peek() {
+            Some(c @ (',' | '|')) => c,
+            Some(')') => {
+                self.bump();
+                // A single-item group is just the item.
+                return Ok(items.pop().expect("one item"));
+            }
+            other => return Err(self.err(format!("expected ',', '|' or ')', found {other:?}"))),
+        };
+        while self.peek() == Some(sep) {
+            self.bump();
+            items.push(self.particle()?);
+            self.skip_ws();
+        }
+        match self.peek() {
+            Some(')') => {
+                self.bump();
+            }
+            Some(c @ (',' | '|')) => {
+                return Err(self.err(format!("mixed separators '{sep}' and '{c}' in one group")))
+            }
+            other => return Err(self.err(format!("expected ')', found {other:?}"))),
+        }
+        Ok(if sep == ',' { ContentModel::Seq(items) } else { ContentModel::Choice(items) })
+    }
+
+    fn attlist_decl(&mut self, dtd: &mut Dtd) -> Result<()> {
+        self.require_ws()?;
+        let element = self.name()?;
+        let mut defs: Vec<AttDef> = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat(">") {
+                break;
+            }
+            let name = self.name()?;
+            self.require_ws()?;
+            let ty = self.att_type()?;
+            self.require_ws()?;
+            let default = self.att_default()?;
+            defs.push(AttDef { name, ty, default });
+        }
+        // Merge into an existing declaration or create a placeholder (an
+        // ATTLIST may precede its ELEMENT).
+        if let Some(decl) = dtd.elements.get_mut(&element) {
+            for d in defs {
+                if !decl.attrs.iter().any(|a| a.name == d.name) {
+                    decl.attrs.push(d);
+                }
+            }
+        } else {
+            dtd.declare(ElementDecl { name: element, content: ContentSpec::Any, attrs: defs });
+        }
+        Ok(())
+    }
+
+    fn att_type(&mut self) -> Result<AttType> {
+        if self.eat("CDATA") {
+            Ok(AttType::Cdata)
+        } else if self.eat("IDREF") {
+            Ok(AttType::IdRef)
+        } else if self.eat("ID") {
+            Ok(AttType::Id)
+        } else if self.eat("NMTOKEN") {
+            Ok(AttType::NmToken)
+        } else if self.peek() == Some('(') {
+            self.bump();
+            let mut values = Vec::new();
+            loop {
+                self.skip_ws();
+                values.push(self.nmtoken()?);
+                self.skip_ws();
+                match self.bump() {
+                    Some('|') => continue,
+                    Some(')') => break,
+                    other => return Err(self.err(format!("expected '|' or ')', found {other:?}"))),
+                }
+            }
+            Ok(AttType::Enumeration(values))
+        } else {
+            Err(self.err("expected attribute type"))
+        }
+    }
+
+    fn nmtoken(&mut self) -> Result<String> {
+        let start = self.rest;
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        let tok = &start[..start.len() - self.rest.len()];
+        if tok.is_empty() {
+            Err(self.err("expected a name token"))
+        } else {
+            Ok(tok.to_string())
+        }
+    }
+
+    fn att_default(&mut self) -> Result<AttDefault> {
+        if self.eat("#REQUIRED") {
+            Ok(AttDefault::Required)
+        } else if self.eat("#IMPLIED") {
+            Ok(AttDefault::Implied)
+        } else if self.eat("#FIXED") {
+            self.require_ws()?;
+            Ok(AttDefault::Fixed(self.quoted()?))
+        } else if matches!(self.peek(), Some('"' | '\'')) {
+            Ok(AttDefault::Value(self.quoted()?))
+        } else {
+            Err(self.err("expected #REQUIRED, #IMPLIED, #FIXED or a default value"))
+        }
+    }
+
+    fn quoted(&mut self) -> Result<String> {
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            other => return Err(self.err(format!("expected a quoted value, found {other:?}"))),
+        };
+        let start = self.rest;
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    let v = start[..start.len() - self.rest.len()].to_string();
+                    self.bump();
+                    return Ok(v);
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.err("unterminated quoted value")),
+            }
+        }
+    }
+}
+
+/// Parse DTD text into a [`Dtd`].
+pub fn parse_dtd(input: &str) -> Result<Dtd> {
+    DtdParser { rest: input, pos: Pos::start() }.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PHYS_DTD: &str = r#"
+        <!-- physical structure of a manuscript -->
+        <!ELEMENT r (page+)>
+        <!ELEMENT page (line | pb)*>
+        <!ATTLIST page no NMTOKEN #REQUIRED
+                       side (recto | verso) "recto">
+        <!ELEMENT line (#PCDATA)>
+        <!ATTLIST line n NMTOKEN #IMPLIED>
+        <!ELEMENT pb EMPTY>
+    "#;
+
+    #[test]
+    fn parses_element_decls() {
+        let dtd = parse_dtd(PHYS_DTD).unwrap();
+        assert_eq!(dtd.elements.len(), 4);
+        assert_eq!(dtd.root.as_deref(), Some("r"));
+        assert!(matches!(dtd.element("pb").unwrap().content, ContentSpec::Empty));
+        assert!(matches!(dtd.element("line").unwrap().content, ContentSpec::Mixed(ref v) if v.is_empty()));
+    }
+
+    #[test]
+    fn parses_content_models() {
+        let dtd = parse_dtd(PHYS_DTD).unwrap();
+        match &dtd.element("page").unwrap().content {
+            ContentSpec::Children(m) => assert_eq!(m.to_string(), "(line | pb)*"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &dtd.element("r").unwrap().content {
+            ContentSpec::Children(m) => assert_eq!(m.to_string(), "page+"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_attlists() {
+        let dtd = parse_dtd(PHYS_DTD).unwrap();
+        let no = dtd.attr_def("page", "no").unwrap();
+        assert_eq!(no.ty, AttType::NmToken);
+        assert_eq!(no.default, AttDefault::Required);
+        let side = dtd.attr_def("page", "side").unwrap();
+        assert_eq!(
+            side.ty,
+            AttType::Enumeration(vec!["recto".into(), "verso".into()])
+        );
+        assert_eq!(side.default, AttDefault::Value("recto".into()));
+    }
+
+    #[test]
+    fn mixed_with_names() {
+        let dtd = parse_dtd("<!ELEMENT s (#PCDATA | w | phrase)*>").unwrap();
+        match &dtd.element("s").unwrap().content {
+            ContentSpec::Mixed(names) => assert_eq!(names, &["w", "phrase"]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_with_names_requires_star() {
+        assert!(parse_dtd("<!ELEMENT s (#PCDATA | w)>").is_err());
+    }
+
+    #[test]
+    fn pcdata_only_star_optional() {
+        assert!(parse_dtd("<!ELEMENT s (#PCDATA)>").is_ok());
+        assert!(parse_dtd("<!ELEMENT s (#PCDATA)*>").is_ok());
+    }
+
+    #[test]
+    fn nested_groups() {
+        let dtd = parse_dtd("<!ELEMENT a ((b, c) | (d, e+))?>").unwrap();
+        match &dtd.element("a").unwrap().content {
+            ContentSpec::Children(m) => {
+                assert_eq!(m.to_string(), "((b, c) | (d, e+))?")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_separators_rejected() {
+        assert!(parse_dtd("<!ELEMENT a (b, c | d)>").is_err());
+    }
+
+    #[test]
+    fn attlist_before_element_ok() {
+        let dtd = parse_dtd(
+            "<!ATTLIST w id ID #IMPLIED>\n<!ELEMENT w (#PCDATA)>",
+        )
+        .unwrap();
+        assert!(dtd.attr_def("w", "id").is_some());
+        assert!(matches!(dtd.element("w").unwrap().content, ContentSpec::Mixed(_)));
+    }
+
+    #[test]
+    fn fixed_default() {
+        let dtd = parse_dtd("<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED \"1\">").unwrap();
+        assert_eq!(dtd.attr_def("a", "v").unwrap().default, AttDefault::Fixed("1".into()));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_dtd("<!WAT x>").is_err());
+        assert!(parse_dtd("<!ELEMENT >").is_err());
+        assert!(parse_dtd("<!ELEMENT a (b>").is_err());
+    }
+
+    #[test]
+    fn single_item_group() {
+        let dtd = parse_dtd("<!ELEMENT a (b)>").unwrap();
+        match &dtd.element("a").unwrap().content {
+            ContentSpec::Children(m) => assert_eq!(m.to_string(), "b"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_pis_skipped() {
+        let dtd = parse_dtd("<!-- x --><?keep going?><!ELEMENT a EMPTY>").unwrap();
+        assert!(dtd.element("a").is_some());
+    }
+}

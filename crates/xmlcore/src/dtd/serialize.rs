@@ -1,0 +1,138 @@
+//! DTD serialization: write a [`Dtd`] back to external-subset text.
+//!
+//! Round-trips with [`super::parse_dtd`], enabling hierarchy schemas to be
+//! stored alongside documents (the edition-bundle persistence in `xtagger`).
+
+use super::{AttDefault, AttType, ContentSpec, Dtd};
+use std::fmt::Write as _;
+
+impl ContentSpec {
+    /// The declaration-body spelling (`EMPTY`, `ANY`, `(#PCDATA | a)*`,
+    /// or a content model).
+    pub fn to_decl_string(&self) -> String {
+        match self {
+            ContentSpec::Empty => "EMPTY".to_string(),
+            ContentSpec::Any => "ANY".to_string(),
+            ContentSpec::Mixed(names) => {
+                if names.is_empty() {
+                    "(#PCDATA)".to_string()
+                } else {
+                    format!("(#PCDATA | {})*", names.join(" | "))
+                }
+            }
+            ContentSpec::Children(model) => {
+                let s = model.to_string();
+                // Content models must be parenthesized at top level.
+                if s.starts_with('(') {
+                    s
+                } else {
+                    format!("({s})")
+                }
+            }
+        }
+    }
+}
+
+impl Dtd {
+    /// Serialize all declarations as DTD text (parseable by
+    /// [`super::parse_dtd`]). The designated root's declaration comes first
+    /// so re-parsing preserves it.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut order: Vec<&str> = Vec::with_capacity(self.elements.len());
+        if let Some(root) = &self.root {
+            if self.elements.contains_key(root) {
+                order.push(root);
+            }
+        }
+        for name in self.elements.keys() {
+            if Some(name.as_str()) != self.root.as_deref() {
+                order.push(name);
+            }
+        }
+        for name in order {
+            let decl = &self.elements[name];
+            let _ = writeln!(out, "<!ELEMENT {name} {}>", decl.content.to_decl_string());
+            if !decl.attrs.is_empty() {
+                let _ = write!(out, "<!ATTLIST {name}");
+                for a in &decl.attrs {
+                    let ty = match &a.ty {
+                        AttType::Cdata => "CDATA".to_string(),
+                        AttType::Id => "ID".to_string(),
+                        AttType::IdRef => "IDREF".to_string(),
+                        AttType::NmToken => "NMTOKEN".to_string(),
+                        AttType::Enumeration(vals) => format!("({})", vals.join(" | ")),
+                    };
+                    let default = match &a.default {
+                        AttDefault::Required => "#REQUIRED".to_string(),
+                        AttDefault::Implied => "#IMPLIED".to_string(),
+                        AttDefault::Fixed(v) => format!("#FIXED \"{v}\""),
+                        AttDefault::Value(v) => format!("\"{v}\""),
+                    };
+                    let _ = write!(out, "\n    {} {ty} {default}", a.name);
+                }
+                out.push_str(">\n");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_dtd;
+
+    const SAMPLE: &str = r#"
+        <!ELEMENT r (page+)>
+        <!ELEMENT page ((line | pb)*, colophon?)>
+        <!ATTLIST page no NMTOKEN #REQUIRED
+                       side (recto | verso) "recto"
+                       scribe CDATA #IMPLIED>
+        <!ELEMENT line (#PCDATA | w)*>
+        <!ELEMENT w (#PCDATA)>
+        <!ATTLIST w id ID #IMPLIED>
+        <!ELEMENT pb EMPTY>
+        <!ELEMENT colophon ANY>
+    "#;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dtd = parse_dtd(SAMPLE).unwrap();
+        let text = dtd.to_text();
+        let again = parse_dtd(&text).unwrap();
+        assert_eq!(again, dtd, "serialized:\n{text}");
+    }
+
+    #[test]
+    fn root_declared_first() {
+        let dtd = parse_dtd(SAMPLE).unwrap();
+        let text = dtd.to_text();
+        assert!(text.trim_start().starts_with("<!ELEMENT r "), "{text}");
+    }
+
+    #[test]
+    fn fixpoint_after_one_roundtrip() {
+        let dtd = parse_dtd(SAMPLE).unwrap();
+        let once = dtd.to_text();
+        let twice = parse_dtd(&once).unwrap().to_text();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn mixed_spellings() {
+        let dtd = parse_dtd("<!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA | x)*> <!ELEMENT x EMPTY>").unwrap();
+        let text = dtd.to_text();
+        assert!(text.contains("<!ELEMENT a (#PCDATA)>"));
+        assert!(text.contains("<!ELEMENT b (#PCDATA | x)*>"));
+        assert_eq!(parse_dtd(&text).unwrap(), dtd);
+    }
+
+    #[test]
+    fn standard_corpus_dtds_roundtrip() {
+        {
+            let src = "<!ELEMENT r (#PCDATA | page | line | pb)*> <!ELEMENT page (#PCDATA | line | pb)*> <!ELEMENT line (#PCDATA)> <!ELEMENT pb EMPTY>";
+            let dtd = parse_dtd(src).unwrap();
+            assert_eq!(parse_dtd(&dtd.to_text()).unwrap(), dtd);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! DTD validation of DOM documents and of abstract child sequences.
+//!
+//! The GODDAG crate validates each hierarchy through [`validate_children`]
+//! (one call per element against that hierarchy's DTD), so the logic here is
+//! deliberately decoupled from the DOM: anything that can produce a child
+//! name sequence can be validated.
+
+use super::{AttDefault, AttType, Automaton, ContentSpec, Dtd};
+use crate::dom::{Document, DomNode};
+use crate::error::Result;
+use crate::event::Attribute;
+use std::collections::{BTreeMap, HashSet};
+
+/// Outcome of validating a document: empty `errors` means valid.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Human-readable validation errors, in document order.
+    pub errors: Vec<String>,
+}
+
+impl ValidationReport {
+    /// True when no errors were recorded.
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    fn err(&mut self, msg: impl Into<String>) {
+        self.errors.push(msg.into());
+    }
+}
+
+/// A cache of compiled content-model automata, keyed by element name.
+#[derive(Debug, Default)]
+pub struct AutomatonCache {
+    compiled: BTreeMap<String, Automaton>,
+}
+
+impl AutomatonCache {
+    /// Get (compiling on first use) the automaton for `element`'s content
+    /// model. Returns `None` for non-`Children` content specs.
+    pub fn get(&mut self, dtd: &Dtd, element: &str) -> Option<&Automaton> {
+        if !self.compiled.contains_key(element) {
+            let decl = dtd.element(element)?;
+            let ContentSpec::Children(model) = &decl.content else {
+                return None;
+            };
+            self.compiled.insert(element.to_string(), Automaton::compile(model));
+        }
+        self.compiled.get(element)
+    }
+}
+
+/// Validate a child-element name sequence (plus a "has text" flag) against
+/// the declaration of `element` in `dtd`.
+///
+/// This is the single validation primitive shared by the DOM validator here
+/// and the GODDAG per-hierarchy validator.
+pub fn validate_children(
+    dtd: &Dtd,
+    cache: &mut AutomatonCache,
+    element: &str,
+    child_names: &[&str],
+    has_nonws_text: bool,
+    report: &mut ValidationReport,
+) {
+    let Some(decl) = dtd.element(element) else {
+        report.err(format!("element <{element}> is not declared"));
+        return;
+    };
+    match &decl.content {
+        ContentSpec::Empty => {
+            if !child_names.is_empty() || has_nonws_text {
+                report.err(format!("element <{element}> is declared EMPTY but has content"));
+            }
+        }
+        ContentSpec::Any => {
+            for name in child_names {
+                if dtd.element(name).is_none() {
+                    report.err(format!(
+                        "element <{name}> (child of <{element}>) is not declared"
+                    ));
+                }
+            }
+        }
+        ContentSpec::Mixed(allowed) => {
+            for name in child_names {
+                if !allowed.iter().any(|a| a == name) {
+                    report.err(format!(
+                        "element <{name}> is not allowed in mixed content of <{element}>"
+                    ));
+                }
+            }
+        }
+        ContentSpec::Children(model) => {
+            if has_nonws_text {
+                report.err(format!(
+                    "element <{element}> has element content but contains text"
+                ));
+            }
+            let automaton = cache
+                .get(dtd, element)
+                .expect("Children content spec always compiles");
+            if !automaton.matches(child_names.iter().copied()) {
+                report.err(format!(
+                    "children of <{element}> do not match content model {model}: found ({})",
+                    child_names.join(", ")
+                ));
+            }
+        }
+    }
+}
+
+/// Validate the attributes present on an element.
+pub fn validate_attrs(
+    dtd: &Dtd,
+    element: &str,
+    attrs: &[Attribute],
+    ids_seen: &mut HashSet<String>,
+    report: &mut ValidationReport,
+) {
+    let Some(decl) = dtd.element(element) else {
+        return; // undeclared element reported elsewhere
+    };
+    for def in &decl.attrs {
+        let present = attrs.iter().find(|a| a.name.as_str() == def.name.as_str());
+        match (&def.default, present) {
+            (AttDefault::Required, None) => {
+                report.err(format!(
+                    "required attribute {:?} missing on <{element}>",
+                    def.name
+                ));
+            }
+            (AttDefault::Fixed(v), Some(a)) if &a.value != v => {
+                report.err(format!(
+                    "attribute {:?} on <{element}> must have fixed value {v:?}, found {:?}",
+                    def.name, a.value
+                ));
+            }
+            _ => {}
+        }
+        if let Some(a) = present {
+            match &def.ty {
+                AttType::Enumeration(values) => {
+                    if !values.contains(&a.value) {
+                        report.err(format!(
+                            "attribute {:?} on <{element}> must be one of ({}), found {:?}",
+                            def.name,
+                            values.join(" | "),
+                            a.value
+                        ));
+                    }
+                }
+                AttType::Id => {
+                    if !ids_seen.insert(a.value.clone()) {
+                        report.err(format!("duplicate ID {:?}", a.value));
+                    }
+                }
+                AttType::NmToken => {
+                    if a.value.is_empty() || !a.value.chars().all(crate::name::is_name_char) {
+                        report.err(format!(
+                            "attribute {:?} on <{element}> is not a valid NMTOKEN: {:?}",
+                            def.name, a.value
+                        ));
+                    }
+                }
+                AttType::Cdata | AttType::IdRef => {}
+            }
+        }
+    }
+    // Undeclared attributes.
+    for a in attrs {
+        if !decl.attrs.iter().any(|d| d.name == a.name.as_str()) {
+            report.err(format!(
+                "attribute {:?} on <{element}> is not declared",
+                a.name.to_string()
+            ));
+        }
+    }
+}
+
+/// Validate a whole DOM document against `dtd`.
+pub fn validate_document(dtd: &Dtd, doc: &Document) -> Result<ValidationReport> {
+    let mut report = ValidationReport::default();
+    let mut cache = AutomatonCache::default();
+    let mut ids = HashSet::new();
+
+    if let Some(root_name) = &dtd.root {
+        if let Some(actual) = doc.name(doc.root()) {
+            if &actual.local != root_name && actual.as_str() != root_name.as_str() {
+                report.err(format!(
+                    "root element is <{actual}>, DTD expects <{root_name}>"
+                ));
+            }
+        }
+    }
+
+    for id in doc.descendants(doc.root()) {
+        let DomNode::Element { name, attrs } = doc.node(id) else {
+            continue;
+        };
+        let elem_name = name.local.clone();
+        let mut child_names: Vec<&str> = Vec::new();
+        let mut has_text = false;
+        for &c in doc.children(id) {
+            match doc.node(c) {
+                DomNode::Element { name, .. } => child_names.push(&name.local),
+                DomNode::Text(t) if !t.chars().all(char::is_whitespace) => has_text = true,
+                _ => {}
+            }
+        }
+        validate_children(dtd, &mut cache, &elem_name, &child_names, has_text, &mut report);
+        validate_attrs(dtd, &elem_name, attrs, &mut ids, &mut report);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::parse_dtd;
+
+    const DTD: &str = r#"
+        <!ELEMENT r (page+)>
+        <!ELEMENT page (line+)>
+        <!ATTLIST page no NMTOKEN #REQUIRED>
+        <!ELEMENT line (#PCDATA)>
+    "#;
+
+    fn check(doc: &str) -> ValidationReport {
+        let dtd = parse_dtd(DTD).unwrap();
+        let dom = Document::parse(doc).unwrap();
+        validate_document(&dtd, &dom).unwrap()
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        let r = check(r#"<r><page no="1"><line>swa hwa</line></page></r>"#);
+        assert!(r.is_valid(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn wrong_root_reported() {
+        let r = check(r#"<x><page no="1"><line>t</line></page></x>"#);
+        assert!(r.errors.iter().any(|e| e.contains("root element")), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn missing_required_attr_reported() {
+        let r = check(r#"<r><page><line>t</line></page></r>"#);
+        assert!(r.errors.iter().any(|e| e.contains("required attribute")), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn content_model_violation_reported() {
+        let r = check(r#"<r><page no="1"/></r>"#);
+        assert!(
+            r.errors.iter().any(|e| e.contains("content model")),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn text_in_element_content_reported() {
+        let r = check(r#"<r>stray<page no="1"><line>t</line></page></r>"#);
+        assert!(r.errors.iter().any(|e| e.contains("contains text")), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn whitespace_in_element_content_ok() {
+        let r = check("<r>\n  <page no=\"1\"><line>t</line></page>\n</r>");
+        assert!(r.is_valid(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn undeclared_element_reported() {
+        let r = check(r#"<r><page no="1"><line><zap/></line></page></r>"#);
+        assert!(
+            r.errors.iter().any(|e| e.contains("not allowed") || e.contains("not declared")),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn undeclared_attribute_reported() {
+        let r = check(r#"<r><page no="1" wild="x"><line>t</line></page></r>"#);
+        assert!(r.errors.iter().any(|e| e.contains("not declared")), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn enumeration_and_fixed_checked() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT a EMPTY>
+               <!ATTLIST a kind (x | y) #REQUIRED v CDATA #FIXED "1">"#,
+        )
+        .unwrap();
+        let ok = Document::parse(r#"<a kind="x" v="1"/>"#).unwrap();
+        assert!(validate_document(&dtd, &ok).unwrap().is_valid());
+        let bad_enum = Document::parse(r#"<a kind="z" v="1"/>"#).unwrap();
+        assert!(!validate_document(&dtd, &bad_enum).unwrap().is_valid());
+        let bad_fixed = Document::parse(r#"<a kind="x" v="2"/>"#).unwrap();
+        assert!(!validate_document(&dtd, &bad_fixed).unwrap().is_valid());
+    }
+
+    #[test]
+    fn duplicate_ids_reported() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT r (w+)> <!ELEMENT w EMPTY> <!ATTLIST w id ID #REQUIRED>"#,
+        )
+        .unwrap();
+        let doc = Document::parse(r#"<r><w id="a"/><w id="a"/></r>"#).unwrap();
+        let rep = validate_document(&dtd, &doc).unwrap();
+        assert!(rep.errors.iter().any(|e| e.contains("duplicate ID")), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn empty_element_with_content_reported() {
+        let dtd = parse_dtd("<!ELEMENT r ANY><!ELEMENT pb EMPTY>").unwrap();
+        let doc = Document::parse("<r><pb>oops</pb></r>").unwrap();
+        let rep = validate_document(&dtd, &doc).unwrap();
+        assert!(rep.errors.iter().any(|e| e.contains("EMPTY")), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn validate_children_primitive_direct() {
+        let dtd = parse_dtd("<!ELEMENT a (b, c?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>").unwrap();
+        let mut cache = AutomatonCache::default();
+        let mut rep = ValidationReport::default();
+        validate_children(&dtd, &mut cache, "a", &["b"], false, &mut rep);
+        assert!(rep.is_valid());
+        validate_children(&dtd, &mut cache, "a", &["c"], false, &mut rep);
+        assert!(!rep.is_valid());
+    }
+}

@@ -1,0 +1,685 @@
+//! A pull (StAX-style) XML parser with full well-formedness checking.
+//!
+//! The reader is the substrate under both the classic single-hierarchy
+//! pipeline (DOM building, baseline benchmarks) and the SACX concurrent
+//! parser, which drives one `Reader` per distributed document.
+
+use crate::error::{Pos, Result, XmlError};
+use crate::escape::{resolve_entity, unescape};
+use crate::event::{Attribute, Event};
+use crate::name::{is_name_char, is_name_start_char, QName};
+
+/// Pull parser over an in-memory XML document.
+pub struct Reader<'a> {
+    input: &'a str,
+    rest: &'a str,
+    pos: Pos,
+    /// Open-element stack for well-formedness checking.
+    stack: Vec<QName>,
+    /// Whether the root element has been seen (and closed).
+    seen_root: bool,
+    root_closed: bool,
+    finished: bool,
+    /// When true, pure-whitespace text events outside any element are
+    /// suppressed rather than rejected (always the case per XML spec).
+    trim_outside: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over `input`.
+    pub fn new(input: &'a str) -> Reader<'a> {
+        Reader {
+            input,
+            rest: input,
+            pos: Pos::start(),
+            stack: Vec::with_capacity(16),
+            seen_root: false,
+            root_closed: false,
+            finished: false,
+            trim_outside: true,
+        }
+    }
+
+    /// The complete source text this reader parses.
+    pub fn source(&self) -> &'a str {
+        self.input
+    }
+
+    /// Current source position.
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest.chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.rest.chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest.chars().next()?;
+        self.rest = &self.rest[c.len_utf8()..];
+        self.pos.advance(c);
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest.starts_with(s)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char, expected: &'static str) -> Result<()> {
+        match self.peek() {
+            Some(found) if found == c => {
+                self.bump();
+                Ok(())
+            }
+            Some(found) => Err(XmlError::UnexpectedChar { pos: self.pos, found, expected }),
+            None => Err(XmlError::UnexpectedEof { pos: self.pos, context: expected }),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn read_name(&mut self) -> Result<QName> {
+        let start_pos = self.pos;
+        let start = self.rest;
+        match self.peek() {
+            Some(c) if is_name_start_char(c) || c == ':' => {
+                self.bump();
+            }
+            Some(found) => {
+                return Err(XmlError::UnexpectedChar { pos: self.pos, found, expected: "a name" })
+            }
+            None => return Err(XmlError::UnexpectedEof { pos: self.pos, context: "a name" }),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c) || c == ':') {
+            self.bump();
+        }
+        let len = start.len() - self.rest.len();
+        QName::parse_at(&start[..len], start_pos)
+    }
+
+    /// Pull the next event. After `Eof` has been returned, keeps returning
+    /// `Eof`.
+    pub fn next_event(&mut self) -> Result<Event> {
+        if self.finished {
+            return Ok(Event::Eof);
+        }
+        loop {
+            if self.rest.is_empty() {
+                return self.finish();
+            }
+            if self.starts_with("<") {
+                if self.starts_with("<!--") {
+                    return self.read_comment();
+                }
+                if self.starts_with("<![CDATA[") {
+                    return self.read_cdata();
+                }
+                if self.starts_with("<!DOCTYPE") {
+                    self.skip_doctype()?;
+                    continue;
+                }
+                if self.starts_with("<?") {
+                    match self.read_pi()? {
+                        Some(e) => return Ok(e),
+                        None => continue, // the <?xml ...?> declaration
+                    }
+                }
+                if self.peek2() == Some('/') {
+                    return self.read_end_tag();
+                }
+                return self.read_start_tag();
+            }
+            return self.read_text();
+        }
+    }
+
+    fn finish(&mut self) -> Result<Event> {
+        self.finished = true;
+        if !self.stack.is_empty() {
+            return Err(XmlError::UnclosedElements {
+                pos: self.pos,
+                open: self.stack.iter().map(|q| q.to_string()).collect(),
+            });
+        }
+        if !self.seen_root {
+            return Err(XmlError::NoRootElement);
+        }
+        Ok(Event::Eof)
+    }
+
+    fn read_comment(&mut self) -> Result<Event> {
+        let pos = self.pos;
+        self.eat("<!--");
+        let start = self.rest;
+        loop {
+            if self.rest.is_empty() {
+                return Err(XmlError::UnexpectedEof { pos: self.pos, context: "comment" });
+            }
+            if self.starts_with("--") {
+                let len = start.len() - self.rest.len();
+                let text = start[..len].to_string();
+                if !self.eat("-->") {
+                    return Err(XmlError::IllFormed {
+                        pos: self.pos,
+                        detail: "'--' not allowed inside comments".into(),
+                    });
+                }
+                return Ok(Event::Comment { text, pos });
+            }
+            self.bump();
+        }
+    }
+
+    fn read_cdata(&mut self) -> Result<Event> {
+        let pos = self.pos;
+        self.eat("<![CDATA[");
+        if self.stack.is_empty() {
+            return Err(XmlError::ExtraContentAtRoot { pos });
+        }
+        let start = self.rest;
+        loop {
+            if self.rest.is_empty() {
+                return Err(XmlError::UnexpectedEof { pos: self.pos, context: "CDATA section" });
+            }
+            if self.starts_with("]]>") {
+                let len = start.len() - self.rest.len();
+                let text = start[..len].to_string();
+                self.eat("]]>");
+                return Ok(Event::Text { text, pos });
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<()> {
+        // Skip the whole DOCTYPE declaration, balancing '[' ... ']' for the
+        // internal subset. DTDs are handled by `dtd::parse_dtd` separately.
+        let mut depth = 0usize;
+        self.eat("<!DOCTYPE");
+        loop {
+            match self.bump() {
+                Some('[') => depth += 1,
+                Some(']') => depth = depth.saturating_sub(1),
+                Some('>') if depth == 0 => return Ok(()),
+                Some(_) => {}
+                None => {
+                    return Err(XmlError::UnexpectedEof { pos: self.pos, context: "DOCTYPE" })
+                }
+            }
+        }
+    }
+
+    fn read_pi(&mut self) -> Result<Option<Event>> {
+        let pos = self.pos;
+        self.eat("<?");
+        let target = self.read_name()?;
+        let start = self.rest;
+        loop {
+            if self.rest.is_empty() {
+                return Err(XmlError::UnexpectedEof {
+                    pos: self.pos,
+                    context: "processing instruction",
+                });
+            }
+            if self.starts_with("?>") {
+                let len = start.len() - self.rest.len();
+                let data = start[..len].trim().to_string();
+                self.eat("?>");
+                if target.as_str().eq_ignore_ascii_case("xml") {
+                    // XML declaration: consumed, not reported.
+                    return Ok(None);
+                }
+                return Ok(Some(Event::ProcessingInstruction {
+                    target: target.to_string(),
+                    data,
+                    pos,
+                }));
+            }
+            self.bump();
+        }
+    }
+
+    fn read_attrs(&mut self, tag: &QName) -> Result<(Vec<Attribute>, bool)> {
+        let mut attrs: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    return Ok((attrs, false));
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect('>', "'>' after '/'")?;
+                    return Ok((attrs, true));
+                }
+                Some(c) if is_name_start_char(c) => {
+                    let apos = self.pos;
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    self.expect('=', "'=' in attribute")?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ ('"' | '\'')) => {
+                            self.bump();
+                            q
+                        }
+                        Some(found) => {
+                            return Err(XmlError::UnexpectedChar {
+                                pos: self.pos,
+                                found,
+                                expected: "quoted attribute value",
+                            })
+                        }
+                        None => {
+                            return Err(XmlError::UnexpectedEof {
+                                pos: self.pos,
+                                context: "attribute value",
+                            })
+                        }
+                    };
+                    let vstart = self.rest;
+                    loop {
+                        match self.peek() {
+                            Some(c) if c == quote => break,
+                            Some('<') => {
+                                return Err(XmlError::IllFormed {
+                                    pos: self.pos,
+                                    detail: "'<' not allowed in attribute values".into(),
+                                })
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(XmlError::UnexpectedEof {
+                                    pos: self.pos,
+                                    context: "attribute value",
+                                })
+                            }
+                        }
+                    }
+                    let len = vstart.len() - self.rest.len();
+                    let raw = &vstart[..len];
+                    self.bump(); // closing quote
+                    if attrs.iter().any(|a| a.name == name) {
+                        return Err(XmlError::DuplicateAttribute {
+                            pos: apos,
+                            name: name.to_string(),
+                        });
+                    }
+                    let value = unescape(raw)?.into_owned();
+                    attrs.push(Attribute { name, value });
+                }
+                Some(found) => {
+                    return Err(XmlError::UnexpectedChar {
+                        pos: self.pos,
+                        found,
+                        expected: "attribute, '>' or '/>'",
+                    })
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        pos: self.pos,
+                        context: if tag.local.is_empty() { "tag" } else { "start tag" },
+                    })
+                }
+            }
+        }
+    }
+
+    fn read_start_tag(&mut self) -> Result<Event> {
+        let pos = self.pos;
+        self.bump(); // '<'
+        let name = self.read_name()?;
+        if self.root_closed {
+            return Err(XmlError::ExtraContentAtRoot { pos });
+        }
+        if self.stack.is_empty() && self.seen_root {
+            return Err(XmlError::ExtraContentAtRoot { pos });
+        }
+        let (attrs, empty) = self.read_attrs(&name)?;
+        self.seen_root = true;
+        if empty {
+            if self.stack.is_empty() {
+                self.root_closed = true;
+            }
+            Ok(Event::EmptyElement { name, attrs, pos })
+        } else {
+            self.stack.push(name.clone());
+            Ok(Event::StartElement { name, attrs, pos })
+        }
+    }
+
+    fn read_end_tag(&mut self) -> Result<Event> {
+        let pos = self.pos;
+        self.eat("</");
+        let name = self.read_name()?;
+        self.skip_ws();
+        self.expect('>', "'>' in end tag")?;
+        match self.stack.pop() {
+            Some(open) if open == name => {
+                if self.stack.is_empty() {
+                    self.root_closed = true;
+                }
+                Ok(Event::EndElement { name, pos })
+            }
+            Some(open) => Err(XmlError::MismatchedTag {
+                pos,
+                expected: open.to_string(),
+                found: name.to_string(),
+            }),
+            None => Err(XmlError::UnbalancedEndTag { pos, name: name.to_string() }),
+        }
+    }
+
+    fn read_text(&mut self) -> Result<Event> {
+        let pos = self.pos;
+        let start = self.rest;
+        let mut has_amp = false;
+        loop {
+            match self.peek() {
+                Some('<') | None => break,
+                Some('&') => {
+                    has_amp = true;
+                    self.bump();
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let len = start.len() - self.rest.len();
+        let raw = &start[..len];
+        if raw.contains("]]>") {
+            return Err(XmlError::IllFormed {
+                pos,
+                detail: "']]>' not allowed in character data".into(),
+            });
+        }
+        let text = if has_amp {
+            // Re-resolve entities with the position of this text run.
+            unescape_at(raw, pos)?
+        } else {
+            raw.to_string()
+        };
+        if self.stack.is_empty() {
+            if self.trim_outside && text.chars().all(|c| c.is_ascii_whitespace()) {
+                // Whitespace between prolog/epilog constructs: skip.
+                return self.next_event();
+            }
+            return Err(XmlError::ExtraContentAtRoot { pos });
+        }
+        Ok(Event::Text { text, pos })
+    }
+}
+
+/// Unescape attributing errors to positions relative to `base`.
+fn unescape_at(raw: &str, base: Pos) -> Result<String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut pos = base;
+    let mut iter = raw.char_indices();
+    while let Some((i, c)) = iter.next() {
+        if c == '&' {
+            let rest = &raw[i + 1..];
+            let end = rest.find(';').ok_or(XmlError::UnexpectedEof {
+                pos,
+                context: "entity reference",
+            })?;
+            let name = &rest[..end];
+            out.push(resolve_entity(name, pos)?);
+            for _ in 0..=end {
+                if let Some((_, c2)) = iter.next() {
+                    pos.advance(c2);
+                }
+            }
+            pos.advance(c);
+        } else {
+            out.push(c);
+            pos.advance(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Parse the whole document, returning all events (excluding `Eof`).
+pub fn parse_events(input: &str) -> Result<Vec<Event>> {
+    let mut reader = Reader::new(input);
+    let mut events = Vec::new();
+    loop {
+        match reader.next_event()? {
+            Event::Eof => return Ok(events),
+            e => events.push(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(events: &[Event]) -> String {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Text { text, .. } => Some(text.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn minimal_document() {
+        let evs = parse_events("<r>hi</r>").unwrap();
+        assert_eq!(evs.len(), 3);
+        assert!(matches!(&evs[0], Event::StartElement { name, .. } if name.local == "r"));
+        assert!(matches!(&evs[1], Event::Text { text, .. } if text == "hi"));
+        assert!(matches!(&evs[2], Event::EndElement { name, .. } if name.local == "r"));
+    }
+
+    #[test]
+    fn nested_elements_and_attributes() {
+        let evs =
+            parse_events(r#"<r><w id="w1" type="noun">word</w><line n="2"/></r>"#).unwrap();
+        match &evs[1] {
+            Event::StartElement { name, attrs, .. } => {
+                assert_eq!(name.local, "w");
+                assert_eq!(attrs.len(), 2);
+                assert_eq!(attrs[0].value, "w1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&evs[4], Event::EmptyElement { name, .. } if name.local == "line"));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(matches!(
+            parse_events("<a><b></a></b>"),
+            Err(XmlError::MismatchedTag { .. })
+        ));
+    }
+
+    #[test]
+    fn unbalanced_end_rejected() {
+        assert!(matches!(
+            parse_events("<a></a></b>"),
+            Err(XmlError::ExtraContentAtRoot { .. }) | Err(XmlError::UnbalancedEndTag { .. })
+        ));
+    }
+
+    #[test]
+    fn unclosed_elements_rejected() {
+        assert!(matches!(
+            parse_events("<a><b>text"),
+            Err(XmlError::UnclosedElements { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(matches!(
+            parse_events(r#"<a x="1" x="2"/>"#),
+            Err(XmlError::DuplicateAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn two_roots_rejected() {
+        assert!(matches!(
+            parse_events("<a/><b/>"),
+            Err(XmlError::ExtraContentAtRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(matches!(
+            parse_events("<a/>junk"),
+            Err(XmlError::ExtraContentAtRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn whitespace_outside_root_ok() {
+        let evs = parse_events("  <a>x</a>\n  ").unwrap();
+        assert_eq!(evs.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_no_root() {
+        assert!(matches!(parse_events(""), Err(XmlError::NoRootElement)));
+        assert!(matches!(parse_events("   "), Err(XmlError::NoRootElement)));
+    }
+
+    #[test]
+    fn xml_decl_and_doctype_skipped() {
+        let evs = parse_events(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE r [ <!ELEMENT r (#PCDATA)> ]>\n<r>x</r>",
+        )
+        .unwrap();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(texts(&evs), "x");
+    }
+
+    #[test]
+    fn comments_and_pis_reported() {
+        let evs = parse_events("<r><!-- note --><?app do it?></r>").unwrap();
+        assert!(matches!(&evs[1], Event::Comment { text, .. } if text == " note "));
+        assert!(
+            matches!(&evs[2], Event::ProcessingInstruction { target, data, .. } if target == "app" && data == "do it")
+        );
+    }
+
+    #[test]
+    fn double_dash_in_comment_rejected() {
+        assert!(parse_events("<r><!-- a -- b --></r>").is_err());
+    }
+
+    #[test]
+    fn cdata_delivered_as_text() {
+        let evs = parse_events("<r><![CDATA[<not & parsed>]]></r>").unwrap();
+        assert_eq!(texts(&evs), "<not & parsed>");
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let evs = parse_events(r#"<r a="&lt;&amp;&#x41;">&gt;&#66;</r>"#).unwrap();
+        match &evs[0] {
+            Event::StartElement { attrs, .. } => assert_eq!(attrs[0].value, "<&A"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(texts(&evs), ">B");
+    }
+
+    #[test]
+    fn unknown_entity_in_text_rejected() {
+        assert!(matches!(
+            parse_events("<r>&unknown;</r>"),
+            Err(XmlError::UnknownEntity { .. })
+        ));
+    }
+
+    #[test]
+    fn lt_in_attribute_rejected() {
+        assert!(parse_events(r#"<r a="<"/>"#).is_err());
+    }
+
+    #[test]
+    fn prefixed_names_parse() {
+        let evs = parse_events(r#"<r><phys:line n="1">x</phys:line></r>"#).unwrap();
+        match &evs[1] {
+            Event::StartElement { name, .. } => {
+                assert_eq!(name.prefix.as_deref(), Some("phys"));
+                assert_eq!(name.local, "line");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positions_reported() {
+        let evs = parse_events("<r>\n  <w>x</w>\n</r>").unwrap();
+        let wpos = evs[2].pos().unwrap();
+        assert_eq!(wpos.line, 2);
+        assert_eq!(wpos.col, 3);
+    }
+
+    #[test]
+    fn eof_idempotent() {
+        let mut r = Reader::new("<a/>");
+        loop {
+            if matches!(r.next_event().unwrap(), Event::Eof) {
+                break;
+            }
+        }
+        assert!(matches!(r.next_event().unwrap(), Event::Eof));
+        assert!(matches!(r.next_event().unwrap(), Event::Eof));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut doc = String::new();
+        for _ in 0..500 {
+            doc.push_str("<d>");
+        }
+        doc.push('x');
+        for _ in 0..500 {
+            doc.push_str("</d>");
+        }
+        let evs = parse_events(&doc).unwrap();
+        assert_eq!(evs.len(), 1001);
+    }
+
+    #[test]
+    fn end_tag_with_whitespace() {
+        let evs = parse_events("<a>x</a >").unwrap();
+        assert_eq!(evs.len(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Hierarchy filtering: project a multihierarchical document onto a subset
+//! of its hierarchies (paper §4, *Document manipulation*: "the filtering
+//! feature for partially viewing and/or exporting a subset of document
+//! encodings").
+
+use goddag::{Goddag, GoddagBuilder, HierarchyId, RangeSpec};
+use sacx::{Result, SacxError};
+
+/// Build a new GODDAG containing only the selected hierarchies (content and
+/// root are preserved; hierarchy ids are renumbered in `keep` order).
+pub fn filter_hierarchies(g: &Goddag, keep: &[HierarchyId]) -> Result<Goddag> {
+    for &h in keep {
+        g.hierarchy(h).map_err(SacxError::Goddag)?;
+    }
+    let mut b = GoddagBuilder::new(g.name(g.root()).expect("root is named").clone());
+    b.root_attrs(g.attrs(g.root()).to_vec());
+    b.content(g.content());
+    for (new_idx, &h) in keep.iter().enumerate() {
+        let _ = new_idx;
+        let name = g.hierarchy(h).map_err(SacxError::Goddag)?.name.clone();
+        let nh = b.hierarchy(name);
+        let mut elems: Vec<_> = g.elements_in(h).collect();
+        elems.sort_by_key(|&e| g.doc_order_key(e));
+        for e in elems {
+            let (start, end) = g.char_range(e);
+            b.range_spec(RangeSpec {
+                hierarchy: nh,
+                name: g.name(e).expect("elements are named").clone(),
+                attrs: g.attrs(e).to_vec(),
+                start,
+                end,
+            });
+        }
+    }
+    b.finish().map_err(SacxError::Goddag)
+}
+
+/// Export only the selected hierarchies as distributed documents.
+pub fn export_filtered(g: &Goddag, keep: &[HierarchyId]) -> Result<Vec<(String, String)>> {
+    let filtered = filter_hierarchies(g, keep)?;
+    sacx::export_distributed(&filtered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goddag::check_invariants;
+
+    fn sample() -> Goddag {
+        sacx::parse_distributed(&[
+            ("phys", "<r><line>ab cd</line> <line>ef</line></r>"),
+            ("ling", "<r><w>ab</w> <s>cd ef</s></r>"),
+            ("edit", "<r>a<dmg>b cd e</dmg>f</r>"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_keeps_selected_only() {
+        let g = sample();
+        let phys = g.hierarchy_by_name("phys").unwrap();
+        let ling = g.hierarchy_by_name("ling").unwrap();
+        let f = filter_hierarchies(&g, &[phys, ling]).unwrap();
+        check_invariants(&f).unwrap();
+        assert_eq!(f.hierarchy_count(), 2);
+        assert_eq!(f.content(), g.content());
+        assert!(f.find_elements("dmg").is_empty());
+        assert_eq!(f.find_elements("line").len(), 2);
+        assert_eq!(f.find_elements("w").len(), 1);
+    }
+
+    #[test]
+    fn filter_single_hierarchy_matches_to_xml() {
+        let g = sample();
+        let phys = g.hierarchy_by_name("phys").unwrap();
+        let f = filter_hierarchies(&g, &[phys]).unwrap();
+        // Serializing the filtered single hierarchy equals projecting the
+        // original.
+        assert_eq!(
+            f.to_xml(goddag::HierarchyId(0)).unwrap(),
+            g.to_xml(phys).unwrap()
+        );
+    }
+
+    #[test]
+    fn filter_reorders_hierarchies() {
+        let g = sample();
+        let ling = g.hierarchy_by_name("ling").unwrap();
+        let phys = g.hierarchy_by_name("phys").unwrap();
+        let f = filter_hierarchies(&g, &[ling, phys]).unwrap();
+        assert_eq!(f.hierarchy(goddag::HierarchyId(0)).unwrap().name, "ling");
+        assert_eq!(f.hierarchy(goddag::HierarchyId(1)).unwrap().name, "phys");
+    }
+
+    #[test]
+    fn filter_unknown_hierarchy_rejected() {
+        let g = sample();
+        assert!(filter_hierarchies(&g, &[goddag::HierarchyId(99)]).is_err());
+    }
+
+    #[test]
+    fn leaves_coalesce_in_projection() {
+        // Removing a hierarchy with many boundaries reduces the leaf count:
+        // the projection rebuilds leaves only at kept boundaries.
+        let g = sample();
+        let phys = g.hierarchy_by_name("phys").unwrap();
+        let f = filter_hierarchies(&g, &[phys]).unwrap();
+        assert!(f.leaf_count() <= g.leaf_count());
+    }
+
+    #[test]
+    fn export_filtered_documents() {
+        let g = sample();
+        let phys = g.hierarchy_by_name("phys").unwrap();
+        let docs = export_filtered(&g, &[phys]).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].0, "phys");
+        assert!(docs[0].1.contains("<line>"));
+    }
+}

@@ -1,0 +1,87 @@
+//! A stand-off annotation pipeline: the workflow of a linguistic annotation
+//! project layered on top of an existing edition.
+//!
+//! Scenario: the physical transcription exists (phys hierarchy). An
+//! automatic tokenizer adds a word layer as stand-off records; a human
+//! annotator adds clause spans that freely cross line breaks; the combined
+//! document is saved as an edition bundle and queried. At no point does
+//! anyone edit the original XML.
+//!
+//! Run with: `cargo run --example annotation_pipeline`
+
+use sacx::{Annotation, StandoffDoc};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // The existing edition: physical lines only.
+    // ------------------------------------------------------------------
+    let base = "<r><line n=\"1\">hwaet we gardena in geardagum</line> \
+<line n=\"2\">theodcyninga thrym gefrunon</line></r>";
+    let g = sacx::parse_distributed(&[("phys", base)]).unwrap();
+    println!("base edition: {} lines, content {:?}\n", g.find_elements("line").len(), g.content());
+
+    // ------------------------------------------------------------------
+    // Export to stand-off; a "tokenizer" appends word annotations.
+    // ------------------------------------------------------------------
+    let mut standoff = StandoffDoc::from_goddag(&g);
+    standoff.hierarchies.push("ling".to_string());
+    let ling_idx = (standoff.hierarchies.len() - 1) as u16;
+
+    let content = standoff.content.clone();
+    let mut token_count = 0;
+    // Clause annotations (added by the "annotator") cross the line break.
+    standoff.annotations.push(Annotation {
+        hierarchy: ling_idx,
+        tag: "clause".into(),
+        start: content.find("gardena").unwrap(),
+        end: content.find("thrym").unwrap() - 1,
+        attrs: vec![("type".into(), "subordinate".into())],
+    });
+    // Tokens from a trivial whitespace tokenizer.
+    let mut offset = 0usize;
+    for token in content.split(' ') {
+        if !token.is_empty() {
+            token_count += 1;
+            standoff.annotations.push(Annotation {
+                hierarchy: ling_idx,
+                tag: "w".into(),
+                start: offset,
+                end: offset + token.len(),
+                attrs: vec![("n".into(), token_count.to_string())],
+            });
+        }
+        offset += token.len() + 1;
+    }
+    println!("tokenizer added {token_count} <w> records + 1 <clause> (stand-off, no XML edited)");
+
+    // ------------------------------------------------------------------
+    // Materialize the combined GODDAG and query across layers.
+    // ------------------------------------------------------------------
+    let combined = standoff.to_goddag().expect("annotations are well-nested per layer");
+    goddag::check_invariants(&combined).unwrap();
+    let ev = expath::Evaluator::with_index(&combined);
+
+    println!("\ncombined model: {} elements in {} hierarchies", combined.element_count(), combined.hierarchy_count());
+    let crossing = ev.select("//clause/overlapping::phys:line").unwrap();
+    println!("the clause crosses {} physical line(s):", crossing.len());
+    for line in crossing {
+        println!("  line {:?}: {:?}", combined.attr(line, "n").unwrap_or("?"), combined.text_of(line));
+    }
+    let words_in_l2 = ev.select("//line[@n='2']/contained::ling:w").unwrap();
+    println!(
+        "words fully inside line 2: {:?}",
+        words_in_l2.iter().map(|&w| combined.text_of(w)).collect::<Vec<_>>()
+    );
+
+    // ------------------------------------------------------------------
+    // Persist the annotated edition with its DTDs as one bundle.
+    // ------------------------------------------------------------------
+    let mut with_dtds = combined;
+    let phys = with_dtds.hierarchy_by_name("phys").unwrap();
+    with_dtds.set_dtd(phys, corpus::dtds::phys()).unwrap();
+    let bundle = xtagger::save_edition(&with_dtds);
+    println!("\nedition bundle: {} bytes (document + DTDs, single file)", bundle.len());
+    let reloaded = xtagger::load_edition(&bundle).unwrap();
+    assert_eq!(reloaded.element_count(), with_dtds.element_count());
+    println!("reloaded: {} elements — annotation round trip complete", reloaded.element_count());
+}

@@ -1,0 +1,39 @@
+//! # cxml — a framework for processing complex document-centric XML with
+//! overlapping structures
+//!
+//! A Rust implementation of Iacob & Dekhtyar's SIGMOD 2005 framework for
+//! *concurrent XML*: documents whose content carries markup from several
+//! independent hierarchies that may overlap each other.
+//!
+//! The facade re-exports the whole stack:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`xmlcore`] | XML substrate: pull parser, writer, DOM, DTD engine |
+//! | [`goddag`] | the GODDAG data model (shared root, shared leaves, one tree per hierarchy) |
+//! | [`sacx`] | SACX parser + representation drivers (distributed / fragmentation / milestones / stand-off) |
+//! | [`expath`] | Extended XPath with the `overlapping`, `containing`, `contained`, `co-extensive` axes |
+//! | [`prevalid`] | potential-validity checking (prevalidation) |
+//! | [`xtagger`] | editing sessions: suggestions, prevalidation gate, undo/redo, filtering |
+//! | [`corpus`] | synthetic manuscript workloads + the paper's Figure 1 reconstruction |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! // Four conflicting encodings of the same text (the paper's Figure 1):
+//! let g = corpus::figure1::goddag();
+//!
+//! // One query language over all of them — including questions XPath
+//! // cannot ask, like "which words does the damage overlap?":
+//! let ev = expath::Evaluator::with_index(&g);
+//! let damaged = ev.select("//dmg/overlapping::ling:w").unwrap();
+//! assert!(!damaged.is_empty());
+//! ```
+
+pub use corpus;
+pub use expath;
+pub use goddag;
+pub use prevalid;
+pub use sacx;
+pub use xmlcore;
+pub use xtagger;

@@ -1,0 +1,125 @@
+//! Experiment F2: the GODDAG of the Figure 1 document (paper Figure 2) —
+//! shared root on top, shared leaves at the bottom, one element tree per
+//! hierarchy in between, united at root and leaf level.
+
+use corpus::figure1;
+use goddag::NodeKind;
+
+#[test]
+fn leaves_are_the_markup_boundary_partition() {
+    let g = figure1::goddag();
+    // Boundaries come from all four hierarchies: line break, word breaks,
+    // res start (mid-word), dmg start/end (mid-word).
+    let leaf_texts: Vec<String> = g
+        .leaves()
+        .iter()
+        .map(|&l| g.leaf_text(l).unwrap().to_string())
+        .collect();
+    assert_eq!(leaf_texts.concat(), figure1::CONTENT);
+    // The mid-word splits exist: "ealdspell" shatters into "ea" (res
+    // boundary), "ld" (line break), "sp" (dmg end), "ell".
+    for piece in ["ea", "ld", "sp", "ell"] {
+        assert!(leaf_texts.iter().any(|t| t == piece), "{piece}: {leaf_texts:?}");
+    }
+}
+
+#[test]
+fn every_hierarchy_reaches_every_leaf() {
+    let g = figure1::goddag();
+    for h in g.hierarchy_ids() {
+        let frontier: Vec<_> = g
+            .descendants_in(g.root(), h)
+            .into_iter()
+            .filter(|&n| g.is_leaf(n))
+            .collect();
+        assert_eq!(frontier.len(), g.leaf_count(), "hierarchy {h}");
+    }
+}
+
+#[test]
+fn shared_leaves_have_one_parent_per_hierarchy() {
+    let g = figure1::goddag();
+    for &leaf in g.leaves() {
+        for h in g.hierarchy_ids() {
+            let p = g.parent_in(leaf, h).expect("leaf reachable in every hierarchy");
+            // The parent is an element of h, or the shared root.
+            assert!(g.is_root(p) || g.hierarchy_of(p) == Some(h));
+        }
+    }
+}
+
+#[test]
+fn navigation_crosses_structures_via_root_and_leaves() {
+    // Paper §3: "navigation from one structure to another is done through
+    // root node or leaf (text) nodes."
+    let g = figure1::goddag();
+    let ling = g.hierarchy_by_name("ling").unwrap();
+    let phys = g.hierarchy_by_name("phys").unwrap();
+    // Start at a word, drop to its first leaf, climb into phys.
+    let w = g.find_element(ling, "w").unwrap();
+    let leaf = g.leaves_of(w)[0];
+    let line = g.parent_in(leaf, phys).unwrap();
+    assert_eq!(g.name(line).unwrap().local, "line");
+    // The same hop through the root: root's phys children include that line.
+    assert!(g.children_in(g.root(), phys).contains(&line));
+}
+
+#[test]
+fn node_inventory_matches_figure() {
+    let g = figure1::goddag();
+    let mut elements = 0;
+    let mut leaves = 0;
+    for i in 0..g.arena_len() as u32 {
+        let id = goddag::NodeId(i);
+        if !g.is_alive(id) {
+            continue;
+        }
+        match g.kind(id) {
+            NodeKind::Element { .. } => elements += 1,
+            NodeKind::Leaf { .. } => leaves += 1,
+            NodeKind::Root { .. } => {}
+        }
+    }
+    assert_eq!(elements, 12);
+    assert_eq!(leaves, g.leaf_count());
+    // 4 hierarchies, one root, content split into >= 13 pieces by the
+    // combined boundaries.
+    assert!(g.leaf_count() >= 13, "leaf count {}", g.leaf_count());
+}
+
+#[test]
+fn dot_rendering_contains_all_nodes_and_edges() {
+    let g = figure1::goddag();
+    let dot = g.to_dot(&goddag::DotOptions::default());
+    // One cluster per hierarchy.
+    for h in 0..4 {
+        assert!(dot.contains(&format!("cluster_{h}")), "{dot}");
+    }
+    // Every element appears as a node line.
+    for e in g.elements() {
+        assert!(dot.contains(&format!("n{} [", e.0)));
+    }
+    // Edge count: every hierarchy reaches all leaves + its elements.
+    let edge_count = dot.matches(" -> ").count();
+    let expected: usize = g
+        .hierarchy_ids()
+        .map(|h| g.descendants_in(g.root(), h).len())
+        .sum();
+    assert_eq!(edge_count, expected);
+}
+
+#[test]
+fn doc_order_is_total_and_stable() {
+    let g = figure1::goddag();
+    let mut all: Vec<goddag::NodeId> = (0..g.arena_len() as u32)
+        .map(goddag::NodeId)
+        .filter(|&n| g.is_alive(n))
+        .collect();
+    g.sort_doc_order(&mut all);
+    // Root first.
+    assert_eq!(all[0], g.root());
+    // Keys strictly increase (total order, no duplicates).
+    for w in all.windows(2) {
+        assert!(g.doc_order_key(w[0]) < g.doc_order_key(w[1]));
+    }
+}

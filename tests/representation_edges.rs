@@ -1,0 +1,227 @@
+//! Edge cases of the representation drivers that the happy-path round trips
+//! don't reach: deep nesting, markup-dense boundaries, XML-hostile content,
+//! heavy fragmentation, milestone pile-ups at one offset, and driver
+//! cross-compatibility.
+
+use goddag::{check_invariants, Goddag, GoddagBuilder};
+use sacx::Driver;
+use xmlcore::{Attribute, QName};
+
+fn spans_of(g: &Goddag) -> Vec<(String, usize, usize)> {
+    let mut v: Vec<(String, usize, usize)> = g
+        .elements()
+        .map(|e| {
+            let (s, en) = g.char_range(e);
+            (g.name(e).unwrap().local.clone(), s, en)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn assert_full_roundtrip(g: &Goddag, dominant: &str) {
+    for driver in sacx::builtin_drivers(dominant) {
+        let out = driver.export(g).unwrap_or_else(|e| panic!("{}: {e}", driver.name()));
+        let back = driver
+            .import(&out)
+            .unwrap_or_else(|e| panic!("{} import: {e}\n{out}", driver.name()));
+        check_invariants(&back).unwrap();
+        assert_eq!(back.content(), g.content(), "{}", driver.name());
+        assert_eq!(spans_of(&back), spans_of(g), "{}", driver.name());
+    }
+}
+
+#[test]
+fn deep_nesting_within_one_hierarchy() {
+    let mut b = GoddagBuilder::new(QName::parse("r").unwrap());
+    let content = "x".repeat(64);
+    b.content(content);
+    let h = b.hierarchy("deep");
+    // 32 levels of nesting: [0,64), [1,63), [2,62), ...
+    for i in 0..32usize {
+        b.range(h, &format!("d{i}"), vec![], i, 64 - i).unwrap();
+    }
+    let other = b.hierarchy("other");
+    b.range(other, "cross", vec![], 30, 50).unwrap();
+    let g = b.finish().unwrap();
+    check_invariants(&g).unwrap();
+    assert_full_roundtrip(&g, "deep");
+}
+
+#[test]
+fn every_offset_is_a_boundary() {
+    // Markup so dense that every char is its own leaf.
+    let mut b = GoddagBuilder::new(QName::parse("r").unwrap());
+    b.content("abcdefgh");
+    let h0 = b.hierarchy("a");
+    let h1 = b.hierarchy("b");
+    for i in 0..8usize {
+        b.range(h0, "c", vec![], i, i + 1).unwrap();
+    }
+    // Offset-by-one windows in the other hierarchy: pairwise overlap.
+    for i in (0..7usize).step_by(2) {
+        b.range(h1, "win", vec![], i, i + 2).unwrap();
+    }
+    let g = b.finish().unwrap();
+    assert_eq!(g.leaf_count(), 8);
+    assert_full_roundtrip(&g, "a");
+}
+
+#[test]
+fn xml_hostile_content_and_attrs_through_all_drivers() {
+    let mut b = GoddagBuilder::new(QName::parse("r").unwrap());
+    b.content("a<b>&'\"]]>c\nd\te æþð");
+    let h0 = b.hierarchy("m");
+    let h1 = b.hierarchy("n");
+    b.range(h0, "e", vec![Attribute::new("v", "<&\">'\n\t")], 0, 9).unwrap();
+    b.range(h1, "f", vec![Attribute::new("w", "]]>")], 5, 14).unwrap();
+    let g = b.finish().unwrap();
+    assert_full_roundtrip(&g, "m");
+    // Attribute values survive exactly.
+    for driver in sacx::builtin_drivers("m") {
+        let back = driver.import(&driver.export(&g).unwrap()).unwrap();
+        let e = back.find_elements("e")[0];
+        assert_eq!(back.attr(e, "v"), Some("<&\">'\n\t"), "{}", driver.name());
+        let f = back.find_elements("f")[0];
+        assert_eq!(back.attr(f, "w"), Some("]]>"), "{}", driver.name());
+    }
+}
+
+#[test]
+fn many_milestones_at_one_offset() {
+    let mut b = GoddagBuilder::new(QName::parse("r").unwrap());
+    b.content("ab");
+    let h0 = b.hierarchy("a");
+    let h1 = b.hierarchy("b");
+    for i in 0..5 {
+        b.range(h0, "pa", vec![Attribute::new("n", i.to_string())], 1, 1).unwrap();
+        b.range(h1, "pb", vec![Attribute::new("n", i.to_string())], 1, 1).unwrap();
+    }
+    let g = b.finish().unwrap();
+    assert_eq!(g.element_count(), 10);
+    assert_full_roundtrip(&g, "a");
+    // Order of same-offset milestones within one hierarchy is preserved.
+    for driver in sacx::builtin_drivers("a") {
+        let back = driver.import(&driver.export(&g).unwrap()).unwrap();
+        let ha = back.hierarchy_by_name("a").unwrap();
+        let ns: Vec<String> = back
+            .elements_in(ha)
+            .filter(|&e| back.name(e).unwrap().local == "pa")
+            .map(|e| back.attr(e, "n").unwrap().to_string())
+            .collect();
+        let mut sorted = ns.clone();
+        sorted.sort();
+        assert_eq!(ns, sorted, "{} scrambled milestone order", driver.name());
+    }
+}
+
+#[test]
+fn maximal_fragmentation_staircase() {
+    // A staircase of mutually overlapping ranges across 4 hierarchies —
+    // every element crosses its neighbours, maximal forced fragmentation.
+    let mut b = GoddagBuilder::new(QName::parse("r").unwrap());
+    let n = 40usize;
+    b.content("y".repeat(n + 10));
+    for hi in 0..4usize {
+        let h = b.hierarchy(format!("h{hi}"));
+        let mut i = hi * 2;
+        while i + 8 <= n {
+            b.range(h, "step", vec![], i, i + 8).unwrap();
+            i += 8;
+        }
+    }
+    let g = b.finish().unwrap();
+    let frags = sacx::count_fragments(&g, &sacx::FragmentationOptions::default()).unwrap();
+    assert!(frags > 0);
+    assert_full_roundtrip(&g, "h0");
+}
+
+#[test]
+fn empty_content_all_drivers() {
+    let mut b = GoddagBuilder::new(QName::parse("r").unwrap());
+    let h = b.hierarchy("a");
+    b.range(h, "pb", vec![], 0, 0).unwrap();
+    let _ = b.hierarchy("b");
+    let g = b.finish().unwrap();
+    assert_eq!(g.content(), "");
+    assert_full_roundtrip(&g, "a");
+}
+
+#[test]
+fn fragmentation_chooses_minimal_fragments_for_nested_input() {
+    // Purely nested ranges need no fragments at all, even across
+    // hierarchies, as long as they don't cross.
+    let g = sacx::parse_distributed(&[
+        ("a", "<r><o><i>xy</i>z</o>w</r>"),
+        ("b", "<r><p>xyzw</p></r>"),
+    ])
+    .unwrap();
+    assert_eq!(
+        sacx::count_fragments(&g, &sacx::FragmentationOptions::default()).unwrap(),
+        0
+    );
+}
+
+#[test]
+fn milestone_dominant_with_no_other_hierarchies() {
+    let g = sacx::parse_distributed(&[("only", "<r><a>x</a>y</r>")]).unwrap();
+    let ms = sacx::MilestoneDriver::new("only");
+    let out = ms.export(&g).unwrap();
+    // Nothing to milestone: the output is the plain document.
+    assert_eq!(out, "<r><a>x</a>y</r>");
+    let back = ms.import(&out).unwrap();
+    assert_eq!(spans_of(&back), spans_of(&g));
+}
+
+#[test]
+fn standoff_tolerates_reordered_annotations() {
+    // Stand-off annotations listed in any order produce the same model as
+    // long as same-hierarchy nesting stays resolvable (outer spans first is
+    // the builder's tie rule; distinct spans are order-independent).
+    let text = "#cxml-standoff v1\nroot r\nhierarchy a\ncontent 6\nabcdef\n\
+                annot 0 inner 2 4\nannot 0 outer 0 6\n";
+    let g = sacx::import_standoff(text).unwrap();
+    let outer = g.find_elements("outer")[0];
+    let inner = g.find_elements("inner")[0];
+    let a = g.hierarchy_by_name("a").unwrap();
+    assert_eq!(g.parent_in(inner, a), Some(outer));
+}
+
+#[test]
+fn unicode_heavy_document() {
+    // Multi-byte chars at every boundary.
+    let content = "æþðæþðæþð"; // 9 chars, 18 bytes
+    let mut b = GoddagBuilder::new(QName::parse("r").unwrap());
+    b.content(content);
+    let h0 = b.hierarchy("x");
+    let h1 = b.hierarchy("y");
+    b.range(h0, "e", vec![], 0, 6).unwrap(); // æþð
+    b.range(h0, "e", vec![], 6, 12).unwrap();
+    b.range(h1, "o", vec![], 4, 10).unwrap(); // crosses both
+    let g = b.finish().unwrap();
+    let e0 = g.find_elements("e")[0];
+    let o = g.find_elements("o")[0];
+    assert!(g.span(e0).overlaps(g.span(o)));
+    assert_full_roundtrip(&g, "x");
+}
+
+#[test]
+fn edition_bundle_through_representations() {
+    // A document that went through every driver still saves/loads as an
+    // edition bundle with DTDs intact.
+    let mut g = corpus::figure1::goddag();
+    corpus::dtds::attach_standard(&mut g);
+    let frag = sacx::FragmentationDriver::default();
+    let g2 = frag.import(&frag.export(&g).unwrap()).unwrap();
+    // DTDs are not carried by surface XML representations — reattach, then
+    // bundle.
+    let mut g2 = g2;
+    corpus::dtds::attach_standard(&mut g2);
+    let bundle = xtagger::save_edition(&g2);
+    let g3 = xtagger::load_edition(&bundle).unwrap();
+    assert_eq!(spans_of(&g3), spans_of(&g));
+    assert!(g3
+        .hierarchy_ids()
+        .filter(|&h| g3.hierarchy(h).unwrap().dtd.is_some())
+        .count() >= 2);
+}

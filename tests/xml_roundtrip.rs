@@ -1,0 +1,162 @@
+//! Property tests on the XML substrate: random document trees serialized by
+//! the writer must re-parse to the same tree, with content and structure
+//! preserved — the foundation every representation driver stands on.
+
+use proptest::prelude::*;
+use xmlcore::dom::{Document, DomNode};
+use xmlcore::{Attribute, QName};
+
+/// A recursive random XML tree description.
+#[derive(Debug, Clone)]
+enum Tree {
+    Element { name: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+    Text(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec![
+        "r", "line", "w", "s", "dmg", "res", "page", "pb", "phrase", "seg",
+    ])
+    .prop_map(str::to_string)
+}
+
+/// Text including XML-hostile characters.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![
+            'a', 'b', ' ', '<', '>', '&', '\'', '"', 'æ', 'þ', '\n', '\t', ']', '!',
+        ]),
+        1..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn attr_strategy() -> impl Strategy<Value = (String, String)> {
+    (name_strategy(), text_strategy())
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Tree::Text),
+        (name_strategy(), proptest::collection::vec(attr_strategy(), 0..3)).prop_map(
+            |(name, attrs)| Tree::Element { name, attrs, children: vec![] }
+        ),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec(attr_strategy(), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| Tree::Element { name, attrs, children })
+    })
+}
+
+fn build_dom(tree: &Tree) -> Document {
+    fn add(doc: &mut Document, parent: xmlcore::dom::DomId, tree: &Tree) {
+        match tree {
+            Tree::Text(t) => {
+                doc.append(parent, DomNode::Text(t.clone()));
+            }
+            Tree::Element { name, attrs, children } => {
+                // Attribute names must be unique on an element: keep the
+                // first occurrence of each generated name.
+                let mut seen = std::collections::HashSet::new();
+                let attrs: Vec<Attribute> = attrs
+                    .iter()
+                    .filter(|(n, _)| seen.insert(n.clone()))
+                    .map(|(n, v)| Attribute::new(n.as_str(), v.clone()))
+                    .collect();
+                let id = doc.append(
+                    parent,
+                    DomNode::Element { name: QName::parse(name).unwrap(), attrs },
+                );
+                for c in children {
+                    add(doc, id, c);
+                }
+            }
+        }
+    }
+    let mut doc = Document::with_root(QName::parse("r").unwrap(), vec![]);
+    let root = doc.root();
+    add(&mut doc, root, tree);
+    doc
+}
+
+/// Structure signature: element names, attrs and merged text runs in order.
+fn signature(doc: &Document, id: xmlcore::dom::DomId, out: &mut Vec<String>) {
+    match doc.node(id) {
+        DomNode::Element { name, attrs } => {
+            let mut sig = format!("<{name}");
+            for a in attrs {
+                sig.push_str(&format!(" {}={:?}", a.name, a.value));
+            }
+            out.push(sig);
+            // Merge adjacent text children (the reader coalesces them).
+            let mut pending_text = String::new();
+            for &c in doc.children(id) {
+                if let DomNode::Text(t) = doc.node(c) {
+                    pending_text.push_str(t);
+                } else {
+                    if !pending_text.is_empty() {
+                        out.push(format!("T{pending_text:?}"));
+                        pending_text.clear();
+                    }
+                    signature(doc, c, out);
+                }
+            }
+            if !pending_text.is_empty() {
+                out.push(format!("T{pending_text:?}"));
+            }
+            out.push(format!("</{name}"));
+        }
+        DomNode::Text(t) => out.push(format!("T{t:?}")),
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn writer_reader_roundtrip(tree in tree_strategy()) {
+        let doc = build_dom(&tree);
+        let xml = doc.to_xml().unwrap();
+        let reparsed = Document::parse(&xml)
+            .unwrap_or_else(|e| panic!("serialized XML failed to parse: {e}\n{xml}"));
+        let mut sig_a = Vec::new();
+        let mut sig_b = Vec::new();
+        signature(&doc, doc.root(), &mut sig_a);
+        signature(&reparsed, reparsed.root(), &mut sig_b);
+        prop_assert_eq!(sig_a, sig_b, "{}", xml);
+        // Content identical.
+        prop_assert_eq!(
+            reparsed.text_content(reparsed.root()),
+            doc.text_content(doc.root())
+        );
+    }
+
+    #[test]
+    fn double_roundtrip_is_fixpoint(tree in tree_strategy()) {
+        let doc = build_dom(&tree);
+        let once = doc.to_xml().unwrap();
+        let twice = Document::parse(&once).unwrap().to_xml().unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn escaped_text_never_breaks_wellformedness(t in text_strategy()) {
+        let escaped = xmlcore::escape::escape_text(&t);
+        let doc = format!("<r>{escaped}</r>");
+        let parsed = Document::parse(&doc).unwrap();
+        prop_assert_eq!(parsed.text_content(parsed.root()), t);
+    }
+
+    #[test]
+    fn escaped_attrs_never_break_wellformedness(v in text_strategy()) {
+        let escaped = xmlcore::escape::escape_attr(&v);
+        let doc = format!("<r a=\"{escaped}\"/>");
+        let parsed = Document::parse(&doc).unwrap();
+        prop_assert_eq!(parsed.attr(parsed.root(), "a").unwrap(), v);
+    }
+}
