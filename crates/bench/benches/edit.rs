@@ -12,11 +12,11 @@
 //!   price the cache adds to every edit (a full renumber pass).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use cxml_bench::{workload, SIZES};
 use goddag::{Goddag, NodeId, Span};
 use prevalid::PrevalidEngine;
 use std::hint::black_box;
+use std::time::Duration;
 use xtagger::Session;
 
 fn session_for(words: usize) -> (Session, goddag::HierarchyId, (usize, usize)) {

@@ -12,9 +12,9 @@
 //!   (extract + merge, no GODDAG materialization).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use cxml_bench::{workload, workload_hierarchies, SIZES};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_parse(c: &mut Criterion) {
     let mut group = c.benchmark_group("parse");
@@ -25,13 +25,9 @@ fn bench_parse(c: &mut Criterion) {
     for &words in SIZES {
         let w = workload(words);
         group.throughput(Throughput::Bytes(w.xml_bytes as u64));
-        group.bench_with_input(
-            BenchmarkId::new("distributed", words),
-            &w,
-            |b, w| {
-                b.iter(|| sacx::parse_distributed(black_box(&w.distributed)).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("distributed", words), &w, |b, w| {
+            b.iter(|| sacx::parse_distributed(black_box(&w.distributed)).unwrap());
+        });
     }
 
     // Hierarchy-count sweep at a fixed size.
@@ -50,13 +46,9 @@ fn bench_parse(c: &mut Criterion) {
         let w = workload(words);
         let phys_doc = w.distributed[0].1.clone();
         group.throughput(Throughput::Bytes(phys_doc.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("baseline_dom", words),
-            &phys_doc,
-            |b, doc| {
-                b.iter(|| xmlcore::dom::Document::parse(black_box(doc)).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("baseline_dom", words), &phys_doc, |b, doc| {
+            b.iter(|| xmlcore::dom::Document::parse(black_box(doc)).unwrap());
+        });
     }
 
     // Importing the same model from one fragmented document.
@@ -65,33 +57,25 @@ fn bench_parse(c: &mut Criterion) {
         let opts = sacx::FragmentationOptions::default();
         let frag = sacx::export_fragmentation(&w.ms.goddag, &opts).unwrap();
         group.throughput(Throughput::Bytes(frag.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("fragmentation_import", words),
-            &frag,
-            |b, doc| {
-                b.iter(|| sacx::import_fragmentation(black_box(doc), &opts).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fragmentation_import", words), &frag, |b, doc| {
+            b.iter(|| sacx::import_fragmentation(black_box(doc), &opts).unwrap());
+        });
     }
 
     // The streaming half alone: per-document extraction + event merge.
     for &words in SIZES {
         let w = workload(words);
         group.throughput(Throughput::Bytes(w.xml_bytes as u64));
-        group.bench_with_input(
-            BenchmarkId::new("event_stream", words),
-            &w,
-            |b, w| {
-                b.iter(|| {
-                    let extracted: Vec<_> = w
-                        .distributed
-                        .iter()
-                        .map(|(n, x)| sacx::extract(black_box(x), n).unwrap())
-                        .collect();
-                    sacx::merge_events(&extracted)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("event_stream", words), &w, |b, w| {
+            b.iter(|| {
+                let extracted: Vec<_> = w
+                    .distributed
+                    .iter()
+                    .map(|(n, x)| sacx::extract(black_box(x), n).unwrap())
+                    .collect();
+                sacx::merge_events(&extracted)
+            });
+        });
     }
 
     group.finish();

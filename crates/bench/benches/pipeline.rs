@@ -10,19 +10,16 @@
 //!   traditional one cannot express; the comparison prices that capability;
 //! * `pipeline/concurrent_parallel/{words}` — the read-only query stage
 //!   fanned out over 4 threads sharing one GODDAG (`&Goddag` is `Sync`;
-//!   crossbeam scoped threads), the concurrency story for servers.
+//!   std scoped threads), the concurrency story for servers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use cxml_bench::{workload, SIZES};
 use expath::Evaluator;
 use std::hint::black_box;
+use std::time::Duration;
 
-const PIPELINE_QUERIES: &[&str] = &[
-    "//s/overlapping::phys:line",
-    "//dmg/overlapping::ling:w",
-    "count(//ling:w)",
-];
+const PIPELINE_QUERIES: &[&str] =
+    &["//s/overlapping::phys:line", "//dmg/overlapping::ling:w", "count(//ling:w)"];
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
@@ -52,29 +49,25 @@ fn bench_pipeline(c: &mut Criterion) {
         });
 
         let phys_doc = w.distributed[0].1.clone();
-        group.bench_with_input(
-            BenchmarkId::new("traditional", words),
-            &phys_doc,
-            |b, doc| {
-                b.iter(|| {
-                    let dom = xmlcore::dom::Document::parse(black_box(doc)).unwrap();
-                    // The only questions the classic pipeline can answer are
-                    // within-hierarchy ones.
-                    let lines = dom.elements_named(dom.root(), "line").len();
-                    let out = dom.to_xml().unwrap();
-                    (lines, out.len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("traditional", words), &phys_doc, |b, doc| {
+            b.iter(|| {
+                let dom = xmlcore::dom::Document::parse(black_box(doc)).unwrap();
+                // The only questions the classic pipeline can answer are
+                // within-hierarchy ones.
+                let lines = dom.elements_named(dom.root(), "line").len();
+                let out = dom.to_xml().unwrap();
+                (lines, out.len())
+            });
+        });
 
         group.bench_with_input(BenchmarkId::new("concurrent_parallel", words), &w, |b, w| {
             let g = sacx::parse_distributed(&w.distributed).unwrap();
             let ev = Evaluator::with_index(&g);
             b.iter(|| {
-                crossbeam::scope(|scope| {
+                std::thread::scope(|scope| {
                     let mut handles = Vec::new();
                     for _ in 0..4 {
-                        handles.push(scope.spawn(|_| {
+                        handles.push(scope.spawn(|| {
                             let mut total = 0usize;
                             for q in PIPELINE_QUERIES {
                                 if let expath::Value::Nodes(ns) = ev.eval_str(q).unwrap() {
@@ -86,7 +79,6 @@ fn bench_pipeline(c: &mut Criterion) {
                     }
                     handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
                 })
-                .unwrap()
             });
         });
     }

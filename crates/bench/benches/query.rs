@@ -11,10 +11,10 @@
 //! * `query/index_build/{words}` — one-off index construction cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use cxml_bench::{workload, SIZES};
 use expath::Evaluator;
 use std::hint::black_box;
+use std::time::Duration;
 
 /// The editorial query set (paper §4: "meaningful queries in the context of
 /// multihierarchical XML").

@@ -8,10 +8,10 @@
 //!   into/exported from a wide range of representations" claim, F4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use cxml_bench::{workload, SIZES};
 use sacx::Driver;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("roundtrip");

@@ -24,11 +24,13 @@ pub const LING: &str = "<r><s><w>ðus</w> <w>ælfred</w> <w>us</w> <w>ealdspell<
 
 /// Restoration: "ldspell reahte" restored by the editor — starts mid-word
 /// and crosses the line boundary.
-pub const RES: &str = "<r>ðus ælfred us ea<res resp=\"ed\">ldspell reahte</res> cyning westsexna</r>";
+pub const RES: &str =
+    "<r>ðus ælfred us ea<res resp=\"ed\">ldspell reahte</res> cyning westsexna</r>";
 
 /// Damage: "us ealdsp" damaged — ends mid-word, crosses the line boundary,
 /// and overlaps the restoration.
-pub const DMG: &str = "<r>ðus ælfred <dmg agent=\"fire\">us ealdsp</dmg>ell reahte cyning westsexna</r>";
+pub const DMG: &str =
+    "<r>ðus ælfred <dmg agent=\"fire\">us ealdsp</dmg>ell reahte cyning westsexna</r>";
 
 /// The four distributed documents, labelled by hierarchy.
 pub fn documents() -> Vec<(&'static str, &'static str)> {
@@ -78,9 +80,7 @@ mod tests {
         let lines = g.find_elements("line");
         let words = g.find_elements("w");
         // The line break splits "ealdspell" → a w overlaps a line.
-        assert!(words
-            .iter()
-            .any(|&w| lines.iter().any(|&l| g.span(w).overlaps(g.span(l)))));
+        assert!(words.iter().any(|&w| lines.iter().any(|&l| g.span(w).overlaps(g.span(l)))));
         // res starts mid-word ("ea|ldspell") → overlaps that w.
         assert!(words.iter().any(|&w| g.span(w).overlaps(g.span(res))));
         // dmg ends mid-word ("ealdsp|ell") → overlaps that w.

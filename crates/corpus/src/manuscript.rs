@@ -128,8 +128,8 @@ fn build_physical(
     let mut w = 0usize;
     while w < n {
         let jitter = params.words_per_line.max(2) / 2;
-        let len = params.words_per_line.max(1)
-            + gen.jitter(0, jitter.max(1) * 2).saturating_sub(jitter);
+        let len =
+            params.words_per_line.max(1) + gen.jitter(0, jitter.max(1) * 2).saturating_sub(jitter);
         let end = (w + len.max(1)).min(n);
         line_bounds.push((w, end));
         w = end;
@@ -304,7 +304,12 @@ mod tests {
 
     #[test]
     fn hierarchies_togglable() {
-        let p = Params { physical: false, damage_density: 0.0, restoration_density: 0.0, ..Params::default() };
+        let p = Params {
+            physical: false,
+            damage_density: 0.0,
+            restoration_density: 0.0,
+            ..Params::default()
+        };
         let ms = generate(&p);
         assert_eq!(ms.goddag.hierarchy_count(), 1);
         assert_eq!(ms.hierarchy_names, ["ling"]);

@@ -7,39 +7,62 @@
 //! OE-looking words from a syllable inventory drawn from the period's
 //! phonology — enough to make examples readable and encodings realistic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Minimal deterministic PRNG (splitmix64) — the build environment resolves
+/// no external crates, so this stands in for `rand::StdRng`. Statistical
+/// quality is irrelevant here: only determinism per seed and a roughly
+/// uniform spread matter for workload shape.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 /// Onsets, nuclei and codas sampled from Old English orthography.
 const ONSETS: &[&str] = &[
-    "", "b", "c", "d", "f", "g", "h", "hl", "hr", "hw", "l", "m", "n", "r", "s", "sc", "st",
-    "sw", "t", "th", "þ", "ð", "w", "wr",
+    "", "b", "c", "d", "f", "g", "h", "hl", "hr", "hw", "l", "m", "n", "r", "s", "sc", "st", "sw",
+    "t", "th", "þ", "ð", "w", "wr",
 ];
 const NUCLEI: &[&str] = &["a", "æ", "e", "ea", "eo", "i", "ie", "o", "u", "y"];
 const CODAS: &[&str] = &[
-    "", "", "d", "f", "g", "l", "ld", "m", "n", "nd", "ng", "nn", "r", "rd", "s", "st", "t",
-    "ð", "þ",
+    "", "", "d", "f", "g", "l", "ld", "m", "n", "nd", "ng", "nn", "r", "rd", "s", "st", "t", "ð",
+    "þ",
 ];
 
 /// A deterministic pseudo-Old-English word source.
 pub struct WordGen {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl WordGen {
     /// Seeded construction — the same seed yields the same corpus.
     pub fn new(seed: u64) -> WordGen {
-        WordGen { rng: StdRng::seed_from_u64(seed) }
+        WordGen { rng: SplitMix64(seed) }
     }
 
     /// One word of 1–3 syllables.
     pub fn word(&mut self) -> String {
-        let syllables = 1 + self.rng.gen_range(0..3);
+        let syllables = 1 + self.rng.below(3);
         let mut w = String::new();
         for _ in 0..syllables {
-            w.push_str(ONSETS[self.rng.gen_range(0..ONSETS.len())]);
-            w.push_str(NUCLEI[self.rng.gen_range(0..NUCLEI.len())]);
-            w.push_str(CODAS[self.rng.gen_range(0..CODAS.len())]);
+            w.push_str(ONSETS[self.rng.below(ONSETS.len())]);
+            w.push_str(NUCLEI[self.rng.below(NUCLEI.len())]);
+            w.push_str(CODAS[self.rng.below(CODAS.len())]);
         }
         w
     }
@@ -54,13 +77,13 @@ impl WordGen {
         if lo >= hi {
             lo
         } else {
-            self.rng.gen_range(lo..hi)
+            lo + self.rng.below(hi - lo)
         }
     }
 
     /// Bernoulli draw.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
+        self.rng.unit_f64() < p.clamp(0.0, 1.0)
     }
 }
 

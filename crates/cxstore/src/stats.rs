@@ -1,0 +1,94 @@
+//! Store-level observability: lock-free counters plus an aggregated
+//! snapshot building on `goddag::GoddagStats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone event counters, updated with relaxed atomics on every hot path.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    /// Single-document queries served.
+    pub queries: AtomicU64,
+    /// Batch (`query_all*`) requests served.
+    pub batch_queries: AtomicU64,
+    /// Queries answered from a cached overlap index.
+    pub index_hits: AtomicU64,
+    /// Overlap index (re)builds.
+    pub index_builds: AtomicU64,
+    /// Expressions found pre-compiled in the query cache.
+    pub query_cache_hits: AtomicU64,
+    /// Expressions that had to be parsed.
+    pub query_cache_misses: AtomicU64,
+    /// Edits applied.
+    pub edits: AtomicU64,
+    /// Edits refused by the prevalidation gate or the document.
+    pub edits_rejected: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time summary of the store: collection totals (aggregated
+/// [`goddag::GoddagStats`]) plus the event counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live documents.
+    pub docs: usize,
+    /// Live elements across all documents.
+    pub elements: usize,
+    /// Text leaves across all documents.
+    pub leaves: usize,
+    /// Content bytes across all documents (each stored once per document).
+    pub content_bytes: usize,
+    /// Estimated heap footprint of all documents.
+    pub estimated_bytes: usize,
+    /// Sum of per-document edit epochs — a proxy for total mutation volume.
+    pub epochs: u64,
+    /// Documents whose overlap index cache is valid right now.
+    pub warm_indexes: usize,
+    /// Distinct compiled expressions currently cached.
+    pub compiled_queries: usize,
+    /// Single-document queries served.
+    pub queries: u64,
+    /// Batch query requests served.
+    pub batch_queries: u64,
+    /// Queries answered from a cached overlap index.
+    pub index_hits: u64,
+    /// Overlap index (re)builds.
+    pub index_builds: u64,
+    /// Query-cache hits.
+    pub query_cache_hits: u64,
+    /// Query-cache misses (parses).
+    pub query_cache_misses: u64,
+    /// Edits applied.
+    pub edits: u64,
+    /// Edits rejected.
+    pub edits_rejected: u64,
+}
+
+impl StoreStats {
+    /// Fraction of index lookups served from cache (0 when none yet).
+    pub fn index_hit_rate(&self) -> f64 {
+        let total = self.index_hits + self.index_builds;
+        if total == 0 {
+            0.0
+        } else {
+            self.index_hits as f64 / total as f64
+        }
+    }
+}
+
+impl Counters {
+    pub(crate) fn snapshot_into(&self, s: &mut StoreStats) {
+        s.queries = self.queries.load(Ordering::Relaxed);
+        s.batch_queries = self.batch_queries.load(Ordering::Relaxed);
+        s.index_hits = self.index_hits.load(Ordering::Relaxed);
+        s.index_builds = self.index_builds.load(Ordering::Relaxed);
+        s.query_cache_hits = self.query_cache_hits.load(Ordering::Relaxed);
+        s.query_cache_misses = self.query_cache_misses.load(Ordering::Relaxed);
+        s.edits = self.edits.load(Ordering::Relaxed);
+        s.edits_rejected = self.edits_rejected.load(Ordering::Relaxed);
+    }
+}

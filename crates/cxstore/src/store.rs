@@ -1,0 +1,637 @@
+//! The repository: document registry, compiled-query cache, single and
+//! batch query paths, gated edits.
+
+use crate::edit::{EditOp, EditOutcome};
+use crate::entry::DocEntry;
+use crate::error::{Result, StoreError};
+use crate::stats::{Counters, StoreStats};
+use expath::{parse, Evaluator, Expr, Value};
+use goddag::Goddag;
+use prevalid::check_insertion;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use xmlcore::{Attribute, QName};
+
+/// Stable handle to a document in a [`Store`]. Never reused, ordered by
+/// insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(u64);
+
+impl DocId {
+    /// The raw id value (for logs and wire formats).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc#{}", self.0)
+    }
+}
+
+/// Cap on distinct compiled expressions kept alive; above it an arbitrary
+/// entry is evicted (the cache is an amortizer, not a registry).
+const QUERY_CACHE_CAP: usize = 1024;
+
+/// A thread-safe repository of GODDAG documents with epoch-validated
+/// overlap-index caches, a compiled-query cache, and a batch query service.
+/// See the crate docs for the full tour.
+#[derive(Default)]
+pub struct Store {
+    docs: RwLock<BTreeMap<DocId, Arc<DocEntry>>>,
+    names: RwLock<HashMap<String, DocId>>,
+    next_id: AtomicU64,
+    queries: RwLock<HashMap<String, Arc<Expr>>>,
+    counters: Counters,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Registry
+    // ------------------------------------------------------------------
+
+    /// Add a document; returns its permanent handle.
+    pub fn insert(&self, g: Goddag) -> DocId {
+        let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.docs_write().insert(id, Arc::new(DocEntry::new(g)));
+        id
+    }
+
+    /// Add a document under a name (replacing any previous binding of the
+    /// name, not the document it pointed to).
+    pub fn insert_named(&self, name: impl Into<String>, g: Goddag) -> DocId {
+        let id = self.insert(g);
+        self.names_write().insert(name.into(), id);
+        id
+    }
+
+    /// Add many documents.
+    pub fn insert_all(&self, docs: impl IntoIterator<Item = Goddag>) -> Vec<DocId> {
+        docs.into_iter().map(|g| self.insert(g)).collect()
+    }
+
+    /// Resolve a name to a handle.
+    pub fn id_by_name(&self, name: &str) -> Result<DocId> {
+        self.names_read().get(name).copied().ok_or_else(|| StoreError::NoSuchName(name.into()))
+    }
+
+    /// Drop a document. In-flight readers holding the entry finish
+    /// unharmed; the handle then dangles permanently. Returns whether the
+    /// handle was live.
+    pub fn remove(&self, id: DocId) -> bool {
+        let removed = self.docs_write().remove(&id).is_some();
+        if removed {
+            self.names_write().retain(|_, v| *v != id);
+        }
+        removed
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.docs_read().len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.docs_read().is_empty()
+    }
+
+    /// Whether the handle is live.
+    pub fn contains(&self, id: DocId) -> bool {
+        self.docs_read().contains_key(&id)
+    }
+
+    /// All live handles, in insertion order.
+    pub fn doc_ids(&self) -> Vec<DocId> {
+        self.docs_read().keys().copied().collect()
+    }
+
+    /// Clone out a consistent snapshot of a document.
+    pub fn snapshot(&self, id: DocId) -> Result<Goddag> {
+        let entry = self.entry(id)?;
+        let g = entry.read();
+        Ok(g.clone())
+    }
+
+    /// A document's current edit epoch.
+    pub fn epoch(&self, id: DocId) -> Result<u64> {
+        let entry = self.entry(id)?;
+        let g = entry.read();
+        Ok(g.edit_epoch())
+    }
+
+    /// Run a closure against a document under its read lock.
+    pub fn with_doc<R>(&self, id: DocId, f: impl FnOnce(&Goddag) -> R) -> Result<R> {
+        let entry = self.entry(id)?;
+        let g = entry.read();
+        Ok(f(&g))
+    }
+
+    /// Run a closure against a document under its write lock — the escape
+    /// hatch for mutations [`EditOp`] does not model. The edit epoch moves
+    /// with whatever the closure does, so index caches stay correct; cached
+    /// prevalidation engines are conservatively dropped (the closure may
+    /// have swapped a DTD).
+    pub fn with_doc_mut<R>(&self, id: DocId, f: impl FnOnce(&mut Goddag) -> R) -> Result<R> {
+        let entry = self.entry(id)?;
+        let mut g = entry.write();
+        // The closure may swap a DTD (or panic mid-swap); clear cached
+        // engines *before the write lock is released* — declared after `g`
+        // so it drops first, even on unwind — so no racing edit can
+        // validate against a stale engine.
+        struct InvalidateEngines<'a>(&'a DocEntry);
+        impl Drop for InvalidateEngines<'_> {
+            fn drop(&mut self) {
+                self.0.invalidate_engines();
+            }
+        }
+        let _guard = InvalidateEngines(&entry);
+        Ok(f(&mut g))
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Compile an expression, reusing the cache. The returned AST is shared
+    /// and immutable; evaluating it never re-parses.
+    pub fn compile(&self, expr: &str) -> Result<Arc<Expr>> {
+        if let Some(ast) = self.queries_read().get(expr) {
+            Counters::bump(&self.counters.query_cache_hits);
+            return Ok(Arc::clone(ast));
+        }
+        Counters::bump(&self.counters.query_cache_misses);
+        let ast = Arc::new(parse(expr)?);
+        let mut cache = self.queries_write();
+        if cache.len() >= QUERY_CACHE_CAP && !cache.contains_key(expr) {
+            if let Some(k) = cache.keys().next().cloned() {
+                cache.remove(&k);
+            }
+        }
+        // Keep whichever AST got there first so concurrent compilers agree.
+        let ast = Arc::clone(cache.entry(expr.to_string()).or_insert(ast));
+        Ok(ast)
+    }
+
+    /// Evaluate a node-set expression against one document, using the
+    /// cached overlap index (built now if stale or missing).
+    pub fn query(&self, id: DocId, expr: &str) -> Result<Vec<goddag::NodeId>> {
+        let ast = self.compile(expr)?;
+        let entry = self.entry(id)?;
+        Counters::bump(&self.counters.queries);
+        self.query_entry(&entry, &ast)
+    }
+
+    /// Evaluate an expression of any result type against one document.
+    pub fn query_value(&self, id: DocId, expr: &str) -> Result<OwnedValue> {
+        let ast = self.compile(expr)?;
+        let entry = self.entry(id)?;
+        Counters::bump(&self.counters.queries);
+        let g = entry.read();
+        let idx = entry.index_for(&g, &self.counters);
+        let ev = Evaluator::with_shared_index(&g, idx);
+        let v = ev.evaluate(&ast, g.root())?;
+        Ok(OwnedValue::from_value(v, &g))
+    }
+
+    /// Evaluate a node-set expression against **every** document in
+    /// parallel (scoped threads, one chunk of documents per worker).
+    /// Results are keyed by handle and sorted by it; they are identical to
+    /// [`Store::query_all_serial`] by construction, which the conformance
+    /// test pins down.
+    pub fn query_all(&self, expr: &str) -> Result<Vec<(DocId, Vec<goddag::NodeId>)>> {
+        let ast = self.compile(expr)?;
+        let entries = self.entries();
+        Counters::bump(&self.counters.batch_queries);
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let workers = workers.min(entries.len()).max(1);
+        if workers == 1 {
+            return self.query_entries(&entries, &ast);
+        }
+        let chunk = entries.len().div_ceil(workers);
+        let ast = &ast;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = entries
+                .chunks(chunk)
+                .map(|chunk| s.spawn(move || self.query_entries(chunk, ast)))
+                .collect();
+            let mut out = Vec::with_capacity(entries.len());
+            for h in handles {
+                out.extend(h.join().expect("query worker panicked")?);
+            }
+            Ok(out)
+        })
+    }
+
+    /// The single-threaded batch path: same contract as
+    /// [`Store::query_all`], used as its reference and as the serial
+    /// baseline in benches.
+    pub fn query_all_serial(&self, expr: &str) -> Result<Vec<(DocId, Vec<goddag::NodeId>)>> {
+        let ast = self.compile(expr)?;
+        let entries = self.entries();
+        Counters::bump(&self.counters.batch_queries);
+        self.query_entries(&entries, &ast)
+    }
+
+    /// Prebuild the overlap index of one document (warm the cache ahead of
+    /// traffic).
+    pub fn warm(&self, id: DocId) -> Result<()> {
+        let entry = self.entry(id)?;
+        let g = entry.read();
+        entry.index_for(&g, &self.counters);
+        Ok(())
+    }
+
+    /// Prebuild every document's overlap index.
+    pub fn warm_all(&self) {
+        for (_, entry) in self.entries() {
+            let g = entry.read();
+            entry.index_for(&g, &self.counters);
+        }
+    }
+
+    /// Drop all cached overlap indexes (cold-start benches; memory
+    /// pressure).
+    pub fn invalidate_indexes(&self) {
+        for (_, entry) in self.entries() {
+            entry.invalidate_index();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Edits
+    // ------------------------------------------------------------------
+
+    /// Apply one [`EditOp`] under the document's write lock.
+    /// `InsertElement` into a hierarchy that carries a DTD goes through the
+    /// prevalidation gate first: a rejection returns
+    /// [`StoreError::EditRejected`] and leaves the document untouched.
+    pub fn edit(&self, id: DocId, op: EditOp) -> Result<EditOutcome> {
+        let entry = self.entry(id)?;
+        let mut g = entry.write();
+        let result = self.apply(&entry, &mut g, op);
+        match &result {
+            Ok(_) => Counters::bump(&self.counters.edits),
+            Err(_) => Counters::bump(&self.counters.edits_rejected),
+        }
+        result
+    }
+
+    fn apply(&self, entry: &DocEntry, g: &mut Goddag, op: EditOp) -> Result<EditOutcome> {
+        let node = match op {
+            EditOp::InsertElement { hierarchy, tag, attrs, start, end } => {
+                let h = g
+                    .hierarchy_by_name(&hierarchy)
+                    .ok_or(StoreError::UnknownHierarchy(hierarchy))?;
+                if let Some(engine) = entry.engine_for(g, h) {
+                    let verdict = check_insertion(&engine, g, h, &tag, start, end);
+                    if !verdict.ok {
+                        return Err(StoreError::EditRejected(
+                            verdict.reason.unwrap_or_else(|| "prevalidation failed".into()),
+                        ));
+                    }
+                }
+                let name = QName::parse(&tag)
+                    .map_err(|_| StoreError::EditRejected(format!("invalid tag {tag:?}")))?;
+                let attrs = attrs
+                    .into_iter()
+                    .map(|(n, v)| Attribute::new(n.as_str(), v))
+                    .collect::<Vec<_>>();
+                Some(g.insert_element(h, name, attrs, start, end)?)
+            }
+            EditOp::RemoveElement(n) => {
+                g.remove_element(n)?;
+                None
+            }
+            EditOp::InsertText { offset, text } => {
+                g.insert_text(offset, &text)?;
+                None
+            }
+            EditOp::DeleteText { start, end } => {
+                g.delete_text(start, end)?;
+                None
+            }
+            EditOp::SetAttr { node, name, value } => {
+                g.set_attr(node, &name, &value)?;
+                None
+            }
+            EditOp::RemoveAttr { node, name } => {
+                g.remove_attr(node, &name)?;
+                None
+            }
+        };
+        Ok(EditOutcome { node, epoch: g.edit_epoch() })
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Aggregate statistics: collection totals plus event counters.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats::default();
+        for (_, entry) in self.entries() {
+            let g = entry.read();
+            let gs = g.stats();
+            s.docs += 1;
+            s.elements += gs.elements;
+            s.leaves += gs.leaves;
+            s.content_bytes += gs.content_bytes;
+            s.estimated_bytes += gs.estimated_bytes;
+            s.epochs += g.edit_epoch();
+            if entry.index_is_warm(&g) {
+                s.warm_indexes += 1;
+            }
+        }
+        s.compiled_queries = self.queries_read().len();
+        self.counters.snapshot_into(&mut s);
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn entry(&self, id: DocId) -> Result<Arc<DocEntry>> {
+        self.docs_read().get(&id).cloned().ok_or(StoreError::NoSuchDoc(id))
+    }
+
+    fn entries(&self) -> Vec<(DocId, Arc<DocEntry>)> {
+        self.docs_read().iter().map(|(id, e)| (*id, Arc::clone(e))).collect()
+    }
+
+    fn query_entry(&self, entry: &DocEntry, ast: &Expr) -> Result<Vec<goddag::NodeId>> {
+        let g = entry.read();
+        let idx = entry.index_for(&g, &self.counters);
+        let ev = Evaluator::with_shared_index(&g, idx);
+        match ev.evaluate(ast, g.root())? {
+            Value::Nodes(ns) => Ok(ns),
+            other => Err(StoreError::NotANodeSet(format!("{other:?}"))),
+        }
+    }
+
+    fn query_entries(
+        &self,
+        entries: &[(DocId, Arc<DocEntry>)],
+        ast: &Expr,
+    ) -> Result<Vec<(DocId, Vec<goddag::NodeId>)>> {
+        entries.iter().map(|(id, e)| self.query_entry(e, ast).map(|ns| (*id, ns))).collect()
+    }
+
+    fn docs_read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<DocId, Arc<DocEntry>>> {
+        crate::entry::read_lock(&self.docs)
+    }
+
+    fn docs_write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<DocId, Arc<DocEntry>>> {
+        crate::entry::write_lock(&self.docs)
+    }
+
+    fn names_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, DocId>> {
+        crate::entry::read_lock(&self.names)
+    }
+
+    fn names_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, DocId>> {
+        crate::entry::write_lock(&self.names)
+    }
+
+    fn queries_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Expr>>> {
+        crate::entry::read_lock(&self.queries)
+    }
+
+    fn queries_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Expr>>> {
+        crate::entry::write_lock(&self.queries)
+    }
+}
+
+/// A query result detached from any document lock: node-sets stay as ids,
+/// everything else is materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedValue {
+    /// A node-set (ids remain valid across edits — ids are never reused —
+    /// though removed nodes go dead).
+    Nodes(Vec<goddag::NodeId>),
+    /// Attribute values, materialized as strings.
+    Attrs(Vec<String>),
+    /// A number.
+    Number(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl OwnedValue {
+    fn from_value(v: Value, g: &Goddag) -> OwnedValue {
+        match v {
+            Value::Nodes(ns) => OwnedValue::Nodes(ns),
+            Value::Attrs(attrs) => OwnedValue::Attrs(
+                attrs.iter().map(|a| g.attrs(a.element)[a.index].value.clone()).collect(),
+            ),
+            Value::Number(n) => OwnedValue::Number(n),
+            Value::Str(s) => OwnedValue::Str(s),
+            Value::Bool(b) => OwnedValue::Bool(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::EditOp;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn store_is_send_and_sync() {
+        assert_send_sync::<Store>();
+        assert_send_sync::<StoreStats>();
+    }
+
+    fn figure1_store() -> (Store, DocId) {
+        let store = Store::new();
+        let id = store.insert(corpus::figure1::goddag());
+        (store, id)
+    }
+
+    #[test]
+    fn registry_basics() {
+        let (store, id) = figure1_store();
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(id));
+        assert_eq!(store.doc_ids(), vec![id]);
+        let named = store.insert_named("ms", corpus::figure1::goddag());
+        assert_eq!(store.id_by_name("ms").unwrap(), named);
+        assert!(store.id_by_name("nope").is_err());
+        assert!(store.remove(named));
+        assert!(!store.remove(named));
+        assert!(store.id_by_name("ms").is_err());
+        assert!(matches!(store.query(named, "//w"), Err(StoreError::NoSuchDoc(_))));
+    }
+
+    #[test]
+    fn repeated_query_reuses_index_and_ast() {
+        let (store, id) = figure1_store();
+        let q = "//dmg/overlapping::ling:w";
+        let first = store.query(id, q).unwrap();
+        let second = store.query(id, q).unwrap();
+        assert_eq!(first, second);
+        assert!(!first.is_empty());
+        let s = store.stats();
+        assert_eq!(s.index_builds, 1, "one build, then cache");
+        assert_eq!(s.index_hits, 1);
+        assert_eq!(s.query_cache_misses, 1);
+        assert_eq!(s.query_cache_hits, 1);
+        assert_eq!(s.warm_indexes, 1);
+        assert_eq!(s.compiled_queries, 1);
+    }
+
+    #[test]
+    fn edits_bump_epoch_and_invalidate_index() {
+        let (store, id) = figure1_store();
+        let before = store.epoch(id).unwrap();
+        store.query(id, "//ling:w").unwrap();
+        let out = store
+            .edit(
+                id,
+                EditOp::InsertElement {
+                    hierarchy: "dmg".into(),
+                    tag: "dmg".into(),
+                    attrs: vec![("agent".into(), "water".into())],
+                    start: 0,
+                    end: 3,
+                },
+            )
+            .unwrap();
+        assert!(out.node.is_some());
+        assert!(out.epoch > before);
+        // The cached index is now stale; the next query rebuilds.
+        store.query(id, "//ling:w").unwrap();
+        let s = store.stats();
+        assert_eq!(s.index_builds, 2);
+        assert_eq!(s.edits, 1);
+    }
+
+    #[test]
+    fn attribute_edits_apply() {
+        let (store, id) = figure1_store();
+        let w = store.query(id, "//ling:w").unwrap()[0];
+        store
+            .edit(id, EditOp::SetAttr { node: w, name: "lemma".into(), value: "swa".into() })
+            .unwrap();
+        assert_eq!(
+            store.with_doc(id, |g| g.attr(w, "lemma").map(str::to_string)).unwrap().as_deref(),
+            Some("swa")
+        );
+        store.edit(id, EditOp::RemoveAttr { node: w, name: "lemma".into() }).unwrap();
+        assert!(store.with_doc(id, |g| g.attr(w, "lemma").is_none()).unwrap());
+    }
+
+    #[test]
+    fn prevalid_gate_rejects_undeclared_tags() {
+        let store = Store::new();
+        let mut g = corpus::figure1::goddag();
+        corpus::dtds::attach_standard(&mut g);
+        let id = store.insert(g);
+        let err = store
+            .edit(
+                id,
+                EditOp::InsertElement {
+                    hierarchy: "ling".into(),
+                    tag: "nonsense".into(),
+                    attrs: vec![],
+                    start: 0,
+                    end: 3,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::EditRejected(_)), "{err}");
+        let s = store.stats();
+        assert_eq!(s.edits, 0);
+        assert_eq!(s.edits_rejected, 1);
+        // The document is untouched.
+        assert_eq!(store.epoch(id).unwrap(), {
+            let mut g2 = corpus::figure1::goddag();
+            corpus::dtds::attach_standard(&mut g2);
+            g2.edit_epoch()
+        });
+    }
+
+    #[test]
+    fn unknown_hierarchy_is_an_error() {
+        let (store, id) = figure1_store();
+        let err = store
+            .edit(
+                id,
+                EditOp::InsertElement {
+                    hierarchy: "nope".into(),
+                    tag: "w".into(),
+                    attrs: vec![],
+                    start: 0,
+                    end: 1,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::UnknownHierarchy(_)));
+    }
+
+    #[test]
+    fn query_value_materializes_non_nodesets() {
+        let (store, id) = figure1_store();
+        match store.query_value(id, "count(//ling:w)").unwrap() {
+            OwnedValue::Number(n) => assert!(n > 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(store.query(id, "count(//ling:w)"), Err(StoreError::NotANodeSet(_))));
+    }
+
+    #[test]
+    fn query_all_covers_every_document() {
+        let store = Store::new();
+        let ids = store.insert_all((0..5).map(|_| corpus::figure1::goddag()));
+        let results = store.query_all("//ling:w").unwrap();
+        assert_eq!(results.len(), 5);
+        assert_eq!(results.iter().map(|(id, _)| *id).collect::<Vec<_>>(), ids);
+        let serial = store.query_all_serial("//ling:w").unwrap();
+        assert_eq!(results, serial);
+    }
+
+    #[test]
+    fn warm_and_invalidate() {
+        let (store, id) = figure1_store();
+        store.warm(id).unwrap();
+        assert_eq!(store.stats().warm_indexes, 1);
+        store.invalidate_indexes();
+        assert_eq!(store.stats().warm_indexes, 0);
+        store.warm_all();
+        assert_eq!(store.stats().warm_indexes, 1);
+        // warm + query = one build, one hit.
+        store.invalidate_indexes();
+        let s0 = store.stats();
+        store.warm(id).unwrap();
+        store.query(id, "//ling:w").unwrap();
+        let s1 = store.stats();
+        assert_eq!(s1.index_builds - s0.index_builds, 1);
+        assert!(s1.index_hits > s0.index_hits);
+    }
+
+    #[test]
+    fn with_doc_mut_moves_epoch() {
+        let (store, id) = figure1_store();
+        let before = store.epoch(id).unwrap();
+        store
+            .with_doc_mut(id, |g| {
+                g.insert_text(0, "X").unwrap();
+            })
+            .unwrap();
+        assert!(store.epoch(id).unwrap() > before);
+        assert!(store.with_doc(id, |g| g.content().starts_with('X')).unwrap());
+    }
+}

@@ -124,10 +124,7 @@ pub fn axis_candidates(
             let span = g.span(node);
             let mut out: Vec<NodeId> = match index {
                 Some(idx) if !span.is_empty() => idx.co_extensive(span),
-                _ => g
-                    .elements()
-                    .filter(|&e| g.span(e).co_extensive(span))
-                    .collect(),
+                _ => g.elements().filter(|&e| g.span(e).co_extensive(span)).collect(),
             };
             out.retain(|&e| e != node);
             g.sort_doc_order(&mut out);

@@ -93,17 +93,15 @@ impl fmt::Display for Expr {
                 }
                 f.write_str(")")
             }
-            Expr::Path { start, steps } => {
-                match start {
-                    PathStart::Root => {
-                        if steps.is_empty() {
-                            return f.write_str("/");
-                        }
-                        write_steps(f, steps, true)
+            Expr::Path { start, steps } => match start {
+                PathStart::Root => {
+                    if steps.is_empty() {
+                        return f.write_str("/");
                     }
-                    PathStart::Context => write_steps(f, steps, false),
+                    write_steps(f, steps, true)
                 }
-            }
+                PathStart::Context => write_steps(f, steps, false),
+            },
             Expr::Filter { primary, predicates, steps } => {
                 write!(f, "({primary})")?;
                 for p in predicates {

@@ -8,6 +8,7 @@ use crate::overlap_index::OverlapIndex;
 use crate::parser::parse;
 use crate::value::{AttrRef, Value};
 use goddag::{Goddag, HierarchyId, NodeId};
+use std::sync::Arc;
 
 /// An Extended XPath evaluator bound to one GODDAG document.
 ///
@@ -30,7 +31,7 @@ use goddag::{Goddag, HierarchyId, NodeId};
 /// ```
 pub struct Evaluator<'g> {
     g: &'g Goddag,
-    index: Option<OverlapIndex>,
+    index: Option<Arc<OverlapIndex>>,
 }
 
 impl<'g> Evaluator<'g> {
@@ -39,10 +40,21 @@ impl<'g> Evaluator<'g> {
         Evaluator { g, index: None }
     }
 
-    /// Evaluator with a prebuilt overlap index (extended axes in
-    /// `O(log n + k)`).
+    /// Evaluator that builds a fresh overlap index for `g` (extended axes in
+    /// `O(log n + k)`). When querying the same unmodified document more than
+    /// once, build the index once and share it via
+    /// [`Evaluator::with_shared_index`] instead — the build is `O(n log n)`
+    /// and dominates cheap queries.
     pub fn with_index(g: &'g Goddag) -> Evaluator<'g> {
-        Evaluator { g, index: Some(OverlapIndex::build(g)) }
+        Evaluator { g, index: Some(Arc::new(OverlapIndex::build(g))) }
+    }
+
+    /// Evaluator reusing a prebuilt overlap index. The caller is responsible
+    /// for the index actually describing `g` at its current edit epoch
+    /// (`cxstore` tracks this via [`goddag::Goddag::edit_epoch`]); a stale
+    /// index yields stale extended-axis results, never memory unsafety.
+    pub fn with_shared_index(g: &'g Goddag, index: Arc<OverlapIndex>) -> Evaluator<'g> {
+        Evaluator { g, index: Some(index) }
     }
 
     /// The document being queried.
@@ -53,6 +65,11 @@ impl<'g> Evaluator<'g> {
     /// Whether an overlap index is active.
     pub fn has_index(&self) -> bool {
         self.index.is_some()
+    }
+
+    /// The active overlap index, if any (shareable).
+    pub fn index(&self) -> Option<&Arc<OverlapIndex>> {
+        self.index.as_ref()
     }
 
     /// Evaluate an expression string with the root as context node.
@@ -71,9 +88,9 @@ impl<'g> Evaluator<'g> {
     pub fn select(&self, expr: &str) -> Result<Vec<NodeId>> {
         match self.eval_str(expr)? {
             Value::Nodes(ns) => Ok(ns),
-            other => Err(XPathError::Eval(format!(
-                "expression returned {other:?}, expected a node-set"
-            ))),
+            other => {
+                Err(XPathError::Eval(format!("expression returned {other:?}, expected a node-set")))
+            }
         }
     }
 
@@ -82,9 +99,9 @@ impl<'g> Evaluator<'g> {
         let ast = parse(expr)?;
         match self.evaluate(&ast, context)? {
             Value::Nodes(ns) => Ok(ns),
-            other => Err(XPathError::Eval(format!(
-                "expression returned {other:?}, expected a node-set"
-            ))),
+            other => {
+                Err(XPathError::Eval(format!("expression returned {other:?}, expected a node-set")))
+            }
         }
     }
 
@@ -149,9 +166,7 @@ impl<'g> Evaluator<'g> {
                         Ok(Value::Attrs(filtered))
                     }
                     other if predicates.is_empty() && steps.is_empty() => Ok(other),
-                    other => Err(XPathError::Eval(format!(
-                        "cannot filter or step from {other:?}"
-                    ))),
+                    other => Err(XPathError::Eval(format!("cannot filter or step from {other:?}"))),
                 }
             }
         }
@@ -272,7 +287,7 @@ impl<'g> Evaluator<'g> {
             }
             let mut next: Vec<NodeId> = Vec::new();
             for &origin in &current {
-                let mut cands = axis_candidates(self.g, self.index.as_ref(), origin, step.axis);
+                let mut cands = axis_candidates(self.g, self.index.as_deref(), origin, step.axis);
                 self.retain_test(&mut cands, &step.test)?;
                 for pred in &step.predicates {
                     cands = self.filter_nodes(cands, pred)?;
@@ -348,9 +363,7 @@ impl<'g> Evaluator<'g> {
     }
 
     fn resolve_hierarchy(&self, name: &str) -> Result<HierarchyId> {
-        self.g
-            .hierarchy_by_name(name)
-            .ok_or_else(|| XPathError::UnknownHierarchy(name.to_string()))
+        self.g.hierarchy_by_name(name).ok_or_else(|| XPathError::UnknownHierarchy(name.to_string()))
     }
 
     /// Apply one predicate to a node list (positions in list order).
@@ -519,10 +532,7 @@ mod tests {
         assert_eq!(ev(&g).select("//phys:*").unwrap().len(), 2);
         assert_eq!(ev(&g).select("//ling:w").unwrap().len(), 4);
         // Unknown hierarchy is an error, not silence.
-        assert!(matches!(
-            ev(&g).select("//nope:w"),
-            Err(XPathError::UnknownHierarchy(_))
-        ));
+        assert!(matches!(ev(&g).select("//nope:w"), Err(XPathError::UnknownHierarchy(_))));
     }
 
     #[test]
@@ -647,6 +657,20 @@ mod tests {
     }
 
     #[test]
+    fn shared_index_matches_owned_index() {
+        let g = fixture();
+        let built = Evaluator::with_index(&g);
+        let shared_idx = std::sync::Arc::clone(built.index().unwrap());
+        let shared = Evaluator::with_shared_index(&g, shared_idx);
+        assert!(shared.has_index());
+        for q in ["//s/overlapping::*", "//dmg/containing::*", "//line[1]/contained::*"] {
+            assert_eq!(built.select(q).unwrap(), shared.select(q).unwrap(), "{q}");
+        }
+        // The index is genuinely shared, not copied.
+        assert!(std::sync::Arc::ptr_eq(built.index().unwrap(), shared.index().unwrap()));
+    }
+
+    #[test]
     fn leaves_function() {
         let g = fixture();
         let v = ev(&g).eval_str("count(leaves(//line[1]))").unwrap();
@@ -686,10 +710,7 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         let g = fixture();
-        assert!(matches!(
-            ev(&g).eval_str("frobnicate()"),
-            Err(XPathError::UnknownFunction(_))
-        ));
+        assert!(matches!(ev(&g).eval_str("frobnicate()"), Err(XPathError::UnknownFunction(_))));
         assert!(ev(&g).eval_str("//w/@n/text()").is_err());
         assert!(ev(&g).select("count(//w)").is_err()); // not a node-set
     }

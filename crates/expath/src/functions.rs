@@ -22,10 +22,7 @@ fn bad(function: &str, detail: impl Into<String>) -> XPathError {
 
 fn arity(function: &str, args: &[Value], min: usize, max: usize) -> Result<()> {
     if args.len() < min || args.len() > max {
-        Err(bad(
-            function,
-            format!("expected {min}..={max} arguments, got {}", args.len()),
-        ))
+        Err(bad(function, format!("expected {min}..={max} arguments, got {}", args.len())))
     } else {
         Ok(())
     }
@@ -41,12 +38,7 @@ fn node_arg(function: &str, args: &[Value], ctx: &EvalCtx) -> Result<Option<Node
 }
 
 /// Evaluate a function call with already-evaluated arguments.
-pub(crate) fn call(
-    g: &Goddag,
-    ctx: &EvalCtx,
-    name: &str,
-    args: Vec<Value>,
-) -> Result<Value> {
+pub(crate) fn call(g: &Goddag, ctx: &EvalCtx, name: &str, args: Vec<Value>) -> Result<Value> {
     match name {
         // Context ---------------------------------------------------------
         "position" => {
@@ -67,18 +59,12 @@ pub(crate) fn call(
         // Conversions -----------------------------------------------------
         "string" => {
             arity(name, &args, 0, 1)?;
-            let v = args
-                .first()
-                .cloned()
-                .unwrap_or_else(|| Value::Nodes(vec![ctx.node]));
+            let v = args.first().cloned().unwrap_or_else(|| Value::Nodes(vec![ctx.node]));
             Ok(Value::Str(v.string_value(g)))
         }
         "number" => {
             arity(name, &args, 0, 1)?;
-            let v = args
-                .first()
-                .cloned()
-                .unwrap_or_else(|| Value::Nodes(vec![ctx.node]));
+            let v = args.first().cloned().unwrap_or_else(|| Value::Nodes(vec![ctx.node]));
             Ok(Value::Number(v.number_value(g)))
         }
         "boolean" => {
@@ -220,9 +206,7 @@ pub(crate) fn call(
             let (Value::Nodes(a), Value::Nodes(b)) = (&args[0], &args[1]) else {
                 return Err(bad(name, "expected two node-sets"));
             };
-            let found = a
-                .iter()
-                .any(|&x| b.iter().any(|&y| g.span(x).overlaps(g.span(y))));
+            let found = a.iter().any(|&x| b.iter().any(|&y| g.span(x).overlaps(g.span(y))));
             Ok(Value::Bool(found))
         }
         "leaves" => {
@@ -230,7 +214,9 @@ pub(crate) fn call(
             let nodes: Vec<NodeId> = match args.first() {
                 None => vec![ctx.node],
                 Some(Value::Nodes(ns)) => ns.clone(),
-                Some(other) => return Err(bad(name, format!("expected a node-set, got {other:?}"))),
+                Some(other) => {
+                    return Err(bad(name, format!("expected a node-set, got {other:?}")))
+                }
             };
             let mut out: Vec<NodeId> = Vec::new();
             for n in nodes {

@@ -256,10 +256,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             m += 1;
                         }
                         let local: String = bytes[k..m].iter().collect();
-                        tokens.push(Token {
-                            pos,
-                            kind: Tok::Name { prefix: Some(first), local },
-                        });
+                        tokens.push(Token { pos, kind: Tok::Name { prefix: Some(first), local } });
                         i = m;
                         continue;
                     }
@@ -356,10 +353,7 @@ mod tests {
 
     #[test]
     fn minus_needs_space() {
-        assert_eq!(
-            kinds("3 - 1"),
-            vec![Tok::Number(3.0), Tok::Minus, Tok::Number(1.0)]
-        );
+        assert_eq!(kinds("3 - 1"), vec![Tok::Number(3.0), Tok::Minus, Tok::Number(1.0)]);
         // attached '-' binds into the name
         assert_eq!(kinds("a-b"), vec![Tok::Name { prefix: None, local: "a-b".into() }]);
     }
@@ -401,10 +395,7 @@ mod tests {
 
     #[test]
     fn predicates_and_functions() {
-        assert_eq!(
-            kinds("//w[@type='noun'][position() > 2]").len(),
-            15
-        );
+        assert_eq!(kinds("//w[@type='noun'][position() > 2]").len(), 15);
     }
 
     #[test]

@@ -387,10 +387,7 @@ mod tests {
             Expr::Path { start: PathStart::Root, steps } => {
                 assert_eq!(steps.len(), 2);
                 assert_eq!(steps[0].axis, Axis::Child);
-                assert_eq!(
-                    steps[0].test,
-                    NodeTest::Name { hierarchy: None, local: "line".into() }
-                );
+                assert_eq!(steps[0].test, NodeTest::Name { hierarchy: None, local: "line".into() });
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -476,7 +473,9 @@ mod tests {
         let e = parse("count(//w) > 3").unwrap();
         match e {
             Expr::Bin(BinOp::Gt, lhs, rhs) => {
-                assert!(matches!(*lhs, Expr::Call { ref name, ref args } if name == "count" && args.len() == 1));
+                assert!(
+                    matches!(*lhs, Expr::Call { ref name, ref args } if name == "count" && args.len() == 1)
+                );
                 assert_eq!(*rhs, Expr::Number(3.0));
             }
             other => panic!("unexpected {other:?}"),

@@ -157,10 +157,7 @@ mod tests {
         assert_eq!(Value::Number(3.0).string_value(&g), "3");
         assert_eq!(Value::Number(3.25).string_value(&g), "3.25");
         assert_eq!(Value::Bool(true).string_value(&g), "true");
-        assert_eq!(
-            Value::Attrs(vec![AttrRef { element: n, index: 0 }]).string_value(&g),
-            "7"
-        );
+        assert_eq!(Value::Attrs(vec![AttrRef { element: n, index: 0 }]).string_value(&g), "7");
     }
 
     #[test]

@@ -93,9 +93,8 @@ impl GoddagBuilder {
         start: usize,
         end: usize,
     ) -> Result<&mut Self> {
-        let name = QName::parse(name).map_err(|_| GoddagError::Edit(format!(
-            "invalid element name {name:?}"
-        )))?;
+        let name = QName::parse(name)
+            .map_err(|_| GoddagError::Edit(format!("invalid element name {name:?}")))?;
         self.ranges.push(RangeSpec { hierarchy, name, attrs, start, end });
         Ok(self)
     }
@@ -238,22 +237,18 @@ fn sweep_hierarchy(
         }
     }
     events.sort_by(|a, b| {
-        (a.offset, a.class)
-            .cmp(&(b.offset, b.class))
-            .then_with(|| match a.class {
-                // Inner ranges end first: larger start, then later insertion.
-                EvClass::End => ranges[b.range]
-                    .start
-                    .cmp(&ranges[a.range].start)
-                    .then(b.range.cmp(&a.range)),
-                // Milestones keep insertion order.
-                EvClass::Empty => a.range.cmp(&b.range),
-                // Outer ranges start first: larger end, then earlier insertion.
-                EvClass::Start => ranges[b.range]
-                    .end
-                    .cmp(&ranges[a.range].end)
-                    .then(a.range.cmp(&b.range)),
-            })
+        (a.offset, a.class).cmp(&(b.offset, b.class)).then_with(|| match a.class {
+            // Inner ranges end first: larger start, then later insertion.
+            EvClass::End => {
+                ranges[b.range].start.cmp(&ranges[a.range].start).then(b.range.cmp(&a.range))
+            }
+            // Milestones keep insertion order.
+            EvClass::Empty => a.range.cmp(&b.range),
+            // Outer ranges start first: larger end, then earlier insertion.
+            EvClass::Start => {
+                ranges[b.range].end.cmp(&ranges[a.range].end).then(a.range.cmp(&b.range))
+            }
+        })
     });
 
     let root = g.root();
@@ -360,7 +355,8 @@ mod tests {
         let g = overlap_doc();
         // boundaries 0,2,4,6 -> leaves ab, cd, ef
         assert_eq!(g.leaf_count(), 3);
-        let texts: Vec<_> = g.leaves().iter().map(|&l| g.leaf_text(l).unwrap().to_string()).collect();
+        let texts: Vec<_> =
+            g.leaves().iter().map(|&l| g.leaf_text(l).unwrap().to_string()).collect();
         assert_eq!(texts, ["ab", "cd", "ef"]);
         assert_eq!(g.content(), "abcdef");
         assert_eq!(g.content_len(), 6);

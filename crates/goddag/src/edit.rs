@@ -35,11 +35,7 @@ impl Goddag {
     fn check_offset(&self, off: usize) -> Result<()> {
         let content = self.content();
         if off > content.len() || !content.is_char_boundary(off) {
-            return Err(GoddagError::RangeOutOfBounds {
-                start: off,
-                end: off,
-                len: content.len(),
-            });
+            return Err(GoddagError::RangeOutOfBounds { start: off, end: off, len: content.len() });
         }
         Ok(())
     }
@@ -175,7 +171,9 @@ impl Goddag {
         let insert_pos = insert_pos.unwrap_or_else(|| {
             children
                 .iter()
-                .position(|&c| self.span(c).start >= s && (!self.span(c).is_empty() || self.span(c).start > s))
+                .position(|&c| {
+                    self.span(c).start >= s && (!self.span(c).is_empty() || self.span(c).start > s)
+                })
                 .unwrap_or(children.len())
         });
 
@@ -262,10 +260,11 @@ impl Goddag {
         match &mut self.data_mut(n).kind {
             NodeKind::Root { name, .. } | NodeKind::Element { name, .. } => {
                 *name = new_name;
-                Ok(())
             }
-            NodeKind::Leaf { .. } => Err(GoddagError::NotAnElement(n)),
+            NodeKind::Leaf { .. } => return Err(GoddagError::NotAnElement(n)),
         }
+        self.bump_epoch();
+        Ok(())
     }
 
     /// Set (or replace) an attribute on an element or the root.
@@ -280,23 +279,28 @@ impl Goddag {
                 } else {
                     attrs.push(Attribute { name: qname, value: value.to_string() });
                 }
-                Ok(())
             }
-            NodeKind::Leaf { .. } => Err(GoddagError::NotAnElement(n)),
+            NodeKind::Leaf { .. } => return Err(GoddagError::NotAnElement(n)),
         }
+        self.bump_epoch();
+        Ok(())
     }
 
     /// Remove an attribute; returns whether it existed.
     pub fn remove_attr(&mut self, n: NodeId, name: &str) -> Result<bool> {
         self.check_alive(n)?;
-        match &mut self.data_mut(n).kind {
+        let changed = match &mut self.data_mut(n).kind {
             NodeKind::Root { attrs, .. } | NodeKind::Element { attrs, .. } => {
                 let before = attrs.len();
                 attrs.retain(|a| a.name.as_str() != name);
-                Ok(attrs.len() != before)
+                attrs.len() != before
             }
-            NodeKind::Leaf { .. } => Err(GoddagError::NotAnElement(n)),
+            NodeKind::Leaf { .. } => return Err(GoddagError::NotAnElement(n)),
+        };
+        if changed {
+            self.bump_epoch();
         }
+        Ok(changed)
     }
 
     /// Insert text at byte offset `off`. The text lands in the leaf
@@ -332,9 +336,7 @@ impl Goddag {
         let i = if off == self.content_len {
             self.leaves.len() - 1
         } else {
-            self.leaves
-                .partition_point(|&l| self.data(l).char_start <= off)
-                .saturating_sub(1)
+            self.leaves.partition_point(|&l| self.data(l).char_start <= off).saturating_sub(1)
         };
         let leaf = self.leaves[i];
         let local = off - self.data(leaf).char_start;
@@ -682,9 +684,7 @@ mod tests {
     #[test]
     fn insert_with_attrs() {
         let (mut g, _, ling) = base();
-        let w = g
-            .insert_element(ling, q("w"), vec![Attribute::new("id", "w1")], 0, 3)
-            .unwrap();
+        let w = g.insert_element(ling, q("w"), vec![Attribute::new("id", "w1")], 0, 3).unwrap();
         assert_eq!(g.attr(w, "id"), Some("w1"));
     }
 }

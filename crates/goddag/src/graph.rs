@@ -72,6 +72,11 @@ pub struct Goddag {
     pub(crate) hierarchies: Vec<Hierarchy>,
     /// Total content length in bytes.
     pub(crate) content_len: usize,
+    /// Monotone edit counter: bumped by every mutation (structural or
+    /// attribute-level). Derived read-side caches — most importantly the
+    /// `OverlapIndex` instances held by `cxstore` — compare the epoch they
+    /// were built at against the current one to decide validity.
+    pub(crate) epoch: u64,
 }
 
 impl Goddag {
@@ -94,7 +99,21 @@ impl Goddag {
             root_children: Vec::new(),
             hierarchies: Vec::new(),
             content_len: 0,
+            epoch: 0,
         }
+    }
+
+    /// The document's edit epoch: a counter bumped by every mutation.
+    /// Two equal epochs on the same document guarantee that no edit happened
+    /// in between, so caches keyed by epoch (overlap indexes, statistics)
+    /// may be reused without inspecting the document.
+    pub fn edit_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Record a mutation (called by every editing entry point).
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     // ------------------------------------------------------------------
@@ -103,6 +122,7 @@ impl Goddag {
 
     /// Register a hierarchy; returns its id.
     pub fn add_hierarchy(&mut self, name: impl Into<String>) -> HierarchyId {
+        self.bump_epoch();
         let id = HierarchyId(self.hierarchies.len() as u16);
         self.hierarchies.push(Hierarchy { name: name.into(), dtd: None });
         // The new hierarchy sees all current leaves as root children.
@@ -115,10 +135,8 @@ impl Goddag {
 
     /// Attach a DTD to a hierarchy.
     pub fn set_dtd(&mut self, h: HierarchyId, dtd: xmlcore::dtd::Dtd) -> Result<()> {
-        self.hierarchies
-            .get_mut(h.idx())
-            .ok_or(GoddagError::NoSuchHierarchy(h))?
-            .dtd = Some(dtd);
+        self.bump_epoch();
+        self.hierarchies.get_mut(h.idx()).ok_or(GoddagError::NoSuchHierarchy(h))?.dtd = Some(dtd);
         Ok(())
     }
 
@@ -139,10 +157,7 @@ impl Goddag {
 
     /// Find a hierarchy by name.
     pub fn hierarchy_by_name(&self, name: &str) -> Option<HierarchyId> {
-        self.hierarchies
-            .iter()
-            .position(|h| h.name == name)
-            .map(|i| HierarchyId(i as u16))
+        self.hierarchies.iter().position(|h| h.name == name).map(|i| HierarchyId(i as u16))
     }
 
     // ------------------------------------------------------------------
@@ -313,16 +328,14 @@ impl Goddag {
         if off >= self.content_len {
             return self.leaves.last().copied().filter(|_| off == 0 && self.content_len == 0);
         }
-        let idx = self
-            .leaves
-            .partition_point(|&l| {
-                let d = self.data(l);
-                let len = match &d.kind {
-                    NodeKind::Leaf { text } => text.len(),
-                    _ => 0,
-                };
-                d.char_start + len <= off
-            });
+        let idx = self.leaves.partition_point(|&l| {
+            let d = self.data(l);
+            let len = match &d.kind {
+                NodeKind::Leaf { text } => text.len(),
+                _ => 0,
+            };
+            d.char_start + len <= off
+        });
         self.leaves.get(idx).copied()
     }
 
@@ -339,13 +352,11 @@ impl Goddag {
 
     /// All live elements of one hierarchy, in arena order.
     pub fn elements_in(&self, h: HierarchyId) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().enumerate().filter_map(move |(i, d)| {
-            match d.kind {
-                NodeKind::Element { hierarchy, .. } if d.alive && hierarchy == h => {
-                    Some(NodeId(i as u32))
-                }
-                _ => None,
+        self.nodes.iter().enumerate().filter_map(move |(i, d)| match d.kind {
+            NodeKind::Element { hierarchy, .. } if d.alive && hierarchy == h => {
+                Some(NodeId(i as u32))
             }
+            _ => None,
         })
     }
 
@@ -409,6 +420,46 @@ mod tests {
         assert_eq!(g.hierarchy_by_name("nope"), None);
         assert_eq!(g.hierarchy(phys).unwrap().name, "phys");
         assert!(g.hierarchy(HierarchyId(9)).is_err());
+    }
+
+    #[test]
+    fn every_mutation_bumps_the_edit_epoch() {
+        let mut b = crate::builder::GoddagBuilder::new(QName::parse("r").unwrap());
+        b.content("one two three");
+        let h = b.hierarchy("phys");
+        b.range(h, "line", vec![], 0, 7).unwrap();
+        let mut g = b.finish().unwrap();
+
+        let mut last = g.edit_epoch();
+        let mut expect_bump = |g: &Goddag, what: &str| {
+            assert!(g.edit_epoch() > last, "{what} must bump the epoch");
+            last = g.edit_epoch();
+        };
+
+        let e = g.insert_element(h, QName::parse("w").unwrap(), vec![], 0, 3).unwrap();
+        expect_bump(&g, "insert_element");
+        g.set_attr(e, "n", "1").unwrap();
+        expect_bump(&g, "set_attr");
+        g.rename(e, QName::parse("wd").unwrap()).unwrap();
+        expect_bump(&g, "rename");
+        assert!(g.remove_attr(e, "n").unwrap());
+        expect_bump(&g, "remove_attr");
+        g.insert_text(0, "X").unwrap();
+        expect_bump(&g, "insert_text");
+        g.delete_text(0, 1).unwrap();
+        expect_bump(&g, "delete_text");
+        g.remove_element(e).unwrap();
+        expect_bump(&g, "remove_element");
+        g.split_leaf_at(2).unwrap();
+        expect_bump(&g, "split_leaf_at");
+
+        // Reads do not bump.
+        let _ = g.content();
+        let _ = g.stats();
+        assert_eq!(g.edit_epoch(), last);
+        // Removing an absent attribute is a no-op, not an edit.
+        assert!(!g.remove_attr(g.root(), "nope").unwrap());
+        assert_eq!(g.edit_epoch(), last);
     }
 
     #[test]

@@ -71,12 +71,7 @@ impl Goddag {
     /// Document-order iterator over hierarchy `h` (elements + leaves,
     /// root excluded).
     pub fn iter_hierarchy(&self, h: HierarchyId) -> HierarchyIter<'_> {
-        let stack = self
-            .children_in(self.root(), h)
-            .iter()
-            .rev()
-            .copied()
-            .collect();
+        let stack = self.children_in(self.root(), h).iter().rev().copied().collect();
         HierarchyIter { g: self, h, stack }
     }
 
@@ -95,22 +90,13 @@ impl Goddag {
 
     /// The leaves whose text intersects the byte range `start..end`, in
     /// order.
-    pub fn iter_leaf_range(
-        &self,
-        start: usize,
-        end: usize,
-    ) -> impl Iterator<Item = NodeId> + '_ {
-        let from = self
-            .leaves
-            .partition_point(|&l| {
-                let d = self.data(l);
-                let len = self.leaf_text(l).map_or(0, str::len);
-                d.char_start + len <= start
-            });
-        self.leaves[from..]
-            .iter()
-            .copied()
-            .take_while(move |&l| self.data(l).char_start < end)
+    pub fn iter_leaf_range(&self, start: usize, end: usize) -> impl Iterator<Item = NodeId> + '_ {
+        let from = self.leaves.partition_point(|&l| {
+            let d = self.data(l);
+            let len = self.leaf_text(l).map_or(0, str::len);
+            d.char_start + len <= start
+        });
+        self.leaves[from..].iter().copied().take_while(move |&l| self.data(l).char_start < end)
     }
 }
 
@@ -189,10 +175,7 @@ mod tests {
     fn leaf_range_iteration() {
         let (g, _, _) = doc();
         // Bytes 4..9 cover the leaves "two" (4..7) and part of "three".
-        let texts: Vec<&str> = g
-            .iter_leaf_range(4, 9)
-            .map(|l| g.leaf_text(l).unwrap())
-            .collect();
+        let texts: Vec<&str> = g.iter_leaf_range(4, 9).map(|l| g.leaf_text(l).unwrap()).collect();
         assert_eq!(texts.concat(), "two three");
         // Exact leaf boundary: empty range yields nothing.
         assert_eq!(g.iter_leaf_range(4, 4).count(), 0);
@@ -200,10 +183,7 @@ mod tests {
         assert_eq!(g.iter_leaf_range(0, 13).count(), g.leaf_count());
         // A range inside a single leaf yields just that leaf (" three"
         // spans 7..13: no markup boundary falls inside it).
-        let texts: Vec<&str> = g
-            .iter_leaf_range(9, 10)
-            .map(|l| g.leaf_text(l).unwrap())
-            .collect();
+        let texts: Vec<&str> = g.iter_leaf_range(9, 10).map(|l| g.leaf_text(l).unwrap()).collect();
         assert_eq!(texts, [" three"]);
     }
 }

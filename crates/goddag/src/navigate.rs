@@ -30,8 +30,7 @@ impl Goddag {
     /// concatenation over all hierarchies in document order (deduplicated).
     pub fn children(&self, n: NodeId) -> Vec<NodeId> {
         if self.is_root(n) {
-            let mut out: Vec<NodeId> =
-                self.root_children.iter().flatten().copied().collect();
+            let mut out: Vec<NodeId> = self.root_children.iter().flatten().copied().collect();
             self.sort_doc_order(&mut out);
             out
         } else {
@@ -47,9 +46,9 @@ impl Goddag {
     pub fn parent_in(&self, n: NodeId, h: HierarchyId) -> Option<NodeId> {
         match &self.data(n).kind {
             NodeKind::Root { .. } => None,
-            NodeKind::Element { hierarchy, .. } => (*hierarchy == h)
-                .then_some(self.data(n).parent)
-                .flatten(),
+            NodeKind::Element { hierarchy, .. } => {
+                (*hierarchy == h).then_some(self.data(n).parent).flatten()
+            }
             NodeKind::Leaf { .. } => self.data(n).leaf_parents.get(h.idx()).copied(),
         }
     }
@@ -168,12 +167,7 @@ impl Goddag {
             .elements_in(h)
             .filter(|&e| span.precedes(self.span(e)) && e != n && !self.span(e).is_empty())
             .collect();
-        out.extend(
-            self.leaves
-                .iter()
-                .copied()
-                .filter(|&l| span.precedes(self.span(l))),
-        );
+        out.extend(self.leaves.iter().copied().filter(|&l| span.precedes(self.span(l))));
         self.sort_doc_order(&mut out);
         out
     }
@@ -186,12 +180,7 @@ impl Goddag {
             .elements_in(h)
             .filter(|&e| self.span(e).precedes(span) && e != n && !self.span(e).is_empty())
             .collect();
-        out.extend(
-            self.leaves
-                .iter()
-                .copied()
-                .filter(|&l| self.span(l).precedes(span)),
-        );
+        out.extend(self.leaves.iter().copied().filter(|&l| self.span(l).precedes(span)));
         self.sort_doc_order(&mut out);
         out
     }
@@ -224,10 +213,8 @@ impl Goddag {
 
     /// All elements (any hierarchy) with local name `local`, document order.
     pub fn find_elements(&self, local: &str) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
-            .elements()
-            .filter(|&e| self.name(e).is_some_and(|q| q.local == local))
-            .collect();
+        let mut out: Vec<NodeId> =
+            self.elements().filter(|&e| self.name(e).is_some_and(|q| q.local == local)).collect();
         self.sort_doc_order(&mut out);
         out
     }
@@ -295,10 +282,7 @@ mod tests {
         let (g, _, ling) = doc();
         let three = g.leaf_at_char(9).unwrap();
         let chain = g.ancestors_in(three, ling);
-        let names: Vec<_> = chain
-            .iter()
-            .map(|&n| g.name(n).unwrap().local.clone())
-            .collect();
+        let names: Vec<_> = chain.iter().map(|&n| g.name(n).unwrap().local.clone()).collect();
         assert_eq!(names, ["w", "s", "r"]);
     }
 

@@ -15,6 +15,9 @@ impl Goddag {
     /// element spans (including empty-element anchors), and the total content
     /// length.
     pub(crate) fn renumber(&mut self) {
+        // Every structural edit funnels through here, so this is the one
+        // chokepoint that must invalidate epoch-keyed caches.
+        self.bump_epoch();
         // Pass 0: leaves.
         let mut off = 0usize;
         for i in 0..self.leaves.len() {

@@ -98,11 +98,8 @@ impl Goddag {
             let _ = writeln!(out, "  subgraph cluster_{} {{", h.idx());
             let _ = writeln!(out, "    label=\"{hname}\";");
             for e in self.elements_in(h) {
-                let label = format!(
-                    "<{}> {}",
-                    self.name(e).expect("elements are named"),
-                    self.span(e)
-                );
+                let label =
+                    format!("<{}> {}", self.name(e).expect("elements are named"), self.span(e));
                 let _ = writeln!(out, "    n{} [label=\"{}\"];", e.0, escape_dot(&label));
             }
             let _ = writeln!(out, "  }}");

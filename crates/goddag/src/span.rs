@@ -50,10 +50,7 @@ impl Span {
     /// Empty spans cover no leaves, so they never intersect anything.
     #[inline]
     pub fn intersects(self, other: Span) -> bool {
-        !self.is_empty()
-            && !other.is_empty()
-            && self.start < other.end
-            && other.start < self.end
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
     }
 
     /// *Proper* overlap: the spans intersect but neither contains the other.
@@ -180,9 +177,7 @@ mod tests {
     #[test]
     fn overlap_is_symmetric_and_irreflexive() {
         // A small exhaustive sweep over spans in [0, 6).
-        let spans: Vec<Span> = (0..6)
-            .flat_map(|a| (a..6).map(move |b| s(a, b)))
-            .collect();
+        let spans: Vec<Span> = (0..6).flat_map(|a| (a..6).map(move |b| s(a, b))).collect();
         for &a in &spans {
             assert!(!a.overlaps(a), "{a} overlaps itself");
             for &b in &spans {

@@ -46,8 +46,8 @@ impl Goddag {
                 NodeKind::Element { name, attrs, hierarchy } => {
                     elements += 1;
                     per_h[hierarchy.idx()] += 1;
-                    estimated += name.local.capacity()
-                        + name.prefix.as_ref().map_or(0, |p| p.capacity());
+                    estimated +=
+                        name.local.capacity() + name.prefix.as_ref().map_or(0, |p| p.capacity());
                     for a in attrs {
                         estimated += a.name.local.capacity() + a.value.capacity();
                     }

@@ -142,10 +142,7 @@ pub fn check_invariants(g: &Goddag) -> Result<(), String> {
         }
         if let Some(cover) = cover {
             if g.span(e) != cover {
-                return Err(format!(
-                    "element {e} span {} != cover of children {cover}",
-                    g.span(e)
-                ));
+                return Err(format!("element {e} span {} != cover of children {cover}", g.span(e)));
             }
         } else if !g.span(e).is_empty() {
             return Err(format!("childless element {e} has non-empty span {}", g.span(e)));
@@ -160,11 +157,7 @@ pub fn check_invariants(g: &Goddag) -> Result<(), String> {
 /// Each element's child sequence (element names only; leaf children count as
 /// text) is matched against the DTD content model, and attributes are checked.
 /// The root is validated under the DTD's root declaration.
-pub fn validate_hierarchy(
-    g: &Goddag,
-    h: HierarchyId,
-    dtd: &xmlcore::dtd::Dtd,
-) -> ValidationReport {
+pub fn validate_hierarchy(g: &Goddag, h: HierarchyId, dtd: &xmlcore::dtd::Dtd) -> ValidationReport {
     let mut report = ValidationReport::default();
     let mut cache = AutomatonCache::default();
     let mut ids = HashSet::new();
@@ -255,10 +248,8 @@ mod tests {
         let g = doc();
         let ling = g.hierarchy_by_name("ling").unwrap();
         // DTD that requires w inside s — our words sit directly under r.
-        let dtd = parse_dtd(
-            "<!ELEMENT r (s+)> <!ELEMENT s (#PCDATA | w)*> <!ELEMENT w (#PCDATA)>",
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ELEMENT r (s+)> <!ELEMENT s (#PCDATA | w)*> <!ELEMENT w (#PCDATA)>")
+            .unwrap();
         let report = validate_hierarchy(&g, ling, &dtd);
         assert!(!report.is_valid());
     }
@@ -267,8 +258,11 @@ mod tests {
     fn validate_all_mixed_dtds() {
         let mut g = doc();
         let phys = g.hierarchy_by_name("phys").unwrap();
-        g.set_dtd(phys, parse_dtd("<!ELEMENT r (#PCDATA | line)*> <!ELEMENT line (#PCDATA)>").unwrap())
-            .unwrap();
+        g.set_dtd(
+            phys,
+            parse_dtd("<!ELEMENT r (#PCDATA | line)*> <!ELEMENT line (#PCDATA)>").unwrap(),
+        )
+        .unwrap();
         let reports = validate_all(&g);
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(|(_, r)| r.is_valid()));

@@ -217,7 +217,8 @@ impl PrevalidEngine {
             }
             ContentSpec::Any => Verdict::yes(),
             ContentSpec::Mixed(_) | ContentSpec::Children(_) => {
-                let wrap = if potential { self.build_wrap_table(items) } else { WrapTable::empty() };
+                let wrap =
+                    if potential { self.build_wrap_table(items) } else { WrapTable::empty() };
                 if self.spans_model(element, items, 0, items.len(), &wrap, potential) {
                     Verdict::yes()
                 } else if potential {
@@ -225,9 +226,7 @@ impl PrevalidEngine {
                         "children of <{element}> cannot be extended to match its content model"
                     ))
                 } else {
-                    Verdict::no(format!(
-                        "children of <{element}> do not match its content model"
-                    ))
+                    Verdict::no(format!("children of <{element}> do not match its content model"))
                 }
             }
         }
@@ -295,7 +294,8 @@ impl PrevalidEngine {
                     if let Item::Elem(n) = &items[p] {
                         let stepped = a.step(&states[p - i], n);
                         if !stepped.is_empty() {
-                            let next = if potential { self.close(element, &stepped) } else { stepped };
+                            let next =
+                                if potential { self.close(element, &stepped) } else { stepped };
                             states[p - i + 1].extend(next);
                         }
                     }
@@ -480,9 +480,7 @@ mod tests {
     fn wrapping_chain_same_span() {
         // a -> (b); b -> (c); c mixed. Text wraps into c, c into b... from
         // a's perspective the text run becomes a single b.
-        let e = engine(
-            "<!ELEMENT a (b)> <!ELEMENT b (c)> <!ELEMENT c (#PCDATA)>",
-        );
+        let e = engine("<!ELEMENT a (b)> <!ELEMENT b (c)> <!ELEMENT c (#PCDATA)>");
         assert!(e.check_sequence("a", &[Item::Text]).ok);
         assert!(e.check_sequence("a", &elems(&["c"])).ok);
         assert!(e.check_sequence("a", &elems(&["b"])).ok);
@@ -522,9 +520,7 @@ mod tests {
     #[test]
     fn interleaved_completion() {
         // r = (a, b, a, b); partial [b, a] fits as _ b a _.
-        let e = engine(
-            "<!ELEMENT r (a, b, a, b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>",
-        );
+        let e = engine("<!ELEMENT r (a, b, a, b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>");
         assert!(e.check_sequence("r", &elems(&["b", "a"])).ok);
         assert!(e.check_sequence("r", &elems(&["a", "a"])).ok);
         assert!(e.check_sequence("r", &elems(&["a", "b", "a", "b"])).ok);

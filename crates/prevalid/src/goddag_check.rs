@@ -84,10 +84,7 @@ pub fn check_insertion(
         return Verdict { ok: false, reason: Some(format!("element <{tag}> is not declared")) };
     }
     if start > end || end > g.content_len() {
-        return Verdict {
-            ok: false,
-            reason: Some(format!("range {start}..{end} out of bounds")),
-        };
+        return Verdict { ok: false, reason: Some(format!("range {start}..{end} out of bounds")) };
     }
     let content = g.content();
     if !content.is_char_boundary(start) || !content.is_char_boundary(end) {
@@ -285,7 +282,8 @@ mod tests {
         // cannot be wrapped into page (page holds line+, line allows w...
         // wait: w wraps into line wraps into page). Use a DTD without that
         // chain instead.
-        let dtd = "<!ELEMENT r (page+)> <!ELEMENT page (pb)> <!ELEMENT pb EMPTY> <!ELEMENT w (#PCDATA)>";
+        let dtd =
+            "<!ELEMENT r (page+)> <!ELEMENT page (pb)> <!ELEMENT pb EMPTY> <!ELEMENT w (#PCDATA)>";
         let engine = PrevalidEngine::new(parse_dtd(dtd).unwrap());
         let mut b = goddag::GoddagBuilder::new(QName::parse("r").unwrap());
         b.content("x");

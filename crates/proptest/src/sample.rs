@@ -1,0 +1,23 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Uniform choice from a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+/// Pick uniformly from `items`; must be non-empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select() needs at least one item");
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}

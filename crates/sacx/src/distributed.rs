@@ -136,11 +136,7 @@ mod tests {
 
     #[test]
     fn content_mismatch_reported_with_offset() {
-        let err = parse_distributed(&[
-            ("a", "<r>abcdef</r>"),
-            ("b", "<r>abcXef</r>"),
-        ])
-        .unwrap_err();
+        let err = parse_distributed(&[("a", "<r>abcdef</r>"), ("b", "<r>abcXef</r>")]).unwrap_err();
         match err {
             SacxError::ContentMismatch { offset, hierarchy, .. } => {
                 assert_eq!(offset, 3);
@@ -152,8 +148,7 @@ mod tests {
 
     #[test]
     fn root_mismatch_reported() {
-        let err =
-            parse_distributed(&[("a", "<r>x</r>"), ("b", "<root>x</root>")]).unwrap_err();
+        let err = parse_distributed(&[("a", "<r>x</r>"), ("b", "<root>x</root>")]).unwrap_err();
         assert!(matches!(err, SacxError::RootMismatch { .. }));
     }
 

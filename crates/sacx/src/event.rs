@@ -116,24 +116,22 @@ pub fn merge_events(docs: &[ExtractedDoc]) -> Vec<SacxEvent> {
         }
     }
     raw.sort_by(|a, b| {
-        (a.offset, a.class)
-            .cmp(&(b.offset, b.class))
-            .then_with(|| match a.class {
-                // Ends: inner first — larger start offset, then later order.
-                0 => b
-                    .other_end
-                    .cmp(&a.other_end)
-                    .then(a.hierarchy.cmp(&b.hierarchy))
-                    .then(b.order.cmp(&a.order)),
-                // Empties: hierarchy, then document order.
-                1 => a.hierarchy.cmp(&b.hierarchy).then(a.order.cmp(&b.order)),
-                // Starts: outer first — larger end offset, then earlier order.
-                _ => b
-                    .other_end
-                    .cmp(&a.other_end)
-                    .then(a.hierarchy.cmp(&b.hierarchy))
-                    .then(a.order.cmp(&b.order)),
-            })
+        (a.offset, a.class).cmp(&(b.offset, b.class)).then_with(|| match a.class {
+            // Ends: inner first — larger start offset, then later order.
+            0 => b
+                .other_end
+                .cmp(&a.other_end)
+                .then(a.hierarchy.cmp(&b.hierarchy))
+                .then(b.order.cmp(&a.order)),
+            // Empties: hierarchy, then document order.
+            1 => a.hierarchy.cmp(&b.hierarchy).then(a.order.cmp(&b.order)),
+            // Starts: outer first — larger end offset, then earlier order.
+            _ => b
+                .other_end
+                .cmp(&a.other_end)
+                .then(a.hierarchy.cmp(&b.hierarchy))
+                .then(a.order.cmp(&b.order)),
+        })
     });
 
     // Interleave text segments between event offsets.
@@ -175,11 +173,8 @@ mod tests {
     use crate::extract::extract;
 
     fn merged(docs: &[&str]) -> (Vec<SacxEvent>, String) {
-        let extracted: Vec<ExtractedDoc> = docs
-            .iter()
-            .enumerate()
-            .map(|(i, d)| extract(d, &format!("h{i}")).unwrap())
-            .collect();
+        let extracted: Vec<ExtractedDoc> =
+            docs.iter().enumerate().map(|(i, d)| extract(d, &format!("h{i}")).unwrap()).collect();
         let content = extracted[0].content.clone();
         (merge_events(&extracted), content)
     }
@@ -212,18 +207,21 @@ mod tests {
                 SacxEvent::Text { start, end } => format!("T{start}..{end}"),
             })
             .collect();
-        assert_eq!(
-            trace,
-            ["Sa@0", "T0..2", "Sb@2", "T2..4", "Ea@4", "T4..6", "Eb@6"]
-        );
+        assert_eq!(trace, ["Sa@0", "T0..2", "Sb@2", "T2..4", "Ea@4", "T4..6", "Eb@6"]);
     }
 
     #[test]
     fn ties_ends_before_starts() {
         // a ends exactly where b starts.
         let (evs, _) = merged(&["<r><a>ab</a><b>cd</b></r>"]);
-        let pos_ea = evs.iter().position(|e| matches!(e, SacxEvent::End { name, .. } if name.local == "a")).unwrap();
-        let pos_sb = evs.iter().position(|e| matches!(e, SacxEvent::Start { name, .. } if name.local == "b")).unwrap();
+        let pos_ea = evs
+            .iter()
+            .position(|e| matches!(e, SacxEvent::End { name, .. } if name.local == "a"))
+            .unwrap();
+        let pos_sb = evs
+            .iter()
+            .position(|e| matches!(e, SacxEvent::Start { name, .. } if name.local == "b"))
+            .unwrap();
         assert!(pos_ea < pos_sb);
     }
 

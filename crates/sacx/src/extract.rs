@@ -54,10 +54,9 @@ pub fn extract(xml: &str, hierarchy_label: &str) -> Result<ExtractedDoc> {
     let mut stack: Vec<usize> = Vec::new();
 
     loop {
-        let ev = reader.next_event().map_err(|source| SacxError::Xml {
-            hierarchy: hierarchy_label.to_string(),
-            source,
-        })?;
+        let ev = reader
+            .next_event()
+            .map_err(|source| SacxError::Xml { hierarchy: hierarchy_label.to_string(), source })?;
         match ev {
             Event::StartElement { name, attrs, .. } => {
                 if root_name.is_none() {

@@ -54,10 +54,7 @@ pub fn export_fragmentation(g: &Goddag, opts: &FragmentationOptions) -> Result<S
     let fragmented = sweep(&elems, &events, g, None)?;
     // Pass 2: emit.
     let mut writer = Writer::new();
-    writer.start_with(
-        g.name(g.root()).expect("root is named"),
-        g.attrs(g.root()),
-    );
+    writer.start_with(g.name(g.root()).expect("root is named"), g.attrs(g.root()));
     let mut emit = Emit { writer, join_seq: 0, join_ids: BTreeMap::new(), fragmented };
     sweep(&elems, &events, g, Some(&mut emit))?;
     emit.writer.end().map_err(wrap_xml)?;
@@ -322,10 +319,8 @@ pub fn import_fragmentation(xml: &str, opts: &FragmentationOptions) -> Result<Go
     logical.sort_by_key(|(order, ..)| *order);
 
     // Hierarchies from prefixes, in first-appearance order.
-    let prefixes: Vec<String> = logical
-        .iter()
-        .map(|(_, name, ..)| split_prefix(name, &opts.default_hierarchy).0)
-        .collect();
+    let prefixes: Vec<String> =
+        logical.iter().map(|(_, name, ..)| split_prefix(name, &opts.default_hierarchy).0).collect();
     let registry = hierarchy_registry(&prefixes, &opts.default_hierarchy);
 
     let mut b = GoddagBuilder::new(doc.root_name.clone());
@@ -465,10 +460,7 @@ mod tests {
     #[test]
     fn import_rejects_mismatched_fragment_names() {
         let xml = r#"<r><a cx:join="j1">x</a><b cx:join="j1">y</b></r>"#;
-        assert!(matches!(
-            import_fragmentation(xml, &opts()),
-            Err(SacxError::Fragmentation(_))
-        ));
+        assert!(matches!(import_fragmentation(xml, &opts()), Err(SacxError::Fragmentation(_))));
     }
 
     #[test]
@@ -480,10 +472,7 @@ mod tests {
         let ok = import_fragmentation(xml, &opts());
         assert!(ok.is_ok());
         let bad = r#"<r><a cx:join="j1">x<a cx:join="j1">y</a></a></r>"#;
-        assert!(matches!(
-            import_fragmentation(bad, &opts()),
-            Err(SacxError::Fragmentation(_))
-        ));
+        assert!(matches!(import_fragmentation(bad, &opts()), Err(SacxError::Fragmentation(_))));
     }
 
     #[test]

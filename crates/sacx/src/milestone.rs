@@ -47,9 +47,9 @@ struct Ms {
 
 /// Export a GODDAG as a single milestone document.
 pub fn export_milestone(g: &Goddag, opts: &MilestoneOptions) -> Result<String> {
-    let dominant = g
-        .hierarchy_by_name(&opts.dominant)
-        .ok_or_else(|| SacxError::Milestone(format!("unknown dominant hierarchy {:?}", opts.dominant)))?;
+    let dominant = g.hierarchy_by_name(&opts.dominant).ok_or_else(|| {
+        SacxError::Milestone(format!("unknown dominant hierarchy {:?}", opts.dominant))
+    })?;
 
     // Milestone events from all non-dominant hierarchies.
     let mut events: Vec<Ms> = Vec::new();
@@ -177,10 +177,12 @@ pub fn import_milestone(xml: &str, default_hierarchy: &str) -> Result<Goddag> {
                     .attrs
                     .iter()
                     .find(|a| a.name.as_str() == CX_MID)
-                    .ok_or_else(|| SacxError::Milestone(format!(
-                        "start milestone <{}> without {CX_MID}",
-                        r.name
-                    )))?
+                    .ok_or_else(|| {
+                        SacxError::Milestone(format!(
+                            "start milestone <{}> without {CX_MID}",
+                            r.name
+                        ))
+                    })?
                     .value
                     .clone();
                 if open.contains_key(&mid) {
@@ -199,10 +201,9 @@ pub fn import_milestone(xml: &str, default_hierarchy: &str) -> Result<Goddag> {
                     .attrs
                     .iter()
                     .find(|a| a.name.as_str() == CX_MID)
-                    .ok_or_else(|| SacxError::Milestone(format!(
-                        "end milestone <{}> without {CX_MID}",
-                        r.name
-                    )))?
+                    .ok_or_else(|| {
+                        SacxError::Milestone(format!("end milestone <{}> without {CX_MID}", r.name))
+                    })?
                     .value
                     .clone();
                 let o = open.remove(&mid).ok_or_else(|| {
@@ -233,10 +234,8 @@ pub fn import_milestone(xml: &str, default_hierarchy: &str) -> Result<Goddag> {
     logical.sort_by_key(|(order, ..)| *order);
 
     // Hierarchies from prefixes.
-    let prefixes: Vec<String> = logical
-        .iter()
-        .map(|(_, name, ..)| split_prefix(name, default_hierarchy).0)
-        .collect();
+    let prefixes: Vec<String> =
+        logical.iter().map(|(_, name, ..)| split_prefix(name, default_hierarchy).0).collect();
     let registry = hierarchy_registry(&prefixes, default_hierarchy);
 
     let mut b = GoddagBuilder::new(doc.root_name.clone());

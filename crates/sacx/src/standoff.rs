@@ -17,17 +17,15 @@
 //! ```
 //!
 //! Attribute values are percent-encoded (`%xx`) so they survive whitespace
-//! and newlines. The in-memory types also derive `serde` traits for use with
-//! any serde serializer.
+//! and newlines.
 
 use crate::error::{Result, SacxError};
 use goddag::{Goddag, GoddagBuilder, HierarchyId, RangeSpec};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use xmlcore::{Attribute, QName};
 
 /// One stand-off annotation record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Annotation {
     /// Index into [`StandoffDoc::hierarchies`].
     pub hierarchy: u16,
@@ -42,7 +40,7 @@ pub struct Annotation {
 }
 
 /// A complete stand-off document.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StandoffDoc {
     /// Shared root element name.
     pub root: String,
@@ -75,10 +73,9 @@ fn dec(s: &str, line: usize) -> Result<String> {
     let mut i = 0;
     while i < raw.len() {
         if raw[i] == b'%' {
-            let hex = raw.get(i + 1..i + 3).ok_or(SacxError::Standoff {
-                line,
-                detail: "truncated percent escape".into(),
-            })?;
+            let hex = raw
+                .get(i + 1..i + 3)
+                .ok_or(SacxError::Standoff { line, detail: "truncated percent escape".into() })?;
             let hex = std::str::from_utf8(hex).map_err(|_| SacxError::Standoff {
                 line,
                 detail: "invalid percent escape".into(),
@@ -94,10 +91,8 @@ fn dec(s: &str, line: usize) -> Result<String> {
             i += 1;
         }
     }
-    String::from_utf8(bytes).map_err(|_| SacxError::Standoff {
-        line,
-        detail: "escape does not decode to UTF-8".into(),
-    })
+    String::from_utf8(bytes)
+        .map_err(|_| SacxError::Standoff { line, detail: "escape does not decode to UTF-8".into() })
 }
 
 impl StandoffDoc {
@@ -142,16 +137,11 @@ impl StandoffDoc {
 
     /// Materialize the GODDAG.
     pub fn to_goddag(&self) -> Result<Goddag> {
-        let root = QName::parse(&self.root).map_err(|e| SacxError::Standoff {
-            line: 0,
-            detail: format!("bad root name: {e}"),
-        })?;
+        let root = QName::parse(&self.root)
+            .map_err(|e| SacxError::Standoff { line: 0, detail: format!("bad root name: {e}") })?;
         let mut b = GoddagBuilder::new(root);
         b.root_attrs(
-            self.root_attrs
-                .iter()
-                .map(|(n, v)| Attribute::new(n.as_str(), v.clone()))
-                .collect(),
+            self.root_attrs.iter().map(|(n, v)| Attribute::new(n.as_str(), v.clone())).collect(),
         );
         b.content(self.content.clone());
         let hids: Vec<HierarchyId> =
@@ -168,11 +158,7 @@ impl StandoffDoc {
             b.range_spec(RangeSpec {
                 hierarchy: h,
                 name,
-                attrs: a
-                    .attrs
-                    .iter()
-                    .map(|(n, v)| Attribute::new(n.as_str(), v.clone()))
-                    .collect(),
+                attrs: a.attrs.iter().map(|(n, v)| Attribute::new(n.as_str(), v.clone())).collect(),
                 start: a.start,
                 end: a.end,
             });
@@ -226,10 +212,8 @@ impl StandoffDoc {
             }
         };
 
-        let header = next_line(&mut rest).ok_or(SacxError::Standoff {
-            line: 1,
-            detail: "empty input".into(),
-        })?;
+        let header = next_line(&mut rest)
+            .ok_or(SacxError::Standoff { line: 1, detail: "empty input".into() })?;
         if header.trim() != "#cxml-standoff v1" {
             return Err(SacxError::Standoff { line: 1, detail: "bad magic line".into() });
         }
@@ -269,10 +253,8 @@ impl StandoffDoc {
                     hierarchies.push(dec(name, ln)?);
                 }
                 Some("content") => {
-                    let len: usize = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or(SacxError::Standoff {
+                    let len: usize =
+                        parts.next().and_then(|s| s.parse().ok()).ok_or(SacxError::Standoff {
                             line: ln,
                             detail: "content needs a byte length".into(),
                         })?;
@@ -299,10 +281,8 @@ impl StandoffDoc {
                     }
                 }
                 Some("annot") => {
-                    let h: u16 = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or(SacxError::Standoff {
+                    let h: u16 =
+                        parts.next().and_then(|s| s.parse().ok()).ok_or(SacxError::Standoff {
                             line: ln,
                             detail: "annot needs a hierarchy index".into(),
                         })?;
@@ -313,17 +293,13 @@ impl StandoffDoc {
                         })?,
                         ln,
                     )?;
-                    let start: usize = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or(SacxError::Standoff {
+                    let start: usize =
+                        parts.next().and_then(|s| s.parse().ok()).ok_or(SacxError::Standoff {
                             line: ln,
                             detail: "annot needs a start offset".into(),
                         })?;
-                    let end: usize = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or(SacxError::Standoff {
+                    let end: usize =
+                        parts.next().and_then(|s| s.parse().ok()).ok_or(SacxError::Standoff {
                             line: ln,
                             detail: "annot needs an end offset".into(),
                         })?;
@@ -353,10 +329,8 @@ impl StandoffDoc {
             root: root.ok_or(SacxError::Standoff { line: ln, detail: "missing root".into() })?,
             root_attrs,
             hierarchies,
-            content: content.ok_or(SacxError::Standoff {
-                line: ln,
-                detail: "missing content".into(),
-            })?,
+            content: content
+                .ok_or(SacxError::Standoff { line: ln, detail: "missing content".into() })?,
             annotations,
         })
     }
@@ -404,16 +378,16 @@ mod tests {
         assert_eq!(doc.hierarchies, ["phys", "ling"]);
         assert_eq!(doc.annotations.len(), 7);
         let g2 = doc.to_goddag().unwrap();
-        assert_eq!(g2.to_xml(goddag::HierarchyId(0)).unwrap(), g.to_xml(goddag::HierarchyId(0)).unwrap());
+        assert_eq!(
+            g2.to_xml(goddag::HierarchyId(0)).unwrap(),
+            g.to_xml(goddag::HierarchyId(0)).unwrap()
+        );
     }
 
     #[test]
     fn escaping_attrs_and_names() {
-        let g = parse_distributed(&[(
-            "a",
-            "<r><w note=\"two words = tricky\nnewline\">x</w></r>",
-        )])
-        .unwrap();
+        let g = parse_distributed(&[("a", "<r><w note=\"two words = tricky\nnewline\">x</w></r>")])
+            .unwrap();
         let text = export_standoff(&g);
         let g2 = import_standoff(&text).unwrap();
         let w = g2.find_elements("w")[0];

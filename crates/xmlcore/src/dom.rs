@@ -57,9 +57,9 @@ impl Document {
         let mut root: Option<DomId> = None;
 
         let push = |nodes: &mut Vec<DomEntry>,
-                        stack: &[DomId],
-                        root: &mut Option<DomId>,
-                        node: DomNode|
+                    stack: &[DomId],
+                    root: &mut Option<DomId>,
+                    node: DomNode|
          -> DomId {
             let id = DomId(nodes.len() as u32);
             let parent = stack.last().copied();
@@ -258,8 +258,8 @@ impl Document {
             total += e.children.capacity() * std::mem::size_of::<DomId>();
             match &e.node {
                 DomNode::Element { name, attrs } => {
-                    total += name.local.capacity()
-                        + name.prefix.as_ref().map_or(0, |p| p.capacity());
+                    total +=
+                        name.local.capacity() + name.prefix.as_ref().map_or(0, |p| p.capacity());
                     for a in attrs {
                         total += a.name.local.capacity()
                             + a.name.prefix.as_ref().map_or(0, |p| p.capacity())
@@ -335,7 +335,8 @@ mod tests {
     #[test]
     fn append_extends_tree() {
         let mut d = Document::with_root(QName::parse("r").unwrap(), vec![]);
-        let w = d.append(d.root(), DomNode::Element { name: QName::parse("w").unwrap(), attrs: vec![] });
+        let w = d
+            .append(d.root(), DomNode::Element { name: QName::parse("w").unwrap(), attrs: vec![] });
         d.append(w, DomNode::Text("word".into()));
         assert_eq!(d.to_xml().unwrap(), "<r><w>word</w></r>");
     }

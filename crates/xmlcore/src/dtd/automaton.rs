@@ -186,11 +186,7 @@ fn build(
                     }
                 }
             }
-            Sets {
-                nullable: s.nullable || occ.allows_empty(),
-                first: s.first,
-                last: s.last,
-            }
+            Sets { nullable: s.nullable || occ.allows_empty(), first: s.first, last: s.last }
         }
     }
 }

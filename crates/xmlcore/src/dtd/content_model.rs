@@ -172,8 +172,7 @@ mod tests {
         // (page, (line | break)+, colophon?)
         ContentModel::seq([
             ContentModel::name("page"),
-            ContentModel::choice([ContentModel::name("line"), ContentModel::name("break")])
-                .plus(),
+            ContentModel::choice([ContentModel::name("line"), ContentModel::name("break")]).plus(),
             ContentModel::name("colophon").opt(),
         ])
     }
@@ -191,11 +190,8 @@ mod tests {
         assert!(!ContentModel::name("a").plus().nullable());
         assert!(ContentModel::seq([ContentModel::name("a").opt()]).nullable());
         assert!(!model_lines().nullable());
-        assert!(ContentModel::choice([
-            ContentModel::name("a"),
-            ContentModel::name("b").star()
-        ])
-        .nullable());
+        assert!(ContentModel::choice([ContentModel::name("a"), ContentModel::name("b").star()])
+            .nullable());
     }
 
     #[test]

@@ -93,11 +93,8 @@ impl<'a> DtdParser<'a> {
             } else if self.eat("<!ELEMENT") {
                 let decl = self.element_decl()?;
                 // Keep attributes if an ATTLIST came first.
-                let attrs = dtd
-                    .elements
-                    .get(&decl.name)
-                    .map(|d| d.attrs.clone())
-                    .unwrap_or_default();
+                let attrs =
+                    dtd.elements.get(&decl.name).map(|d| d.attrs.clone()).unwrap_or_default();
                 dtd.declare(ElementDecl { attrs, ..decl });
             } else if self.eat("<!ATTLIST") {
                 self.attlist_decl(&mut dtd)?;
@@ -188,11 +185,8 @@ impl<'a> DtdParser<'a> {
     /// particle := (name | group) occurrence?
     fn particle(&mut self) -> Result<ContentModel> {
         self.skip_ws();
-        let base = if self.peek() == Some('(') {
-            self.group()?
-        } else {
-            ContentModel::Name(self.name()?)
-        };
+        let base =
+            if self.peek() == Some('(') { self.group()? } else { ContentModel::Name(self.name()?) };
         Ok(self.occurrence(base))
     }
 
@@ -381,7 +375,9 @@ mod tests {
         assert_eq!(dtd.elements.len(), 4);
         assert_eq!(dtd.root.as_deref(), Some("r"));
         assert!(matches!(dtd.element("pb").unwrap().content, ContentSpec::Empty));
-        assert!(matches!(dtd.element("line").unwrap().content, ContentSpec::Mixed(ref v) if v.is_empty()));
+        assert!(
+            matches!(dtd.element("line").unwrap().content, ContentSpec::Mixed(ref v) if v.is_empty())
+        );
     }
 
     #[test]
@@ -404,10 +400,7 @@ mod tests {
         assert_eq!(no.ty, AttType::NmToken);
         assert_eq!(no.default, AttDefault::Required);
         let side = dtd.attr_def("page", "side").unwrap();
-        assert_eq!(
-            side.ty,
-            AttType::Enumeration(vec!["recto".into(), "verso".into()])
-        );
+        assert_eq!(side.ty, AttType::Enumeration(vec!["recto".into(), "verso".into()]));
         assert_eq!(side.default, AttDefault::Value("recto".into()));
     }
 
@@ -449,10 +442,7 @@ mod tests {
 
     #[test]
     fn attlist_before_element_ok() {
-        let dtd = parse_dtd(
-            "<!ATTLIST w id ID #IMPLIED>\n<!ELEMENT w (#PCDATA)>",
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ATTLIST w id ID #IMPLIED>\n<!ELEMENT w (#PCDATA)>").unwrap();
         assert!(dtd.attr_def("w", "id").is_some());
         assert!(matches!(dtd.element("w").unwrap().content, ContentSpec::Mixed(_)));
     }

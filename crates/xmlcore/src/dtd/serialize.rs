@@ -120,7 +120,9 @@ mod tests {
 
     #[test]
     fn mixed_spellings() {
-        let dtd = parse_dtd("<!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA | x)*> <!ELEMENT x EMPTY>").unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA | x)*> <!ELEMENT x EMPTY>")
+                .unwrap();
         let text = dtd.to_text();
         assert!(text.contains("<!ELEMENT a (#PCDATA)>"));
         assert!(text.contains("<!ELEMENT b (#PCDATA | x)*>"));

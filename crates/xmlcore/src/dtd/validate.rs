@@ -76,9 +76,7 @@ pub fn validate_children(
         ContentSpec::Any => {
             for name in child_names {
                 if dtd.element(name).is_none() {
-                    report.err(format!(
-                        "element <{name}> (child of <{element}>) is not declared"
-                    ));
+                    report.err(format!("element <{name}> (child of <{element}>) is not declared"));
                 }
             }
         }
@@ -93,13 +91,9 @@ pub fn validate_children(
         }
         ContentSpec::Children(model) => {
             if has_nonws_text {
-                report.err(format!(
-                    "element <{element}> has element content but contains text"
-                ));
+                report.err(format!("element <{element}> has element content but contains text"));
             }
-            let automaton = cache
-                .get(dtd, element)
-                .expect("Children content spec always compiles");
+            let automaton = cache.get(dtd, element).expect("Children content spec always compiles");
             if !automaton.matches(child_names.iter().copied()) {
                 report.err(format!(
                     "children of <{element}> do not match content model {model}: found ({})",
@@ -125,10 +119,7 @@ pub fn validate_attrs(
         let present = attrs.iter().find(|a| a.name.as_str() == def.name.as_str());
         match (&def.default, present) {
             (AttDefault::Required, None) => {
-                report.err(format!(
-                    "required attribute {:?} missing on <{element}>",
-                    def.name
-                ));
+                report.err(format!("required attribute {:?} missing on <{element}>", def.name));
             }
             (AttDefault::Fixed(v), Some(a)) if &a.value != v => {
                 report.err(format!(
@@ -170,10 +161,8 @@ pub fn validate_attrs(
     // Undeclared attributes.
     for a in attrs {
         if !decl.attrs.iter().any(|d| d.name == a.name.as_str()) {
-            report.err(format!(
-                "attribute {:?} on <{element}> is not declared",
-                a.name.to_string()
-            ));
+            report
+                .err(format!("attribute {:?} on <{element}> is not declared", a.name.to_string()));
         }
     }
 }
@@ -187,9 +176,7 @@ pub fn validate_document(dtd: &Dtd, doc: &Document) -> Result<ValidationReport> 
     if let Some(root_name) = &dtd.root {
         if let Some(actual) = doc.name(doc.root()) {
             if &actual.local != root_name && actual.as_str() != root_name.as_str() {
-                report.err(format!(
-                    "root element is <{actual}>, DTD expects <{root_name}>"
-                ));
+                report.err(format!("root element is <{actual}>, DTD expects <{root_name}>"));
             }
         }
     }
@@ -253,11 +240,7 @@ mod tests {
     #[test]
     fn content_model_violation_reported() {
         let r = check(r#"<r><page no="1"/></r>"#);
-        assert!(
-            r.errors.iter().any(|e| e.contains("content model")),
-            "{:?}",
-            r.errors
-        );
+        assert!(r.errors.iter().any(|e| e.contains("content model")), "{:?}", r.errors);
     }
 
     #[test]
@@ -305,10 +288,8 @@ mod tests {
 
     #[test]
     fn duplicate_ids_reported() {
-        let dtd = parse_dtd(
-            r#"<!ELEMENT r (w+)> <!ELEMENT w EMPTY> <!ATTLIST w id ID #REQUIRED>"#,
-        )
-        .unwrap();
+        let dtd = parse_dtd(r#"<!ELEMENT r (w+)> <!ELEMENT w EMPTY> <!ATTLIST w id ID #REQUIRED>"#)
+            .unwrap();
         let doc = Document::parse(r#"<r><w id="a"/><w id="a"/></r>"#).unwrap();
         let rep = validate_document(&dtd, &doc).unwrap();
         assert!(rep.errors.iter().any(|e| e.contains("duplicate ID")), "{:?}", rep.errors);

@@ -60,15 +60,16 @@ pub fn resolve_entity(name: &str, pos: Pos) -> Result<char> {
         "quot" => Ok('"'),
         _ => {
             if let Some(num) = name.strip_prefix('#') {
-                let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
-                    u32::from_str_radix(hex, 16)
-                } else {
-                    num.parse::<u32>()
-                };
-                let code = code.map_err(|e| XmlError::BadCharRef {
-                    pos,
-                    detail: format!("&#{num}; — {e}"),
-                })?;
+                let code =
+                    if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                        u32::from_str_radix(hex, 16)
+                    } else {
+                        num.parse::<u32>()
+                    };
+                let code = code
+                    .map_err(|e| XmlError::BadCharRef {
+                        pos, detail: format!("&#{num}; — {e}")
+                    })?;
                 char::from_u32(code).ok_or_else(|| XmlError::BadCharRef {
                     pos,
                     detail: format!("U+{code:X} is not a valid character"),
@@ -93,10 +94,9 @@ pub fn unescape(s: &str) -> Result<Cow<'_, str>> {
     while let Some((i, c)) = chars.next() {
         if c == '&' {
             let rest = &s[i + 1..];
-            let end = rest.find(';').ok_or(XmlError::UnexpectedEof {
-                pos,
-                context: "entity reference",
-            })?;
+            let end = rest
+                .find(';')
+                .ok_or(XmlError::UnexpectedEof { pos, context: "entity reference" })?;
             let name = &rest[..end];
             out.push(resolve_entity(name, pos)?);
             // Skip the entity body and the ';'.
@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn unescape_predefined() {
-        assert_eq!(unescape("&lt;w&gt; &amp; &apos;x&apos; &quot;y&quot;").unwrap(), "<w> & 'x' \"y\"");
+        assert_eq!(
+            unescape("&lt;w&gt; &amp; &apos;x&apos; &quot;y&quot;").unwrap(),
+            "<w> & 'x' \"y\""
+        );
     }
 
     #[test]

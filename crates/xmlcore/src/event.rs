@@ -36,10 +36,7 @@ impl fmt::Display for Attribute {
 
 /// A sorted-insertion helper over attribute lists.
 pub fn find_attr<'a>(attrs: &'a [Attribute], name: &str) -> Option<&'a str> {
-    attrs
-        .iter()
-        .find(|a| a.name.as_str() == name)
-        .map(|a| a.value.as_str())
+    attrs.iter().find(|a| a.name.as_str() == name).map(|a| a.value.as_str())
 }
 
 /// An event produced by the pull parser.

@@ -84,10 +84,9 @@ impl QName {
     pub fn parse_at(s: &str, pos: Pos) -> Result<QName> {
         match s.split_once(':') {
             None if is_ncname(s) => Ok(QName { prefix: None, local: s.to_string() }),
-            Some((p, l)) if is_ncname(p) && is_ncname(l) => Ok(QName {
-                prefix: Some(p.to_string()),
-                local: l.to_string(),
-            }),
+            Some((p, l)) if is_ncname(p) && is_ncname(l) => {
+                Ok(QName { prefix: Some(p.to_string()), local: l.to_string() })
+            }
             _ => Err(XmlError::InvalidName { pos, name: s.to_string() }),
         }
     }

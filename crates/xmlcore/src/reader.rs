@@ -228,9 +228,7 @@ impl<'a> Reader<'a> {
                 Some(']') => depth = depth.saturating_sub(1),
                 Some('>') if depth == 0 => return Ok(()),
                 Some(_) => {}
-                None => {
-                    return Err(XmlError::UnexpectedEof { pos: self.pos, context: "DOCTYPE" })
-                }
+                None => return Err(XmlError::UnexpectedEof { pos: self.pos, context: "DOCTYPE" }),
             }
         }
     }
@@ -448,10 +446,9 @@ fn unescape_at(raw: &str, base: Pos) -> Result<String> {
     while let Some((i, c)) = iter.next() {
         if c == '&' {
             let rest = &raw[i + 1..];
-            let end = rest.find(';').ok_or(XmlError::UnexpectedEof {
-                pos,
-                context: "entity reference",
-            })?;
+            let end = rest
+                .find(';')
+                .ok_or(XmlError::UnexpectedEof { pos, context: "entity reference" })?;
             let name = &rest[..end];
             out.push(resolve_entity(name, pos)?);
             for _ in 0..=end {
@@ -505,8 +502,7 @@ mod tests {
 
     #[test]
     fn nested_elements_and_attributes() {
-        let evs =
-            parse_events(r#"<r><w id="w1" type="noun">word</w><line n="2"/></r>"#).unwrap();
+        let evs = parse_events(r#"<r><w id="w1" type="noun">word</w><line n="2"/></r>"#).unwrap();
         match &evs[1] {
             Event::StartElement { name, attrs, .. } => {
                 assert_eq!(name.local, "w");
@@ -520,10 +516,7 @@ mod tests {
 
     #[test]
     fn mismatched_tags_rejected() {
-        assert!(matches!(
-            parse_events("<a><b></a></b>"),
-            Err(XmlError::MismatchedTag { .. })
-        ));
+        assert!(matches!(parse_events("<a><b></a></b>"), Err(XmlError::MismatchedTag { .. })));
     }
 
     #[test]
@@ -536,10 +529,7 @@ mod tests {
 
     #[test]
     fn unclosed_elements_rejected() {
-        assert!(matches!(
-            parse_events("<a><b>text"),
-            Err(XmlError::UnclosedElements { .. })
-        ));
+        assert!(matches!(parse_events("<a><b>text"), Err(XmlError::UnclosedElements { .. })));
     }
 
     #[test]
@@ -552,18 +542,12 @@ mod tests {
 
     #[test]
     fn two_roots_rejected() {
-        assert!(matches!(
-            parse_events("<a/><b/>"),
-            Err(XmlError::ExtraContentAtRoot { .. })
-        ));
+        assert!(matches!(parse_events("<a/><b/>"), Err(XmlError::ExtraContentAtRoot { .. })));
     }
 
     #[test]
     fn text_outside_root_rejected() {
-        assert!(matches!(
-            parse_events("<a/>junk"),
-            Err(XmlError::ExtraContentAtRoot { .. })
-        ));
+        assert!(matches!(parse_events("<a/>junk"), Err(XmlError::ExtraContentAtRoot { .. })));
     }
 
     #[test]
@@ -620,10 +604,7 @@ mod tests {
 
     #[test]
     fn unknown_entity_in_text_rejected() {
-        assert!(matches!(
-            parse_events("<r>&unknown;</r>"),
-            Err(XmlError::UnknownEntity { .. })
-        ));
+        assert!(matches!(parse_events("<r>&unknown;</r>"), Err(XmlError::UnknownEntity { .. })));
     }
 
     #[test]

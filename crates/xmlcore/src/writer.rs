@@ -39,13 +39,7 @@ impl Writer {
 
     /// New writer with a chosen indentation style.
     pub fn with_indent(indent: Indent) -> Writer {
-        Writer {
-            out: String::new(),
-            stack: Vec::new(),
-            indent,
-            tag_open: false,
-            wrote_decl: false,
-        }
+        Writer { out: String::new(), stack: Vec::new(), indent, tag_open: false, wrote_decl: false }
     }
 
     /// Emit an `<?xml version="1.0" encoding="UTF-8"?>` declaration.
@@ -148,9 +142,10 @@ impl Writer {
 
     /// Close the innermost open element.
     pub fn end(&mut self) -> Result<&mut Writer> {
-        let name = self.stack.pop().ok_or(XmlError::Invalid {
-            detail: "Writer::end() with no open element".into(),
-        })?;
+        let name = self
+            .stack
+            .pop()
+            .ok_or(XmlError::Invalid { detail: "Writer::end() with no open element".into() })?;
         if self.tag_open {
             self.out.push_str("/>");
             self.tag_open = false;

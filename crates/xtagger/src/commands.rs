@@ -89,14 +89,11 @@ impl Command {
     pub fn apply(&self, session: &mut Session) -> Result<Applied> {
         match self {
             Command::InsertMarkup { hierarchy, tag, attrs, start, end } => {
-                let h = session
-                    .goddag()
-                    .hierarchy_by_name(hierarchy)
-                    .ok_or_else(|| XTaggerError::Query(format!("unknown hierarchy {hierarchy:?}")))?;
-                let attrs: Vec<Attribute> = attrs
-                    .iter()
-                    .map(|(n, v)| Attribute::new(n.as_str(), v.clone()))
-                    .collect();
+                let h = session.goddag().hierarchy_by_name(hierarchy).ok_or_else(|| {
+                    XTaggerError::Query(format!("unknown hierarchy {hierarchy:?}"))
+                })?;
+                let attrs: Vec<Attribute> =
+                    attrs.iter().map(|(n, v)| Attribute::new(n.as_str(), v.clone())).collect();
                 session.insert_markup(h, tag, attrs, *start, *end).map(Applied::Inserted)
             }
             Command::RemoveMarkup { node } => {
@@ -210,21 +207,18 @@ impl<'a> Tokenizer<'a> {
     }
 
     fn word(&mut self) -> Result<String> {
-        self.maybe_word()
-            .ok_or_else(|| XTaggerError::Query("unexpected end of command".into()))
+        self.maybe_word().ok_or_else(|| XTaggerError::Query("unexpected end of command".into()))
     }
 
     fn number(&mut self) -> Result<usize> {
         let w = self.word()?;
-        w.parse()
-            .map_err(|_| XTaggerError::Query(format!("expected a number, found {w:?}")))
+        w.parse().map_err(|_| XTaggerError::Query(format!("expected a number, found {w:?}")))
     }
 
     fn node_id(&mut self) -> Result<u32> {
         let w = self.word()?;
         let w = w.strip_prefix('#').unwrap_or(&w);
-        w.parse()
-            .map_err(|_| XTaggerError::Query(format!("expected a node id, found {w:?}")))
+        w.parse().map_err(|_| XTaggerError::Query(format!("expected a node id, found {w:?}")))
     }
 
     fn quoted(&mut self) -> Result<String> {
@@ -340,9 +334,7 @@ mod tests {
         let mut direct = session();
         let ling = direct.goddag().hierarchy_by_name("ling").unwrap();
         let phys = direct.goddag().hierarchy_by_name("phys").unwrap();
-        direct
-            .insert_markup(ling, "w", vec![Attribute::new("n", "1")], 0, 3)
-            .unwrap();
+        direct.insert_markup(ling, "w", vec![Attribute::new("n", "1")], 0, 3).unwrap();
         direct.insert_markup(phys, "line", vec![], 0, 7).unwrap();
 
         assert_eq!(

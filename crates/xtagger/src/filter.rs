@@ -76,10 +76,7 @@ mod tests {
         let f = filter_hierarchies(&g, &[phys]).unwrap();
         // Serializing the filtered single hierarchy equals projecting the
         // original.
-        assert_eq!(
-            f.to_xml(goddag::HierarchyId(0)).unwrap(),
-            g.to_xml(phys).unwrap()
-        );
+        assert_eq!(f.to_xml(goddag::HierarchyId(0)).unwrap(), g.to_xml(phys).unwrap());
     }
 
     #[test]

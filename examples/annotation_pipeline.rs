@@ -61,11 +61,19 @@ fn main() {
     goddag::check_invariants(&combined).unwrap();
     let ev = expath::Evaluator::with_index(&combined);
 
-    println!("\ncombined model: {} elements in {} hierarchies", combined.element_count(), combined.hierarchy_count());
+    println!(
+        "\ncombined model: {} elements in {} hierarchies",
+        combined.element_count(),
+        combined.hierarchy_count()
+    );
     let crossing = ev.select("//clause/overlapping::phys:line").unwrap();
     println!("the clause crosses {} physical line(s):", crossing.len());
     for line in crossing {
-        println!("  line {:?}: {:?}", combined.attr(line, "n").unwrap_or("?"), combined.text_of(line));
+        println!(
+            "  line {:?}: {:?}",
+            combined.attr(line, "n").unwrap_or("?"),
+            combined.text_of(line)
+        );
     }
     let words_in_l2 = ev.select("//line[@n='2']/contained::ling:w").unwrap();
     println!(

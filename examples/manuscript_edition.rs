@@ -60,7 +60,8 @@ fn main() {
     println!("\n== Editorial queries ==");
     let damaged_words = ev.select("//dmg/overlapping::ling:w").unwrap();
     println!("  words cut by damage boundaries: {}", damaged_words.len());
-    let damaged_lines = ev.select("//dmg/overlapping::phys:line | //dmg/contained::phys:line").unwrap();
+    let damaged_lines =
+        ev.select("//dmg/overlapping::phys:line | //dmg/contained::phys:line").unwrap();
     println!("  lines touched by damage:        {}", damaged_lines.len());
     let cross_line_sentences = ev.select("//s/overlapping::phys:line").unwrap();
     println!("  sentence/line conflicts:        {}", cross_line_sentences.len());

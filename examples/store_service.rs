@@ -1,0 +1,96 @@
+//! A miniature query service over a collection of concurrent-XML documents:
+//! load a corpus into a `cxstore::Store`, serve a batch of editorial queries
+//! twice (cold, then warm), apply a gated edit, and show what the store's
+//! caches amortized.
+//!
+//! Run with `cargo run --example store_service`.
+
+use corpus::{dtds, generate, Params};
+use cxstore::{EditOp, Store};
+
+const QUERIES: &[(&str, &str)] = &[
+    ("words", "//ling:w"),
+    ("sentences crossing lines", "//s/overlapping::phys:line"),
+    ("damaged words", "//dmg/overlapping::ling:w"),
+    ("context of damage", "//dmg/containing::*"),
+];
+
+fn serve(store: &Store, label: &str) {
+    let t = std::time::Instant::now();
+    for (what, q) in QUERIES {
+        let hits: usize = store.query_all(q).unwrap().iter().map(|(_, ns)| ns.len()).sum();
+        println!("  {what:<26} {hits:>6} hits across {} docs", store.len());
+    }
+    println!("  ({label}: {:?})", t.elapsed());
+}
+
+fn main() {
+    // A small shelf of manuscripts, each with phys + ling + edit hierarchies.
+    // (Sizes are modest because the prevalidation gate's dynamic program is
+    // super-linear in the host element's child count — see ROADMAP open
+    // items for the planned algorithmic fix.)
+    let store = Store::new();
+    for (name, words, seed) in
+        [("otho-a-vi", 150, 2005u64), ("junius-12", 120, 7), ("bodley-180", 100, 99)]
+    {
+        let mut g = generate(&Params { words, seed, ..Params::default() }).goddag;
+        dtds::attach_standard(&mut g);
+        store.insert_named(name, g);
+    }
+
+    println!("cold pass (builds one overlap index per document):");
+    serve(&store, "cold");
+    println!("\nwarm pass (same queries, cached indexes + compiled ASTs):");
+    serve(&store, "warm");
+
+    // An editor marks new damage in one manuscript; the insertion passes
+    // through the prevalidation gate because the hierarchy carries a DTD.
+    let id = store.id_by_name("otho-a-vi").unwrap();
+    let out = store
+        .edit(
+            id,
+            EditOp::InsertElement {
+                hierarchy: "edit".into(),
+                tag: "dmg".into(),
+                attrs: vec![("agent".into(), "fire".into())],
+                start: 10,
+                end: 60,
+            },
+        )
+        .unwrap();
+    println!("\nedited otho-a-vi: inserted {:?} (epoch now {})", out.node, out.epoch);
+
+    // A rejected edit: the tag is not declared in the linguistic DTD.
+    let refused = store.edit(
+        id,
+        EditOp::InsertElement {
+            hierarchy: "ling".into(),
+            tag: "marginalia".into(),
+            attrs: vec![],
+            start: 0,
+            end: 20,
+        },
+    );
+    println!("gate refused <marginalia>: {}", refused.unwrap_err());
+
+    println!("\npost-edit pass (only the edited document rebuilds its index):");
+    serve(&store, "post-edit");
+
+    let s = store.stats();
+    println!("\nstore stats:");
+    println!(
+        "  docs {} · elements {} · leaves {} · content {} bytes",
+        s.docs, s.elements, s.leaves, s.content_bytes
+    );
+    println!(
+        "  index builds {} · index hits {} ({:.0}% hit rate)",
+        s.index_builds,
+        s.index_hits,
+        100.0 * s.index_hit_rate()
+    );
+    println!(
+        "  compiled queries {} · ast cache hits {} / misses {}",
+        s.compiled_queries, s.query_cache_hits, s.query_cache_misses
+    );
+    println!("  edits {} (+{} rejected) · summed epochs {}", s.edits, s.edits_rejected, s.epochs);
+}

@@ -86,17 +86,17 @@ fn main() {
     let label = session.undo().unwrap();
     println!("  undo: {label}");
     session.redo().unwrap();
-    println!("  redo; history: {:?}", &session.history()[session.history().len().saturating_sub(3)..]);
+    println!(
+        "  redo; history: {:?}",
+        &session.history()[session.history().len().saturating_sub(3)..]
+    );
 
     // ------------------------------------------------------------------
     // Validation status per hierarchy, then query the result.
     // ------------------------------------------------------------------
     println!("\n== Potential validity ==");
     for (name, h) in [("phys", phys), ("ling", ling), ("edit", edit)] {
-        let ok = session
-            .validation_status(h)
-            .map(|r| r.is_potentially_valid())
-            .unwrap_or(true);
+        let ok = session.validation_status(h).map(|r| r.is_potentially_valid()).unwrap_or(true);
         println!("  {name}: {}", if ok { "potentially valid" } else { "DEAD END" });
     }
 

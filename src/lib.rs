@@ -15,6 +15,7 @@
 //! | [`expath`] | Extended XPath with the `overlapping`, `containing`, `contained`, `co-extensive` axes |
 //! | [`prevalid`] | potential-validity checking (prevalidation) |
 //! | [`xtagger`] | editing sessions: suggestions, prevalidation gate, undo/redo, filtering |
+//! | [`cxstore`] | concurrent multi-document repository: cached overlap indexes, compiled-query cache, batch/parallel queries, gated edits |
 //! | [`corpus`] | synthetic manuscript workloads + the paper's Figure 1 reconstruction |
 //!
 //! ## Quickstart
@@ -29,8 +30,21 @@
 //! let damaged = ev.select("//dmg/overlapping::ling:w").unwrap();
 //! assert!(!damaged.is_empty());
 //! ```
+//!
+//! ## Serving many documents
+//!
+//! ```
+//! // A thread-safe repository that amortizes index builds and query
+//! // compilation across requests:
+//! let store = cxstore::Store::new();
+//! store.insert(corpus::figure1::goddag());
+//! store.insert(corpus::figure1::goddag());
+//! let per_doc = store.query_all("//dmg/overlapping::ling:w").unwrap();
+//! assert_eq!(per_doc.len(), 2);
+//! ```
 
 pub use corpus;
+pub use cxstore;
 pub use expath;
 pub use goddag;
 pub use prevalid;

@@ -43,8 +43,7 @@ fn each_hierarchy_projects_back_to_its_document() {
     // Serializing each hierarchy yields well-formed XML with the exact
     // shared content.
     for (name, xml) in g.to_distributed().unwrap() {
-        let dom = xmlcore::dom::Document::parse(&xml)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let dom = xmlcore::dom::Document::parse(&xml).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(dom.text_content(dom.root()), figure1::CONTENT);
     }
 }

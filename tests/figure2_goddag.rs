@@ -10,11 +10,8 @@ fn leaves_are_the_markup_boundary_partition() {
     let g = figure1::goddag();
     // Boundaries come from all four hierarchies: line break, word breaks,
     // res start (mid-word), dmg start/end (mid-word).
-    let leaf_texts: Vec<String> = g
-        .leaves()
-        .iter()
-        .map(|&l| g.leaf_text(l).unwrap().to_string())
-        .collect();
+    let leaf_texts: Vec<String> =
+        g.leaves().iter().map(|&l| g.leaf_text(l).unwrap().to_string()).collect();
     assert_eq!(leaf_texts.concat(), figure1::CONTENT);
     // The mid-word splits exist: "ealdspell" shatters into "ea" (res
     // boundary), "ld" (line break), "sp" (dmg end), "ell".
@@ -27,11 +24,8 @@ fn leaves_are_the_markup_boundary_partition() {
 fn every_hierarchy_reaches_every_leaf() {
     let g = figure1::goddag();
     for h in g.hierarchy_ids() {
-        let frontier: Vec<_> = g
-            .descendants_in(g.root(), h)
-            .into_iter()
-            .filter(|&n| g.is_leaf(n))
-            .collect();
+        let frontier: Vec<_> =
+            g.descendants_in(g.root(), h).into_iter().filter(|&n| g.is_leaf(n)).collect();
         assert_eq!(frontier.len(), g.leaf_count(), "hierarchy {h}");
     }
 }
@@ -101,20 +95,15 @@ fn dot_rendering_contains_all_nodes_and_edges() {
     }
     // Edge count: every hierarchy reaches all leaves + its elements.
     let edge_count = dot.matches(" -> ").count();
-    let expected: usize = g
-        .hierarchy_ids()
-        .map(|h| g.descendants_in(g.root(), h).len())
-        .sum();
+    let expected: usize = g.hierarchy_ids().map(|h| g.descendants_in(g.root(), h).len()).sum();
     assert_eq!(edge_count, expected);
 }
 
 #[test]
 fn doc_order_is_total_and_stable() {
     let g = figure1::goddag();
-    let mut all: Vec<goddag::NodeId> = (0..g.arena_len() as u32)
-        .map(goddag::NodeId)
-        .filter(|&n| g.is_alive(n))
-        .collect();
+    let mut all: Vec<goddag::NodeId> =
+        (0..g.arena_len() as u32).map(goddag::NodeId).filter(|&n| g.is_alive(n)).collect();
     g.sort_doc_order(&mut all);
     // Root first.
     assert_eq!(all[0], g.root());

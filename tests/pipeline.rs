@@ -21,7 +21,11 @@ fn end_to_end_manuscript_pipeline() {
     // 3. Validate every hierarchy against its DTD.
     dtds::attach_standard(&mut g);
     for (h, report) in goddag::validate_all(&g) {
-        assert!(report.is_valid(), "hierarchy {h}: {:?}", &report.errors[..report.errors.len().min(3)]);
+        assert!(
+            report.is_valid(),
+            "hierarchy {h}: {:?}",
+            &report.errors[..report.errors.len().min(3)]
+        );
     }
 
     // 4. Query with Extended XPath (indexed).
@@ -65,16 +69,10 @@ fn classic_pipeline_is_a_special_case() {
     // DOM and GODDAG agree on structure.
     let dom = xmlcore::dom::Document::parse(xml).unwrap();
     assert_eq!(dom.text_content(dom.root()), g.content());
-    assert_eq!(
-        dom.elements_named(dom.root(), "line").len(),
-        g.find_elements("line").len()
-    );
+    assert_eq!(dom.elements_named(dom.root(), "line").len(), g.find_elements("line").len());
     // XPath-equivalent query agrees with DOM traversal.
     let ev = Evaluator::new(&g);
-    assert_eq!(
-        ev.select("//line").unwrap().len(),
-        dom.elements_named(dom.root(), "line").len()
-    );
+    assert_eq!(ev.select("//line").unwrap().len(), dom.elements_named(dom.root(), "line").len());
 }
 
 #[test]
@@ -87,10 +85,8 @@ fn sacx_event_stream_equals_builder_structure() {
 
     let ms = generate(&Params { words: 300, seed: 11, ..Params::default() });
     let docs = ms.distributed();
-    let extracted: Vec<sacx::ExtractedDoc> = docs
-        .iter()
-        .map(|(n, x)| sacx::extract(x, n).unwrap())
-        .collect();
+    let extracted: Vec<sacx::ExtractedDoc> =
+        docs.iter().map(|(n, x)| sacx::extract(x, n).unwrap()).collect();
     let events = sacx::merge_events(&extracted);
 
     struct Counter {

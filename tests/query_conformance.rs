@@ -12,14 +12,8 @@ use goddag::Goddag;
 /// edit:  dmg = "b cc d" (mid-word to mid-word)
 fn doc() -> Goddag {
     sacx::parse_distributed(&[
-        (
-            "phys",
-            "<r><line n=\"1\">aa bb cc</line> <line n=\"2\">dd ee</line></r>",
-        ),
-        (
-            "ling",
-            "<r><w>aa</w> <s id=\"s1\"><w>bb</w> <w>cc</w> <w>dd</w></s> <w>ee</w></r>",
-        ),
+        ("phys", "<r><line n=\"1\">aa bb cc</line> <line n=\"2\">dd ee</line></r>"),
+        ("ling", "<r><w>aa</w> <s id=\"s1\"><w>bb</w> <w>cc</w> <w>dd</w></s> <w>ee</w></r>"),
         ("edit", "<r>aa b<dmg agent=\"x\">b cc d</dmg>d ee</r>"),
     ])
     .unwrap()
@@ -30,10 +24,7 @@ fn check(g: &Goddag, query: &str, expected_texts: &[&str]) {
         let ev = if indexed { Evaluator::with_index(g) } else { Evaluator::new(g) };
         let hits = ev.select(query).unwrap_or_else(|e| panic!("{query}: {e}"));
         let texts: Vec<String> = hits.iter().map(|&n| g.text_of(n)).collect();
-        assert_eq!(
-            texts, expected_texts,
-            "query {query} (indexed={indexed})"
-        );
+        assert_eq!(texts, expected_texts, "query {query} (indexed={indexed})");
     }
 }
 

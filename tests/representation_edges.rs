@@ -22,9 +22,8 @@ fn spans_of(g: &Goddag) -> Vec<(String, usize, usize)> {
 fn assert_full_roundtrip(g: &Goddag, dominant: &str) {
     for driver in sacx::builtin_drivers(dominant) {
         let out = driver.export(g).unwrap_or_else(|e| panic!("{}: {e}", driver.name()));
-        let back = driver
-            .import(&out)
-            .unwrap_or_else(|e| panic!("{} import: {e}\n{out}", driver.name()));
+        let back =
+            driver.import(&out).unwrap_or_else(|e| panic!("{} import: {e}\n{out}", driver.name()));
         check_invariants(&back).unwrap();
         assert_eq!(back.content(), g.content(), "{}", driver.name());
         assert_eq!(spans_of(&back), spans_of(g), "{}", driver.name());
@@ -151,15 +150,10 @@ fn empty_content_all_drivers() {
 fn fragmentation_chooses_minimal_fragments_for_nested_input() {
     // Purely nested ranges need no fragments at all, even across
     // hierarchies, as long as they don't cross.
-    let g = sacx::parse_distributed(&[
-        ("a", "<r><o><i>xy</i>z</o>w</r>"),
-        ("b", "<r><p>xyzw</p></r>"),
-    ])
-    .unwrap();
-    assert_eq!(
-        sacx::count_fragments(&g, &sacx::FragmentationOptions::default()).unwrap(),
-        0
-    );
+    let g =
+        sacx::parse_distributed(&[("a", "<r><o><i>xy</i>z</o>w</r>"), ("b", "<r><p>xyzw</p></r>")])
+            .unwrap();
+    assert_eq!(sacx::count_fragments(&g, &sacx::FragmentationOptions::default()).unwrap(), 0);
 }
 
 #[test]
@@ -220,8 +214,5 @@ fn edition_bundle_through_representations() {
     let bundle = xtagger::save_edition(&g2);
     let g3 = xtagger::load_edition(&bundle).unwrap();
     assert_eq!(spans_of(&g3), spans_of(&g));
-    assert!(g3
-        .hierarchy_ids()
-        .filter(|&h| g3.hierarchy(h).unwrap().dtd.is_some())
-        .count() >= 2);
+    assert!(g3.hierarchy_ids().filter(|&h| g3.hierarchy(h).unwrap().dtd.is_some()).count() >= 2);
 }

@@ -38,9 +38,8 @@ fn attr_strategy() -> impl Strategy<Value = (String, String)> {
 fn tree_strategy() -> impl Strategy<Value = Tree> {
     let leaf = prop_oneof![
         text_strategy().prop_map(Tree::Text),
-        (name_strategy(), proptest::collection::vec(attr_strategy(), 0..3)).prop_map(
-            |(name, attrs)| Tree::Element { name, attrs, children: vec![] }
-        ),
+        (name_strategy(), proptest::collection::vec(attr_strategy(), 0..3))
+            .prop_map(|(name, attrs)| Tree::Element { name, attrs, children: vec![] }),
     ];
     leaf.prop_recursive(4, 24, 4, |inner| {
         (
@@ -67,10 +66,8 @@ fn build_dom(tree: &Tree) -> Document {
                     .filter(|(n, _)| seen.insert(n.clone()))
                     .map(|(n, v)| Attribute::new(n.as_str(), v.clone()))
                     .collect();
-                let id = doc.append(
-                    parent,
-                    DomNode::Element { name: QName::parse(name).unwrap(), attrs },
-                );
+                let id = doc
+                    .append(parent, DomNode::Element { name: QName::parse(name).unwrap(), attrs });
                 for c in children {
                     add(doc, id, c);
                 }
