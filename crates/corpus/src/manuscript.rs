@@ -251,6 +251,37 @@ fn build_editorial(
     }
 }
 
+/// A single mixed-content host: one `<s>` spanning `words` `<w>` elements
+/// with a non-whitespace run (` · `) between consecutive words, under a
+/// `ling` hierarchy — `2·words − 1` child items. This is the shape overlap
+/// annotation produces on dense hosts and the standard workload for the
+/// prevalidation benchmarks, the `prevalid_repro` example, and the CI perf
+/// smoke test. Returns the document, the hierarchy, and each word's byte
+/// range.
+pub fn mixed_host(words: usize) -> (Goddag, HierarchyId, Vec<(usize, usize)>) {
+    assert!(words > 0, "a host needs at least one word");
+    let mut content = String::new();
+    let mut ranges = Vec::new();
+    for i in 0..words {
+        if i > 0 {
+            content.push_str(" · ");
+        }
+        let word = format!("word{i}");
+        let s = content.len();
+        content.push_str(&word);
+        ranges.push((s, content.len()));
+    }
+    let mut b = GoddagBuilder::new(QName::parse("r").unwrap());
+    b.content(content);
+    let h = b.hierarchy("ling");
+    b.range(h, "s", vec![], ranges[0].0, ranges.last().unwrap().1)
+        .expect("sentence range is word-aligned");
+    for &(s, e) in &ranges {
+        b.range(h, "w", vec![], s, e).expect("word ranges are word-aligned");
+    }
+    (b.finish().expect("generator emits well-nested ranges"), h, ranges)
+}
+
 /// A char boundary near the middle of `[s, e)`.
 fn mid_char(content: &str, s: usize, e: usize) -> usize {
     let mut m = s + (e - s) / 2;
@@ -323,6 +354,17 @@ mod tests {
         let g2 = sacx::parse_distributed(&docs).unwrap();
         assert_eq!(g2.content(), ms.goddag.content());
         assert_eq!(g2.element_count(), ms.goddag.element_count());
+    }
+
+    #[test]
+    fn mixed_host_shape() {
+        let (g, h, ranges) = mixed_host(5);
+        check_invariants(&g).unwrap();
+        assert_eq!(ranges.len(), 5);
+        let s = g.find_elements("s")[0];
+        // 5 <w> children + 4 non-whitespace text runs between them.
+        assert_eq!(g.children_in(s, h).len(), 9);
+        assert_eq!(g.find_elements("w").len(), 5);
     }
 
     #[test]

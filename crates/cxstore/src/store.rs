@@ -7,7 +7,7 @@ use crate::error::{Result, StoreError};
 use crate::stats::{Counters, StoreStats};
 use expath::{parse, Evaluator, Expr, Value};
 use goddag::Goddag;
-use prevalid::check_insertion;
+use prevalid::InsertionContext;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,26 +32,56 @@ impl fmt::Display for DocId {
     }
 }
 
-/// Cap on distinct compiled expressions kept alive; above it an arbitrary
-/// entry is evicted (the cache is an amortizer, not a registry).
+/// Default cap on distinct compiled expressions kept alive; above it the
+/// least-recently-used entry is evicted (the cache is an amortizer, not a
+/// registry).
 const QUERY_CACHE_CAP: usize = 1024;
 
+/// One compiled-query cache slot: the shared AST plus its last-touched
+/// tick (atomic so read-path hits never take the write lock).
+struct CachedQuery {
+    ast: Arc<Expr>,
+    last_used: AtomicU64,
+}
+
 /// A thread-safe repository of GODDAG documents with epoch-validated
-/// overlap-index caches, a compiled-query cache, and a batch query service.
-/// See the crate docs for the full tour.
-#[derive(Default)]
+/// overlap-index caches, an LRU compiled-query cache, and a batch query
+/// service. See the crate docs for the full tour.
 pub struct Store {
     docs: RwLock<BTreeMap<DocId, Arc<DocEntry>>>,
     names: RwLock<HashMap<String, DocId>>,
     next_id: AtomicU64,
-    queries: RwLock<HashMap<String, Arc<Expr>>>,
+    queries: RwLock<HashMap<String, CachedQuery>>,
+    /// Monotonic recency clock for the query cache.
+    query_tick: AtomicU64,
+    query_cache_cap: usize,
     counters: Counters,
+}
+
+impl Default for Store {
+    fn default() -> Store {
+        Store::with_query_cache_capacity(QUERY_CACHE_CAP)
+    }
 }
 
 impl Store {
     /// An empty store.
     pub fn new() -> Store {
         Store::default()
+    }
+
+    /// An empty store whose compiled-query cache holds at most `cap`
+    /// expressions (minimum 1), evicting least-recently-used beyond that.
+    pub fn with_query_cache_capacity(cap: usize) -> Store {
+        Store {
+            docs: RwLock::default(),
+            names: RwLock::default(),
+            next_id: AtomicU64::new(0),
+            queries: RwLock::default(),
+            query_tick: AtomicU64::new(0),
+            query_cache_cap: cap.max(1),
+            counters: Counters::default(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -161,24 +191,36 @@ impl Store {
     // Queries
     // ------------------------------------------------------------------
 
-    /// Compile an expression, reusing the cache. The returned AST is shared
-    /// and immutable; evaluating it never re-parses.
+    /// Compile an expression, reusing the cache (touching the entry's
+    /// recency). The returned AST is shared and immutable; evaluating it
+    /// never re-parses.
     pub fn compile(&self, expr: &str) -> Result<Arc<Expr>> {
-        if let Some(ast) = self.queries_read().get(expr) {
+        let tick = self.query_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(cached) = self.queries_read().get(expr) {
+            cached.last_used.store(tick, Ordering::Relaxed);
             Counters::bump(&self.counters.query_cache_hits);
-            return Ok(Arc::clone(ast));
+            return Ok(Arc::clone(&cached.ast));
         }
         Counters::bump(&self.counters.query_cache_misses);
         let ast = Arc::new(parse(expr)?);
         let mut cache = self.queries_write();
-        if cache.len() >= QUERY_CACHE_CAP && !cache.contains_key(expr) {
-            if let Some(k) = cache.keys().next().cloned() {
+        if cache.len() >= self.query_cache_cap && !cache.contains_key(expr) {
+            // Evict the least-recently-used entry (linear scan: eviction is
+            // rare next to hits and already behind a parse).
+            if let Some(k) = cache
+                .iter()
+                .min_by_key(|(_, c)| c.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
                 cache.remove(&k);
             }
         }
         // Keep whichever AST got there first so concurrent compilers agree.
-        let ast = Arc::clone(cache.entry(expr.to_string()).or_insert(ast));
-        Ok(ast)
+        let cached = cache
+            .entry(expr.to_string())
+            .or_insert_with(|| CachedQuery { ast, last_used: AtomicU64::new(tick) });
+        cached.last_used.store(tick, Ordering::Relaxed);
+        Ok(Arc::clone(&cached.ast))
     }
 
     /// Evaluate a node-set expression against one document, using the
@@ -292,7 +334,14 @@ impl Store {
                     .hierarchy_by_name(&hierarchy)
                     .ok_or(StoreError::UnknownHierarchy(hierarchy))?;
                 if let Some(engine) = entry.engine_for(g, h) {
-                    let verdict = check_insertion(&engine, g, h, &tag, start, end);
+                    // One reusable check context per gated edit: the host
+                    // partition and wrap tables are built once and the tag
+                    // is tested against them (the same context that powers
+                    // [`Store::suggest_tags`]).
+                    let verdict = match InsertionContext::new(&engine, g, h, start, end) {
+                        Ok(ctx) => ctx.check(&tag),
+                        Err(v) => v,
+                    };
                     if !verdict.ok {
                         return Err(StoreError::EditRejected(
                             verdict.reason.unwrap_or_else(|| "prevalidation failed".into()),
@@ -329,6 +378,32 @@ impl Store {
             }
         };
         Ok(EditOutcome { node, epoch: g.edit_epoch() })
+    }
+
+    /// Every tag the hierarchy's DTD allows over `start..end` — the editor
+    /// suggestion service, served from the cached prevalidation engine with
+    /// the host partition and covered-items wrap table shared across all
+    /// candidate tags (only the per-tag host-side check re-runs). Empty
+    /// when the hierarchy carries no DTD or the range itself is unusable.
+    pub fn suggest_tags(
+        &self,
+        id: DocId,
+        hierarchy: &str,
+        start: usize,
+        end: usize,
+    ) -> Result<Vec<String>> {
+        let entry = self.entry(id)?;
+        let g = entry.read();
+        let h = g
+            .hierarchy_by_name(hierarchy)
+            .ok_or_else(|| StoreError::UnknownHierarchy(hierarchy.into()))?;
+        let Some(engine) = entry.engine_for(&g, h) else {
+            return Ok(Vec::new());
+        };
+        Ok(match InsertionContext::new(&engine, &g, h, start, end) {
+            Ok(ctx) => ctx.suggestions(),
+            Err(_) => Vec::new(),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -402,11 +477,11 @@ impl Store {
         crate::entry::write_lock(&self.names)
     }
 
-    fn queries_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Expr>>> {
+    fn queries_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, CachedQuery>> {
         crate::entry::read_lock(&self.queries)
     }
 
-    fn queries_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Expr>>> {
+    fn queries_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, CachedQuery>> {
         crate::entry::write_lock(&self.queries)
     }
 }
@@ -620,6 +695,94 @@ mod tests {
         let s1 = store.stats();
         assert_eq!(s1.index_builds - s0.index_builds, 1);
         assert!(s1.index_hits > s0.index_hits);
+    }
+
+    #[test]
+    fn query_cache_evicts_least_recently_used() {
+        let store = Store::with_query_cache_capacity(3);
+        store.insert(corpus::figure1::goddag());
+        store.compile("//a").unwrap();
+        store.compile("//b").unwrap();
+        store.compile("//c").unwrap();
+        // Touch a and c so b becomes the LRU entry...
+        store.compile("//a").unwrap();
+        store.compile("//c").unwrap();
+        // ...then overflow the cache: b must be the one evicted.
+        store.compile("//d").unwrap();
+        assert_eq!(store.stats().compiled_queries, 3);
+        let misses = store.stats().query_cache_misses;
+        store.compile("//a").unwrap();
+        store.compile("//c").unwrap();
+        store.compile("//d").unwrap();
+        assert_eq!(store.stats().query_cache_misses, misses, "a, c, d must still be cached");
+        store.compile("//b").unwrap();
+        assert_eq!(store.stats().query_cache_misses, misses + 1, "b must have been evicted");
+    }
+
+    #[test]
+    fn query_cache_capacity_is_enforced() {
+        let store = Store::with_query_cache_capacity(2);
+        for expr in ["//a", "//b", "//c", "//d", "//a", "//c"] {
+            store.compile(expr).unwrap();
+        }
+        assert_eq!(store.stats().compiled_queries, 2);
+    }
+
+    #[test]
+    fn suggest_tags_serves_from_cached_engine() {
+        let store = Store::new();
+        let mut g = corpus::figure1::goddag();
+        corpus::dtds::attach_standard(&mut g);
+        let id = store.insert(g);
+        // A two-word range inside the ling sentence: phrase fits there.
+        let (start, end) = store
+            .with_doc(id, |g| {
+                let ws = g.find_elements("w");
+                (g.char_range(ws[0]).0, g.char_range(ws[1]).1)
+            })
+            .unwrap();
+        let tags = store.suggest_tags(id, "ling", start, end).unwrap();
+        assert!(tags.contains(&"phrase".to_string()), "{tags:?}");
+        // Every suggested tag passes the gate; a non-suggested one is
+        // rejected by it.
+        for tag in store
+            .with_doc(id, |g| {
+                let h = g.hierarchy_by_name("ling").unwrap();
+                g.hierarchy(h)
+                    .unwrap()
+                    .dtd
+                    .clone()
+                    .unwrap()
+                    .elements
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .unwrap()
+        {
+            let gate = store.edit(
+                id,
+                EditOp::InsertElement {
+                    hierarchy: "ling".into(),
+                    tag: tag.clone(),
+                    attrs: vec![],
+                    start,
+                    end,
+                },
+            );
+            assert_eq!(gate.is_ok(), tags.contains(&tag), "tag {tag}");
+            if let Ok(out) = gate {
+                // Undo so each candidate sees the same document.
+                store.edit(id, EditOp::RemoveElement(out.node.unwrap())).unwrap();
+            }
+        }
+        // No DTD -> no suggestions; unknown hierarchy -> error.
+        let bare = store.insert(corpus::figure1::goddag());
+        assert!(store.suggest_tags(bare, "ling", start, end).unwrap().is_empty());
+        assert!(matches!(
+            store.suggest_tags(id, "nope", start, end),
+            Err(StoreError::UnknownHierarchy(_))
+        ));
     }
 
     #[test]

@@ -8,8 +8,16 @@
 //!   Evaluated without mutating the document.
 //! * [`suggest_tags`] — every tag the DTD allows over a selection: exactly
 //!   xTagger's "choose the appropriate markup" list.
+//!
+//! Both single-tag checks and tag suggestion run through an
+//! [`InsertionContext`]: the host lookup, the child-sequence partition
+//! against the byte range, and the wrap table over the covered items are
+//! computed **once** and every candidate tag is tested against them —
+//! only the host-side sequence check, whose sequence genuinely differs
+//! per tag (the tag sits in it), is re-run per candidate. `cxstore`
+//! threads the same context through its gated-edit path.
 
-use crate::engine::{Item, PrevalidEngine, Verdict};
+use crate::engine::{Item, ItemSym, PrevalidEngine, Verdict, WrapTable};
 use goddag::{Goddag, HierarchyId, NodeId, NodeKind, Span};
 
 /// Result of a whole-hierarchy check.
@@ -66,6 +74,186 @@ pub fn check_hierarchy(engine: &PrevalidEngine, g: &Goddag, h: HierarchyId) -> H
     HierarchyReport { failures }
 }
 
+/// A prepared single-insertion check: the host of `start..end` in one
+/// hierarchy, its child sequence partitioned against the range, and the wrap
+/// table over the covered items — shared by every candidate tag.
+///
+/// Construction fails (with the would-be [`Verdict`]) when the range itself
+/// is unusable: out of bounds, splitting a character, or crossing markup of
+/// the same hierarchy. [`InsertionContext::check`] then decides individual
+/// tags, and [`InsertionContext::suggestions`] ranks the whole DTD.
+pub struct InsertionContext<'e> {
+    engine: &'e PrevalidEngine,
+    host_name: String,
+    /// Host children outside the range (the insertion point marked by
+    /// `slot`), resolved; `Err` carries the first undeclared-child reason.
+    outer: Result<(Vec<ItemSym>, usize), String>,
+    /// Covered items plus their shared wrap table; `Err` as above.
+    inner: Result<(Vec<ItemSym>, WrapTable), String>,
+}
+
+impl<'e> InsertionContext<'e> {
+    /// Locate the host of `start..end` in hierarchy `h` and partition its
+    /// children against the range.
+    pub fn new(
+        engine: &'e PrevalidEngine,
+        g: &Goddag,
+        h: HierarchyId,
+        start: usize,
+        end: usize,
+    ) -> Result<InsertionContext<'e>, Verdict> {
+        if start > end || end > g.content_len() {
+            return Err(Verdict::no(format!("range {start}..{end} out of bounds")));
+        }
+        let content = g.content();
+        if !content.is_char_boundary(start) || !content.is_char_boundary(end) {
+            return Err(Verdict::no(format!("range {start}..{end} splits a character")));
+        }
+
+        // Locate the host (deepest element of h covering the range) without
+        // requiring leaf boundaries at start/end.
+        let host = host_by_chars(g, h, start, end);
+        let host_name = match g.name(host) {
+            Some(q) => q.local.clone(),
+            None => return Err(Verdict::no("host has no name")),
+        };
+
+        // Partition the host's children against the byte range.
+        let mut before: Vec<Item> = Vec::new();
+        let mut inside: Vec<Item> = Vec::new();
+        let mut after: Vec<Item> = Vec::new();
+        for &c in g.children_in(host, h) {
+            let (cs, ce) = g.char_range(c);
+            let item = match g.kind(c) {
+                NodeKind::Element { name, .. } => Some(Item::Elem(name.local.clone())),
+                NodeKind::Leaf { text } => {
+                    (!text.chars().all(char::is_whitespace)).then_some(Item::Text)
+                }
+                NodeKind::Root { .. } => None,
+            };
+            // A leaf partially covered by the range splits: parts may fall on
+            // both sides and inside.
+            if g.is_leaf(c) {
+                let text = g.leaf_text(c).expect("leaf has text");
+                let piece = |a: usize, b: usize| -> Option<Item> {
+                    if a >= b {
+                        return None;
+                    }
+                    let lo = a.max(cs) - cs;
+                    let hi = b.min(ce) - cs;
+                    if lo >= hi {
+                        return None;
+                    }
+                    (!text[lo..hi].chars().all(char::is_whitespace)).then_some(Item::Text)
+                };
+                if let Some(i) = piece(cs, start.min(ce)) {
+                    before.push(i);
+                }
+                if let Some(i) = piece(start.max(cs), end.min(ce)) {
+                    inside.push(i);
+                }
+                if let Some(i) = piece(end.max(cs), ce) {
+                    after.push(i);
+                }
+                continue;
+            }
+            let Some(item) = item else { continue };
+            // Empty children (milestones, cs == ce) at the boundaries fall
+            // into the before/after arms via the same comparisons.
+            if ce <= start {
+                before.push(item);
+            } else if cs >= end {
+                after.push(item);
+            } else if start <= cs && ce <= end {
+                inside.push(item);
+            } else {
+                return Err(Verdict::no(format!(
+                    "range {start}..{end} would cross <{}> ({cs}..{ce}) in the same hierarchy",
+                    g.name(c).map(|q| q.local.clone()).unwrap_or_default()
+                )));
+            }
+        }
+
+        let inner = match engine.resolve_items(&inside) {
+            Ok(items) => {
+                let table = engine.build_wrap_table(&items);
+                Ok((items, table))
+            }
+            Err(v) => Err(v.reason.unwrap_or_default()),
+        };
+        let slot = before.len();
+        let outer = match engine.resolve_items(&before).and_then(|mut seq| {
+            seq.reserve(after.len() + 1);
+            let rest = engine.resolve_items(&after)?;
+            seq.extend(rest);
+            Ok(seq)
+        }) {
+            Ok(seq) => Ok((seq, slot)),
+            Err(v) => Err(v.reason.unwrap_or_default()),
+        };
+
+        Ok(InsertionContext { engine, host_name, outer, inner })
+    }
+
+    /// The host element's name.
+    pub fn host_name(&self) -> &str {
+        &self.host_name
+    }
+
+    /// Would inserting `<tag>` here keep the hierarchy potentially valid?
+    /// The covered items are tested against the shared wrap table; only the
+    /// host's new sequence (which differs per tag) is checked from scratch.
+    pub fn check(&self, tag: &str) -> Verdict {
+        let Some(tag_sym) =
+            self.engine.symbol(tag).filter(|_| self.engine.dtd().element(tag).is_some())
+        else {
+            return Verdict::no(format!("element <{tag}> is not declared"));
+        };
+
+        // The new element must accept the covered items...
+        let inner = match &self.inner {
+            Ok((items, table)) => self.engine.check_resolved(tag, items, Some(table), true),
+            Err(reason) => Verdict::no(reason.clone()),
+        };
+        if !inner.ok {
+            return Verdict::no(format!(
+                "<{tag}> cannot hold the selected content: {}",
+                inner.reason.unwrap_or_default()
+            ));
+        }
+        // ...and the host must accept its new sequence. (A host missing
+        // from the DTD outranks undeclared children, as in a fresh
+        // `check_sequence`.)
+        let outer = if self.engine.dtd().element(&self.host_name).is_none() {
+            Verdict::no(format!("element <{}> is not declared", self.host_name))
+        } else {
+            match &self.outer {
+                Ok((seq, slot)) => {
+                    let mut new_seq = Vec::with_capacity(seq.len() + 1);
+                    new_seq.extend_from_slice(&seq[..*slot]);
+                    new_seq.push(ItemSym::Sym(tag_sym));
+                    new_seq.extend_from_slice(&seq[*slot..]);
+                    self.engine.check_resolved(&self.host_name, &new_seq, None, true)
+                }
+                Err(reason) => Verdict::no(reason.clone()),
+            }
+        };
+        if !outer.ok {
+            return Verdict::no(format!(
+                "<{tag}> not allowed inside <{}> here: {}",
+                self.host_name,
+                outer.reason.unwrap_or_default()
+            ));
+        }
+        Verdict::yes()
+    }
+
+    /// All DTD elements [`Self::check`] approves, sorted by name.
+    pub fn suggestions(&self) -> Vec<String> {
+        self.engine.dtd().elements.keys().filter(|tag| self.check(tag).ok).cloned().collect()
+    }
+}
+
 /// Would inserting `<tag>` over content bytes `start..end` keep hierarchy
 /// `h` potentially valid? Pure check — the document is not modified.
 ///
@@ -83,110 +271,10 @@ pub fn check_insertion(
     if engine.dtd().element(tag).is_none() {
         return Verdict { ok: false, reason: Some(format!("element <{tag}> is not declared")) };
     }
-    if start > end || end > g.content_len() {
-        return Verdict { ok: false, reason: Some(format!("range {start}..{end} out of bounds")) };
+    match InsertionContext::new(engine, g, h, start, end) {
+        Ok(ctx) => ctx.check(tag),
+        Err(v) => v,
     }
-    let content = g.content();
-    if !content.is_char_boundary(start) || !content.is_char_boundary(end) {
-        return Verdict {
-            ok: false,
-            reason: Some(format!("range {start}..{end} splits a character")),
-        };
-    }
-
-    // Locate the host (deepest element of h covering the range) without
-    // requiring leaf boundaries at start/end.
-    let host = host_by_chars(g, h, start, end);
-    let host_name = match g.name(host) {
-        Some(q) => q.local.clone(),
-        None => return Verdict { ok: false, reason: Some("host has no name".into()) },
-    };
-
-    // Partition the host's children against the byte range.
-    let mut before: Vec<Item> = Vec::new();
-    let mut inside: Vec<Item> = Vec::new();
-    let mut after: Vec<Item> = Vec::new();
-    for &c in g.children_in(host, h) {
-        let (cs, ce) = g.char_range(c);
-        let item = match g.kind(c) {
-            NodeKind::Element { name, .. } => Some(Item::Elem(name.local.clone())),
-            NodeKind::Leaf { text } => {
-                (!text.chars().all(char::is_whitespace)).then_some(Item::Text)
-            }
-            NodeKind::Root { .. } => None,
-        };
-        // A leaf partially covered by the range splits: parts may fall on
-        // both sides and inside.
-        if g.is_leaf(c) {
-            let text = g.leaf_text(c).expect("leaf has text");
-            let piece = |a: usize, b: usize| -> Option<Item> {
-                if a >= b {
-                    return None;
-                }
-                let lo = a.max(cs) - cs;
-                let hi = b.min(ce) - cs;
-                if lo >= hi {
-                    return None;
-                }
-                (!text[lo..hi].chars().all(char::is_whitespace)).then_some(Item::Text)
-            };
-            if let Some(i) = piece(cs, start.min(ce)) {
-                before.push(i);
-            }
-            if let Some(i) = piece(start.max(cs), end.min(ce)) {
-                inside.push(i);
-            }
-            if let Some(i) = piece(end.max(cs), ce) {
-                after.push(i);
-            }
-            continue;
-        }
-        let Some(item) = item else { continue };
-        // Empty children (milestones, cs == ce) at the boundaries fall into
-        // the before/after arms via the same comparisons.
-        if ce <= start {
-            before.push(item);
-        } else if cs >= end {
-            after.push(item);
-        } else if start <= cs && ce <= end {
-            inside.push(item);
-        } else {
-            return Verdict {
-                ok: false,
-                reason: Some(format!(
-                    "range {start}..{end} would cross <{}> ({cs}..{ce}) in the same hierarchy",
-                    g.name(c).map(|q| q.local.clone()).unwrap_or_default()
-                )),
-            };
-        }
-    }
-
-    // The new element must accept the covered items...
-    let inner = engine.check_sequence(tag, &inside);
-    if !inner.ok {
-        return Verdict {
-            ok: false,
-            reason: Some(format!(
-                "<{tag}> cannot hold the selected content: {}",
-                inner.reason.unwrap_or_default()
-            )),
-        };
-    }
-    // ...and the host must accept its new sequence.
-    let mut new_seq = before;
-    new_seq.push(Item::Elem(tag.to_string()));
-    new_seq.extend(after);
-    let outer = engine.check_sequence(&host_name, &new_seq);
-    if !outer.ok {
-        return Verdict {
-            ok: false,
-            reason: Some(format!(
-                "<{tag}> not allowed inside <{host_name}> here: {}",
-                outer.reason.unwrap_or_default()
-            )),
-        };
-    }
-    Verdict { ok: true, reason: None }
 }
 
 /// The deepest element of `h` whose byte range covers `start..end` (root as
@@ -218,15 +306,10 @@ pub fn suggest_tags(
     start: usize,
     end: usize,
 ) -> Vec<String> {
-    let mut out: Vec<String> = engine
-        .dtd()
-        .elements
-        .keys()
-        .filter(|tag| check_insertion(engine, g, h, tag, start, end).ok)
-        .cloned()
-        .collect();
-    out.sort();
-    out
+    match InsertionContext::new(engine, g, h, start, end) {
+        Ok(ctx) => ctx.suggestions(),
+        Err(_) => Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +435,37 @@ mod tests {
         // wrapping 0..7 in another line or w stays inside it.
         let tags = suggest_tags(&engine, &g, h, 0, 7);
         assert!(tags.contains(&"w".to_string()), "{tags:?}");
+    }
+
+    #[test]
+    fn suggestions_match_individual_checks() {
+        // The shared-context suggestion list must agree tag-for-tag with
+        // independent check_insertion calls (the sharing is an optimization,
+        // not a semantics change).
+        let (engine, g, h) = setup();
+        for (s, e) in [(0usize, 3usize), (0, 7), (4, 4), (1, 5), (0, 11), (8, 11)] {
+            let suggested = suggest_tags(&engine, &g, h, s, e);
+            for tag in engine.dtd().elements.keys() {
+                assert_eq!(
+                    suggested.contains(tag),
+                    check_insertion(&engine, &g, h, tag, s, e).ok,
+                    "tag {tag} over {s}..{e}: {suggested:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn context_reuse_matches_one_shot() {
+        let (engine, g, h) = setup();
+        let ctx = InsertionContext::new(&engine, &g, h, 0, 3).unwrap();
+        assert_eq!(ctx.host_name(), "line");
+        for tag in ["w", "line", "page", "r"] {
+            assert_eq!(ctx.check(tag), check_insertion(&engine, &g, h, tag, 0, 3), "tag {tag}");
+        }
+        // Error verdicts surface at construction.
+        assert!(InsertionContext::new(&engine, &g, h, 0, 999).is_err());
+        assert!(InsertionContext::new(&engine, &g, h, 4, 9).is_err());
     }
 
     #[test]

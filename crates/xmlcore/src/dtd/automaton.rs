@@ -132,6 +132,169 @@ impl Automaton {
     }
 }
 
+/// Number of `u64` words needed for a bitset over `n` bits.
+fn words_for(n: usize) -> usize {
+    n.div_ceil(64).max(1)
+}
+
+/// A [`Automaton`] lowered onto dense, symbol-indexed bitset tables.
+///
+/// State sets become `&[u64]` bitmasks (`words()` words each, bit `s` =
+/// state `s` active), and the two per-state lookups the NFA simulation
+/// needs become precomputed masks:
+///
+/// * `succ(s)` — every state reachable from `s` in one transition, any
+///   symbol;
+/// * `entered_by(sym)` — every state whose entry symbol is `sym` (symbols
+///   are the caller's dense ids, assigned by the `sym_id` interner passed
+///   to [`Automaton::to_dense`]).
+///
+/// One `step` over a whole state set is then
+/// `(⋃_{s∈states} succ(s)) & entered_by(sym)` — a handful of AND/OR words
+/// instead of a fresh `BTreeSet` per position. The `prevalid` crate builds
+/// its potential-validity dynamic program on top of this.
+#[derive(Debug, Clone)]
+pub struct DenseAutomaton {
+    num_states: usize,
+    words: usize,
+    /// `succ[s*words..][..words]` — successors of state `s`.
+    succ: Vec<u64>,
+    /// `entered_by[sym*words..][..words]` — states entered by symbol `sym`.
+    entered_by: Vec<u64>,
+    /// Accepting-state mask.
+    accepting: Vec<u64>,
+    /// Dense symbol id of each state's entry symbol (state 0 unused).
+    state_symbol: Vec<usize>,
+    /// All-zero mask returned for symbols outside this content model.
+    zeros: Vec<u64>,
+}
+
+impl DenseAutomaton {
+    /// Number of states (same as the source automaton).
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// `u64` words per state-set bitmask.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// A fresh all-zero state set.
+    pub fn empty_set(&self) -> Vec<u64> {
+        vec![0; self.words]
+    }
+
+    /// The start-state singleton `{0}`.
+    pub fn start_set(&self) -> Vec<u64> {
+        let mut s = self.empty_set();
+        s[0] = 1;
+        s
+    }
+
+    /// Successor mask of one state.
+    pub fn succ(&self, s: usize) -> &[u64] {
+        &self.succ[s * self.words..(s + 1) * self.words]
+    }
+
+    /// Mask of states entered by the dense symbol `sym` (all-zero for
+    /// symbols outside this content model).
+    pub fn entered_by(&self, sym: usize) -> &[u64] {
+        if sym < self.entered_by.len() / self.words {
+            &self.entered_by[sym * self.words..(sym + 1) * self.words]
+        } else {
+            &self.zeros
+        }
+    }
+
+    /// Dense symbol id entering state `s` (`None` for the start state).
+    pub fn entry_symbol_id(&self, s: usize) -> Option<usize> {
+        (s > 0).then(|| self.state_symbol[s])
+    }
+
+    /// `out |= ⋃_{s ∈ states} succ(s)` — the one-transition image of a
+    /// state set, before any symbol filter.
+    pub fn succ_union_into(&self, states: &[u64], out: &mut [u64]) {
+        for (w, &word) in states.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for (o, &m) in out.iter_mut().zip(self.succ(s)) {
+                    *o |= m;
+                }
+            }
+        }
+    }
+
+    /// Does the state set contain an accepting state?
+    pub fn accepts_any(&self, states: &[u64]) -> bool {
+        states.iter().zip(&self.accepting).any(|(a, b)| a & b != 0)
+    }
+
+    /// Is the state set empty?
+    pub fn is_empty_set(states: &[u64]) -> bool {
+        states.iter().all(|&w| w == 0)
+    }
+
+    /// Run the automaton over dense symbol ids (bitset analogue of
+    /// [`Automaton::matches`]).
+    pub fn matches_dense(&self, syms: impl IntoIterator<Item = usize>) -> bool {
+        let mut states = self.start_set();
+        let mut image = self.empty_set();
+        for sym in syms {
+            image.iter_mut().for_each(|w| *w = 0);
+            self.succ_union_into(&states, &mut image);
+            let entered = self.entered_by(sym);
+            for (s, (&i, &e)) in states.iter_mut().zip(image.iter().zip(entered)) {
+                *s = i & e;
+            }
+            if Self::is_empty_set(&states) {
+                return false;
+            }
+        }
+        self.accepts_any(&states)
+    }
+}
+
+impl Automaton {
+    /// Lower this automaton onto dense bitset tables, mapping entry-symbol
+    /// names through `sym_id` (an interner: every distinct name must get a
+    /// stable dense id, so pass a closure that grows a shared table).
+    pub fn to_dense<F: FnMut(&str) -> usize>(&self, mut sym_id: F) -> DenseAutomaton {
+        let n = self.num_states();
+        let words = words_for(n);
+        let state_symbol: Vec<usize> =
+            std::iter::once(0).chain(self.symbols.iter().map(|s| sym_id(s))).collect();
+        let num_symbols = state_symbol.iter().skip(1).copied().max().map_or(0, |m| m + 1);
+
+        let mut succ = vec![0u64; n * words];
+        let mut entered_by = vec![0u64; num_symbols * words];
+        for s in 0..n {
+            for &t in self.transitions_from(s) {
+                succ[s * words + t / 64] |= 1 << (t % 64);
+            }
+        }
+        for t in 1..n {
+            let sym = state_symbol[t];
+            entered_by[sym * words + t / 64] |= 1 << (t % 64);
+        }
+        let mut accepting = vec![0u64; words];
+        for &s in &self.accepting {
+            accepting[s / 64] |= 1 << (s % 64);
+        }
+        DenseAutomaton {
+            num_states: n,
+            words,
+            succ,
+            entered_by,
+            accepting,
+            state_symbol,
+            zeros: vec![0; words],
+        }
+    }
+}
+
 fn build(
     model: &ContentModel,
     symbols: &mut Vec<String>,
@@ -293,5 +456,80 @@ mod tests {
         assert!(a.matches(["a", "a"]));
         assert!(!a.matches(["a"]));
         assert!(!a.matches(["a", "a", "a"]));
+    }
+
+    /// Intern symbols into a growing table; returns (dense automaton, ids).
+    fn dense_with_interner(a: &Automaton, alphabet: &[&str]) -> (DenseAutomaton, Vec<usize>) {
+        let mut table: Vec<String> = Vec::new();
+        let mut intern = |s: &str| match table.iter().position(|t| t == s) {
+            Some(i) => i,
+            None => {
+                table.push(s.to_string());
+                table.len() - 1
+            }
+        };
+        let d = a.to_dense(&mut intern);
+        let ids = alphabet.iter().map(|s| intern(s)).collect();
+        (d, ids)
+    }
+
+    #[test]
+    fn dense_matches_agrees_with_sparse() {
+        let model = m_doc();
+        let a = Automaton::compile(&model);
+        let alphabet = ["head", "p", "list", "trailer", "ghost"];
+        let (d, ids) = dense_with_interner(&a, &alphabet);
+        assert_eq!(d.num_states(), a.num_states());
+        // Exhaustive words up to length 3 over the alphabet (plus empty).
+        let mut words: Vec<Vec<usize>> = vec![vec![]];
+        for len in 1..=3usize {
+            for mut k in 0..alphabet.len().pow(len as u32) {
+                let mut w = Vec::with_capacity(len);
+                for _ in 0..len {
+                    w.push(k % alphabet.len());
+                    k /= alphabet.len();
+                }
+                words.push(w);
+            }
+        }
+        for w in words {
+            let sparse = a.matches(w.iter().map(|&i| alphabet[i]));
+            let dense = d.matches_dense(w.iter().map(|&i| ids[i]));
+            assert_eq!(sparse, dense, "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn dense_masks_expose_structure() {
+        let a = Automaton::compile(&M::seq([M::name("a"), M::name("b")]));
+        let (d, ids) = dense_with_interner(&a, &["a", "b"]);
+        // start -> state 1 on a; state 1 -> state 2 on b; 2 accepting.
+        assert_eq!(d.succ(0), &[0b010]);
+        assert_eq!(d.succ(1), &[0b100]);
+        assert_eq!(d.entered_by(ids[0]), &[0b010]);
+        assert_eq!(d.entered_by(ids[1]), &[0b100]);
+        assert!(!d.accepts_any(&d.start_set()));
+        assert!(d.accepts_any(&[0b100]));
+        assert_eq!(d.entry_symbol_id(0), None);
+        assert_eq!(d.entry_symbol_id(1), Some(ids[0]));
+        // Unknown symbols step nowhere.
+        assert_eq!(d.entered_by(99), &[0]);
+        let mut image = d.empty_set();
+        d.succ_union_into(&d.start_set(), &mut image);
+        assert_eq!(image, vec![0b010]);
+    }
+
+    #[test]
+    fn dense_handles_many_states() {
+        // 70 sequential names forces a second bitset word.
+        let names: Vec<M> = (0..70).map(|i| M::name(format!("n{i}"))).collect();
+        let a = Automaton::compile(&M::seq(names));
+        let alphabet: Vec<String> = (0..70).map(|i| format!("n{i}")).collect();
+        let refs: Vec<&str> = alphabet.iter().map(String::as_str).collect();
+        let (d, ids) = dense_with_interner(&a, &refs);
+        assert_eq!(d.words(), 2);
+        assert!(d.matches_dense(ids.iter().copied()));
+        assert!(!d.matches_dense(ids[..69].iter().copied()));
+        assert!(!d.matches_dense(ids.iter().rev().copied()));
     }
 }

@@ -12,7 +12,7 @@ mod parser;
 mod serialize;
 mod validate;
 
-pub use automaton::{Automaton, StateId};
+pub use automaton::{Automaton, DenseAutomaton, StateId};
 pub use content_model::{ContentModel, Occurrence};
 pub use parser::parse_dtd;
 pub use validate::{

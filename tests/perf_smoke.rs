@@ -1,0 +1,60 @@
+//! Release-mode performance smoke test for the prevalidation hot path.
+//!
+//! Ignored by default (debug builds and loaded CI runners would flake);
+//! CI runs it explicitly in release:
+//!
+//! ```sh
+//! cargo test --release --test perf_smoke -- --ignored
+//! ```
+//!
+//! Guards the ROADMAP "prevalidation performance cliff" fix: before the
+//! bitset engine, `check_insertion` on this 200-word mixed-content host
+//! took ~387 s in release; the budget here is 1 s — generous enough for
+//! slow runners, and still ~400× under the old cost.
+
+use prevalid::{check_insertion, suggest_tags, PrevalidEngine};
+use std::time::{Duration, Instant};
+
+/// A 200-word mixed-content host (399 child items) with a two-word range
+/// in its middle.
+fn host_200() -> (goddag::Goddag, goddag::HierarchyId, usize, usize) {
+    let words = 200;
+    let (g, h, ranges) = corpus::mixed_host(words);
+    let (s, _) = ranges[words / 2];
+    let (_, e) = ranges[words / 2 + 1];
+    (g, h, s, e)
+}
+
+#[test]
+#[ignore = "release-mode perf budget; run with: cargo test --release --test perf_smoke -- --ignored"]
+fn check_insertion_200_words_stays_interactive() {
+    let engine = PrevalidEngine::new(corpus::dtds::ling());
+    let (g, h, s, e) = host_200();
+
+    // Warm-up (page in code, fault in the allocator).
+    assert!(check_insertion(&engine, &g, h, "phrase", s, e).ok);
+
+    let t = Instant::now();
+    let verdict = check_insertion(&engine, &g, h, "phrase", s, e);
+    let elapsed = t.elapsed();
+    assert!(verdict.ok, "{:?}", verdict.reason);
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "check_insertion on a 200-word host took {elapsed:?} (budget 1s)"
+    );
+}
+
+#[test]
+#[ignore = "release-mode perf budget; run with: cargo test --release --test perf_smoke -- --ignored"]
+fn suggest_tags_200_words_stays_interactive() {
+    let engine = PrevalidEngine::new(corpus::dtds::ling());
+    let (g, h, s, e) = host_200();
+    let t = Instant::now();
+    let tags = suggest_tags(&engine, &g, h, s, e);
+    let elapsed = t.elapsed();
+    assert_eq!(tags, ["phrase"]);
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "suggest_tags on a 200-word host took {elapsed:?} (budget 2s)"
+    );
+}
