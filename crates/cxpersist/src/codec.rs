@@ -1,0 +1,620 @@
+//! The write-ahead-log codec: a compact, versioned, line-oriented text
+//! format with per-record CRCs and monotonic LSNs.
+//!
+//! A WAL file is a header line followed by records:
+//!
+//! ```text
+//! #cxwal v1
+//! 1 ins 0 anon blob 142 1a2b3c4d
+//! <142 bytes of raw DocBlob text>
+//! 2 edit 0 5 instext 0 swa%20hwa 5e6f7a8b
+//! 3 edit 0 6 insel ling w 0 7 n=1 9c0d1e2f
+//! ```
+//!
+//! Every record starts with one line `<lsn> <kind> <fields…> <crc32>`,
+//! where the CRC covers the record body (everything before the final
+//! space). Strings are percent-escaped so they survive the space/newline
+//! framing; the empty string is spelled as a lone `%` (otherwise
+//! unproducible — a `%` always introduces two hex digits). `ins` records
+//! carry the document blob as a *length-prefixed raw payload block* after
+//! the line (escaping it would ~triple its size; the blob's own CRC footer
+//! guards its integrity). Torn or bit-flipped trailing records are
+//! detected by [`scan`]: the first record that fails framing, parsing or
+//! its CRC ends the valid prefix, and everything after it is dropped.
+
+use crate::blob::DocBlob;
+use crate::error::PersistError;
+use cxstore::{DocId, EditOp};
+use std::fmt::Write as _;
+
+/// First line of every WAL file (version-bumps on format changes).
+pub const WAL_HEADER: &str = "#cxwal v1\n";
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE, reflected) — dependency-free, table-driven.
+// ---------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        t[i] = c;
+        i += 1;
+    }
+    t
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3) of a byte string.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// String escaping
+// ---------------------------------------------------------------------
+
+/// Percent-escape a string into a single space-free token —
+/// [`sacx::escape_token`] plus one WAL-specific convention: `""` becomes a
+/// lone `%` (otherwise unproducible, since a `%` always introduces two hex
+/// digits), because WAL tokens are positional and an empty token would
+/// break the space framing.
+pub(crate) fn enc(s: &str) -> String {
+    if s.is_empty() {
+        return "%".to_string();
+    }
+    sacx::escape_token(s)
+}
+
+/// Undo [`enc`].
+pub(crate) fn dec(s: &str, line: usize) -> Result<String, PersistError> {
+    if s == "%" {
+        return Ok(String::new());
+    }
+    sacx::unescape_token(s).map_err(|detail| PersistError::Codec { line, detail })
+}
+
+fn bad(line: usize, detail: impl Into<String>) -> PersistError {
+    PersistError::Codec { line, detail: detail.into() }
+}
+
+/// Parse one numeric token or fail with "expected `what`" — shared by the
+/// record, blob and manifest parsers.
+pub(crate) fn parse_tok<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, PersistError> {
+    tok.and_then(|s| s.parse().ok()).ok_or_else(|| bad(line, format!("expected {what}")))
+}
+
+use parse_tok as num;
+
+// ---------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------
+
+/// One logged operation (the payload of a [`WalRecord`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// A document edit. `epoch` is the document's edit epoch *before* the
+    /// op was applied — recovery verifies it against the replaying
+    /// document to detect divergence.
+    Edit {
+        /// Target document.
+        doc: DocId,
+        /// Edit epoch the document was at when the record was appended.
+        epoch: u64,
+        /// The operation itself.
+        op: EditOp,
+    },
+    /// A document entered the store (the full blob rides in the log so
+    /// documents inserted after the last snapshot survive a crash).
+    DocInsert {
+        /// The handle the document received.
+        doc: DocId,
+        /// Name bound at insertion, if any.
+        name: Option<String>,
+        /// Complete serialized document.
+        blob: DocBlob,
+    },
+    /// A document left the store.
+    DocRemove {
+        /// The removed handle.
+        doc: DocId,
+    },
+    /// A name was bound (or re-bound) to a document.
+    BindName {
+        /// Target document.
+        doc: DocId,
+        /// The name.
+        name: String,
+    },
+}
+
+/// One WAL record: a monotonic log sequence number plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Log sequence number (1-based, strictly increasing within a file).
+    pub lsn: u64,
+    /// The logged operation.
+    pub op: WalOp,
+}
+
+/// Encode a record: one CRC'd line, plus — for `DocInsert` only — the raw
+/// document blob as a length-prefixed payload block after the line.
+/// Framing the blob raw instead of percent-escaping it keeps document
+/// inserts at ~1× their blob size rather than ~3× (spaces, newlines and
+/// non-ASCII dominate document text); the blob's own CRC footer covers the
+/// payload's integrity, the record CRC covers the declared length.
+pub fn encode_record(lsn: u64, op: &WalOp) -> String {
+    let mut body = format!("{lsn} ");
+    let mut payload = None;
+    match op {
+        WalOp::Edit { doc, epoch, op } => {
+            let _ = write!(body, "edit {} {epoch} ", doc.raw());
+            encode_op(&mut body, op);
+        }
+        WalOp::DocInsert { doc, name, blob } => {
+            let _ = write!(body, "ins {} ", doc.raw());
+            match name {
+                Some(n) => {
+                    let _ = write!(body, "named {} ", enc(n));
+                }
+                None => body.push_str("anon "),
+            }
+            let text = blob.to_text();
+            debug_assert!(text.ends_with('\n'), "blob text is newline-terminated");
+            let _ = write!(body, "blob {}", text.len());
+            payload = Some(text);
+        }
+        WalOp::DocRemove { doc } => {
+            let _ = write!(body, "rm {}", doc.raw());
+        }
+        WalOp::BindName { doc, name } => {
+            let _ = write!(body, "bind {} {}", doc.raw(), enc(name));
+        }
+    }
+    let crc = crc32(body.as_bytes());
+    let _ = write!(body, " {crc:08x}");
+    body.push('\n');
+    if let Some(payload) = payload {
+        body.push_str(&payload);
+    }
+    body
+}
+
+fn encode_op(out: &mut String, op: &EditOp) {
+    match op {
+        EditOp::InsertElement { hierarchy, tag, attrs, start, end } => {
+            let _ = write!(out, "insel {} {} {start} {end}", enc(hierarchy), enc(tag));
+            for (k, v) in attrs {
+                let _ = write!(out, " {}={}", enc(k), enc(v));
+            }
+        }
+        EditOp::RemoveElement(n) => {
+            let _ = write!(out, "rmel {}", n.0);
+        }
+        EditOp::InsertText { offset, text } => {
+            let _ = write!(out, "instext {offset} {}", enc(text));
+        }
+        EditOp::DeleteText { start, end } => {
+            let _ = write!(out, "deltext {start} {end}");
+        }
+        EditOp::SetAttr { node, name, value } => {
+            let _ = write!(out, "setattr {} {} {}", node.0, enc(name), enc(value));
+        }
+        EditOp::RemoveAttr { node, name } => {
+            let _ = write!(out, "rmattr {} {}", node.0, enc(name));
+        }
+    }
+}
+
+/// Decode one record starting at the beginning of `input` (which may hold
+/// further records after it), verifying the line CRC and — for `DocInsert`
+/// — consuming and validating the length-prefixed payload block. Returns
+/// the record and the number of bytes consumed. `line_no` is used in error
+/// messages only.
+pub fn decode_record(input: &[u8], line_no: usize) -> Result<(WalRecord, usize), PersistError> {
+    let nl = input
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| bad(line_no, "record without trailing newline"))?;
+    let line =
+        std::str::from_utf8(&input[..nl]).map_err(|_| bad(line_no, "record line is not UTF-8"))?;
+    let (body, crc_tok) =
+        line.rsplit_once(' ').ok_or_else(|| bad(line_no, "record without CRC field"))?;
+    let crc = u32::from_str_radix(crc_tok, 16).map_err(|_| bad(line_no, "malformed CRC"))?;
+    if crc_tok.len() != 8 || crc != crc32(body.as_bytes()) {
+        return Err(bad(line_no, "CRC mismatch"));
+    }
+    let mut consumed = nl + 1;
+    let mut parts = body.split(' ');
+    let lsn: u64 = num(parts.next(), line_no, "LSN")?;
+    let kind = parts.next().ok_or_else(|| bad(line_no, "missing record kind"))?;
+    let op = match kind {
+        "edit" => {
+            let doc = DocId::from_raw(num(parts.next(), line_no, "doc id")?);
+            let epoch: u64 = num(parts.next(), line_no, "epoch")?;
+            let op = decode_op(&mut parts, line_no)?;
+            WalOp::Edit { doc, epoch, op }
+        }
+        "ins" => {
+            let doc = DocId::from_raw(num(parts.next(), line_no, "doc id")?);
+            let name = match parts.next() {
+                Some("anon") => None,
+                Some("named") => {
+                    Some(dec(parts.next().ok_or_else(|| bad(line_no, "missing name"))?, line_no)?)
+                }
+                _ => return Err(bad(line_no, "expected anon|named")),
+            };
+            if parts.next() != Some("blob") {
+                return Err(bad(line_no, "expected blob length"));
+            }
+            let len: usize = num(parts.next(), line_no, "blob length")?;
+            let end =
+                consumed.checked_add(len).ok_or_else(|| bad(line_no, "blob length overflows"))?;
+            let payload =
+                input.get(consumed..end).ok_or_else(|| bad(line_no, "torn blob payload"))?;
+            let payload = std::str::from_utf8(payload)
+                .map_err(|_| bad(line_no, "blob payload is not UTF-8"))?;
+            let blob = DocBlob::parse_text(payload)?;
+            consumed += len;
+            WalOp::DocInsert { doc, name, blob }
+        }
+        "rm" => WalOp::DocRemove { doc: DocId::from_raw(num(parts.next(), line_no, "doc id")?) },
+        "bind" => {
+            let doc = DocId::from_raw(num(parts.next(), line_no, "doc id")?);
+            let name = dec(parts.next().ok_or_else(|| bad(line_no, "missing name"))?, line_no)?;
+            WalOp::BindName { doc, name }
+        }
+        other => return Err(bad(line_no, format!("unknown record kind {other:?}"))),
+    };
+    if parts.next().is_some() {
+        return Err(bad(line_no, "trailing fields after record"));
+    }
+    Ok((WalRecord { lsn, op }, consumed))
+}
+
+fn decode_op<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line_no: usize,
+) -> Result<EditOp, PersistError> {
+    let kind = parts.next().ok_or_else(|| bad(line_no, "missing op kind"))?;
+    Ok(match kind {
+        "insel" => {
+            let hierarchy =
+                dec(parts.next().ok_or_else(|| bad(line_no, "missing hierarchy"))?, line_no)?;
+            let tag = dec(parts.next().ok_or_else(|| bad(line_no, "missing tag"))?, line_no)?;
+            let start: usize = num(parts.next(), line_no, "start")?;
+            let end: usize = num(parts.next(), line_no, "end")?;
+            let mut attrs = Vec::new();
+            for kv in parts.by_ref() {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| bad(line_no, format!("bad attribute {kv:?}")))?;
+                attrs.push((dec(k, line_no)?, dec(v, line_no)?));
+            }
+            EditOp::InsertElement { hierarchy, tag, attrs, start, end }
+        }
+        "rmel" => EditOp::RemoveElement(goddag::NodeId(num(parts.next(), line_no, "node id")?)),
+        "instext" => EditOp::InsertText {
+            offset: num(parts.next(), line_no, "offset")?,
+            text: dec(parts.next().ok_or_else(|| bad(line_no, "missing text"))?, line_no)?,
+        },
+        "deltext" => EditOp::DeleteText {
+            start: num(parts.next(), line_no, "start")?,
+            end: num(parts.next(), line_no, "end")?,
+        },
+        "setattr" => EditOp::SetAttr {
+            node: goddag::NodeId(num(parts.next(), line_no, "node id")?),
+            name: dec(parts.next().ok_or_else(|| bad(line_no, "missing name"))?, line_no)?,
+            value: dec(parts.next().ok_or_else(|| bad(line_no, "missing value"))?, line_no)?,
+        },
+        "rmattr" => EditOp::RemoveAttr {
+            node: goddag::NodeId(num(parts.next(), line_no, "node id")?),
+            name: dec(parts.next().ok_or_else(|| bad(line_no, "missing name"))?, line_no)?,
+        },
+        other => return Err(bad(line_no, format!("unknown op kind {other:?}"))),
+    })
+}
+
+/// Framing-only walk of one record: return its LSN and total byte length
+/// (payload block included) without CRC verification or payload parsing.
+/// For trusted files the writer itself produced — WAL rotation uses this
+/// to find a cut offset in O(line bytes) instead of fully decoding every
+/// retired document blob.
+pub(crate) fn skip_record(input: &[u8]) -> Option<(u64, usize)> {
+    let nl = input.iter().position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&input[..nl]).ok()?;
+    let mut parts = line.split(' ');
+    let lsn: u64 = parts.next()?.parse().ok()?;
+    let mut consumed = nl + 1;
+    if parts.next() == Some("ins") {
+        // `ins <doc> anon|named [<name>] blob <len> <crc>` — the length is
+        // the second-to-last token.
+        let toks: Vec<&str> = parts.collect();
+        let len: usize = toks.get(toks.len().checked_sub(2)?)?.parse().ok()?;
+        consumed = consumed.checked_add(len)?;
+    }
+    (consumed <= input.len()).then_some((lsn, consumed))
+}
+
+// ---------------------------------------------------------------------
+// File scanning
+// ---------------------------------------------------------------------
+
+/// Result of scanning a WAL file's bytes.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Records of the valid prefix, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (header plus intact records) — the
+    /// offset a recovering writer truncates to before appending.
+    pub valid_len: usize,
+    /// Bytes dropped after the valid prefix (torn or corrupt tail).
+    pub dropped_bytes: usize,
+    /// Whether anything was dropped.
+    pub torn: bool,
+}
+
+/// Scan a WAL file: decode the longest valid prefix, stopping at the
+/// first torn (no trailing newline), corrupt (CRC/parse failure) or
+/// non-monotonic record. Everything after the stop point is reported as
+/// dropped, never replayed.
+pub fn scan(bytes: &[u8]) -> Result<WalScan, PersistError> {
+    scan_tail(bytes, 0)
+}
+
+/// [`scan`] that *frame-skips* the leading records with
+/// `lsn <= skip_through` instead of decoding them — recovery uses this for
+/// the region a loaded snapshot already covers, so cold-start cost scales
+/// with the live tail, not the retired document blobs still sitting in the
+/// log. Skipped records are not returned and their content is not
+/// verified (the snapshot, not the log, is authoritative for that range);
+/// the tail past `skip_through` gets the full CRC-checked decode.
+pub fn scan_tail(bytes: &[u8], skip_through: u64) -> Result<WalScan, PersistError> {
+    let header = WAL_HEADER.as_bytes();
+    if bytes.len() < header.len() || &bytes[..header.len()] != header {
+        // An empty or garbage file has no valid prefix at all; callers
+        // treat this as "no log" for a fresh file and as corruption
+        // otherwise.
+        return Err(PersistError::Codec { line: 1, detail: "missing WAL header".into() });
+    }
+    let mut records = Vec::new();
+    let mut pos = header.len();
+    let mut line_no = 1usize;
+    let mut last_lsn = 0u64;
+    while pos < bytes.len() {
+        match skip_record(&bytes[pos..]) {
+            Some((lsn, used)) if lsn > last_lsn && lsn <= skip_through => {
+                last_lsn = lsn;
+                pos += used;
+                line_no += 1;
+            }
+            _ => break,
+        }
+    }
+    while pos < bytes.len() {
+        line_no += 1;
+        let Ok((rec, used)) = decode_record(&bytes[pos..], line_no) else {
+            break; // torn or corrupt: the valid prefix ends here
+        };
+        if rec.lsn <= last_lsn {
+            break; // replayed garbage that happens to checksum (or a rewind)
+        }
+        last_lsn = rec.lsn;
+        records.push(rec);
+        pos += used;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: pos,
+        dropped_bytes: bytes.len() - pos,
+        torn: pos < bytes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn enc_dec_roundtrip_hard_strings() {
+        for s in ["", "%", "a b", "x=y", "line\nbreak", "tab\there", "æøå", "100%"] {
+            let e = enc(s);
+            assert!(!e.contains(' ') && !e.contains('\n') && !e.contains('='), "{e:?}");
+            assert_eq!(dec(&e, 1).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_all_kinds() {
+        let ops = vec![
+            WalOp::Edit {
+                doc: DocId::from_raw(3),
+                epoch: 17,
+                op: EditOp::InsertElement {
+                    hierarchy: "ling".into(),
+                    tag: "w".into(),
+                    attrs: vec![("n".into(), "two words".into()), ("".into(), "".into())],
+                    start: 0,
+                    end: 7,
+                },
+            },
+            WalOp::Edit {
+                doc: DocId::from_raw(0),
+                epoch: 0,
+                op: EditOp::RemoveElement(goddag::NodeId(9)),
+            },
+            WalOp::Edit {
+                doc: DocId::from_raw(1),
+                epoch: 2,
+                op: EditOp::InsertText { offset: 4, text: "swa hwa\n".into() },
+            },
+            WalOp::Edit {
+                doc: DocId::from_raw(1),
+                epoch: 3,
+                op: EditOp::DeleteText { start: 1, end: 2 },
+            },
+            WalOp::Edit {
+                doc: DocId::from_raw(2),
+                epoch: 8,
+                op: EditOp::SetAttr {
+                    node: goddag::NodeId(4),
+                    name: "lemma".into(),
+                    value: "=tricky value=".into(),
+                },
+            },
+            WalOp::Edit {
+                doc: DocId::from_raw(2),
+                epoch: 9,
+                op: EditOp::RemoveAttr { node: goddag::NodeId(4), name: "lemma".into() },
+            },
+            WalOp::DocRemove { doc: DocId::from_raw(7) },
+            WalOp::BindName { doc: DocId::from_raw(7), name: "the manuscript".into() },
+        ];
+        for (i, op) in ops.into_iter().enumerate() {
+            let encoded = encode_record(i as u64 + 1, &op);
+            assert!(encoded.ends_with('\n'));
+            let (rec, used) = decode_record(encoded.as_bytes(), 1).unwrap();
+            assert_eq!(used, encoded.len());
+            assert_eq!(rec.lsn, i as u64 + 1);
+            assert_eq!(rec.op, op);
+        }
+    }
+
+    #[test]
+    fn doc_insert_payload_framing_roundtrips() {
+        let g = sacx::parse_distributed(&[(
+            "a",
+            "<r><w note=\"spaces = hard\ntruly\">swā hwa</w></r>",
+        )])
+        .unwrap();
+        let blob = DocBlob::capture(&g);
+        let op = WalOp::DocInsert { doc: DocId::from_raw(4), name: Some("the ms".into()), blob };
+        let encoded = encode_record(9, &op);
+        // The blob rides raw (length-prefixed), not percent-escaped: the
+        // record costs about its blob size, not 3×.
+        let blob_len = match &op {
+            WalOp::DocInsert { blob, .. } => blob.to_text().len(),
+            _ => unreachable!(),
+        };
+        assert!(encoded.len() < blob_len + 128, "{} vs blob {}", encoded.len(), blob_len);
+        let (rec, used) = decode_record(encoded.as_bytes(), 1).unwrap();
+        assert_eq!(used, encoded.len());
+        assert_eq!(rec.op, op);
+        // A truncated payload is torn, not misparsed.
+        assert!(decode_record(&encoded.as_bytes()[..encoded.len() - 10], 1).is_err());
+        // Records after the payload still frame correctly.
+        let mut file = encoded.clone();
+        file.push_str(&encode_record(10, &WalOp::DocRemove { doc: DocId::from_raw(4) }));
+        let mut wal = WAL_HEADER.to_string();
+        wal.push_str(&file);
+        let s = scan(wal.as_bytes()).unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert!(!s.torn);
+    }
+
+    #[test]
+    fn skip_record_matches_full_decode() {
+        let g = sacx::parse_distributed(&[("a", "<r><w>swā</w> hwa</r>")]).unwrap();
+        let ops = [
+            WalOp::DocInsert { doc: DocId::from_raw(1), name: None, blob: DocBlob::capture(&g) },
+            WalOp::DocInsert {
+                doc: DocId::from_raw(2),
+                name: Some("m s".into()),
+                blob: DocBlob::capture(&g),
+            },
+            WalOp::DocRemove { doc: DocId::from_raw(1) },
+            WalOp::Edit {
+                doc: DocId::from_raw(2),
+                epoch: 3,
+                op: EditOp::InsertText { offset: 0, text: "x".into() },
+            },
+        ];
+        for (i, op) in ops.iter().enumerate() {
+            let encoded = encode_record(i as u64 + 1, op);
+            let (lsn, used) = skip_record(encoded.as_bytes()).unwrap();
+            let (rec, full_used) = decode_record(encoded.as_bytes(), 1).unwrap();
+            assert_eq!((lsn, used), (rec.lsn, full_used), "op {i}");
+        }
+        // Torn inputs skip to None, never past the buffer.
+        assert!(skip_record(b"9 ins 1 anon blob 400 deadbeef\nshort").is_none());
+        assert!(skip_record(b"no newline").is_none());
+    }
+
+    #[test]
+    fn corrupt_records_rejected() {
+        let line = encode_record(5, &WalOp::DocRemove { doc: DocId::from_raw(1) });
+        assert!(decode_record(line.as_bytes(), 1).is_ok());
+        // Flip one byte of the body: CRC catches it.
+        let mut flipped = line.clone().into_bytes();
+        flipped[0] ^= 1;
+        assert!(decode_record(&flipped, 1).is_err());
+        // Truncate the CRC (and the newline with it).
+        assert!(decode_record(&line.as_bytes()[..line.len() - 2], 1).is_err());
+        // Missing newline = torn.
+        assert!(decode_record(line.trim_end_matches('\n').as_bytes(), 1).is_err());
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let mut file = WAL_HEADER.to_string();
+        for lsn in 1..=3u64 {
+            file.push_str(&encode_record(lsn, &WalOp::DocRemove { doc: DocId::from_raw(lsn) }));
+        }
+        let full = scan(file.as_bytes()).unwrap();
+        assert_eq!(full.records.len(), 3);
+        assert!(!full.torn);
+        assert_eq!(full.valid_len, file.len());
+
+        // Drop the trailing newline: the last record is torn.
+        let torn = scan(&file.as_bytes()[..file.len() - 1]).unwrap();
+        assert_eq!(torn.records.len(), 2);
+        assert!(torn.torn);
+
+        // Corrupt a byte in the middle record: it and everything after drop.
+        let mut bytes = file.clone().into_bytes();
+        let second_start = WAL_HEADER.len()
+            + encode_record(1, &WalOp::DocRemove { doc: DocId::from_raw(1) }).len();
+        bytes[second_start + 3] ^= 0x40;
+        let cut = scan(&bytes).unwrap();
+        assert_eq!(cut.records.len(), 1);
+        assert!(cut.torn);
+    }
+
+    #[test]
+    fn scan_rejects_non_monotonic_lsns() {
+        let mut file = WAL_HEADER.to_string();
+        file.push_str(&encode_record(2, &WalOp::DocRemove { doc: DocId::from_raw(1) }));
+        file.push_str(&encode_record(2, &WalOp::DocRemove { doc: DocId::from_raw(2) }));
+        let s = scan(file.as_bytes()).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert!(s.torn);
+    }
+
+    #[test]
+    fn scan_requires_header() {
+        assert!(scan(b"").is_err());
+        assert!(scan(b"not a wal\n").is_err());
+    }
+}

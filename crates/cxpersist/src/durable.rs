@@ -1,0 +1,588 @@
+//! [`DurableStore`]: a [`cxstore::Store`] whose mutations survive process
+//! death.
+//!
+//! Every mutation is appended to the write-ahead log *before* it touches
+//! the in-memory store (via [`cxstore::Store::edit_with_log`], the append
+//! runs under the document's write lock, after validation, before the
+//! mutation), and fsynced according to the configured [`FsyncPolicy`].
+//! [`DurableStore::checkpoint`] writes a stand-off snapshot of every
+//! document plus a manifest and rotates the log (keeping the previous
+//! snapshot and the records past it as a fallback generation);
+//! [`DurableStore::open`] loads the newest snapshot that validates —
+//! falling back to the previous one — and replays the log tail past it,
+//! dropping only a torn/corrupt tail.
+//!
+//! Lock order (deadlock-free by construction): `gate → document → wal`.
+//! Mutators hold the checkpoint gate shared, then the document lock, then
+//! the WAL mutex for the append; the checkpointer holds the gate
+//! exclusively, which drains all in-flight mutators before it reads
+//! documents and rotates the log.
+
+use crate::blob::DocBlob;
+use crate::codec::{encode_record, scan_tail, WalOp, WAL_HEADER};
+use crate::error::{PersistError, Result};
+use crate::snapshot::{list_snapshots, load_snapshot, prune_snapshots, sync_dir, write_snapshot};
+use cxstore::{DocId, EditOp, EditOutcome, Store, StoreStats};
+use goddag::Goddag;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// When the WAL file is fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// After every record — maximum durability, one `fdatasync` per edit.
+    EveryOp,
+    /// After every `n` records (and on [`DurableStore::sync`],
+    /// checkpoints, and drop). A crash loses at most `n - 1` acknowledged
+    /// edits.
+    EveryN(u32),
+    /// At most one sync per interval, piggybacked on appends.
+    Interval(Duration),
+    /// Never automatically — only explicit [`DurableStore::sync`],
+    /// checkpoints, and drop. For bulk loads and tests.
+    Never,
+}
+
+/// Open-time configuration.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// WAL fsync policy. Default: [`FsyncPolicy::EveryOp`].
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { fsync: FsyncPolicy::EveryOp }
+    }
+}
+
+/// What [`DurableStore::open`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// LSN of the snapshot that was loaded (`None` on a cold start).
+    pub snapshot_lsn: Option<u64>,
+    /// Newer snapshot directories that failed validation and were skipped.
+    pub snapshots_skipped: usize,
+    /// Documents restored from the snapshot.
+    pub recovered_docs: usize,
+    /// WAL records applied during replay.
+    pub replayed_ops: u64,
+    /// Replayed records the store rejected — the deterministic re-failure
+    /// of operations that were logged but failed structurally pre-crash.
+    pub replayed_rejected: u64,
+    /// Bytes of torn/corrupt WAL tail dropped (never replayed).
+    pub torn_bytes_dropped: usize,
+}
+
+/// Outcome of a checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointInfo {
+    /// The snapshot's LSN (WAL records at or below it are now retired).
+    pub lsn: u64,
+    /// Documents written.
+    pub docs: usize,
+    /// Snapshot bytes written (blobs + manifest).
+    pub bytes: u64,
+}
+
+/// The WAL writer: file handle plus append/sync bookkeeping, behind one
+/// mutex so record order equals file order.
+struct WalState {
+    file: File,
+    /// Last assigned LSN.
+    lsn: u64,
+    /// Logical file length (valid bytes); used to truncate away a
+    /// partially written record after an append error.
+    len: u64,
+    /// Appends since the last sync.
+    dirty: u32,
+    last_sync: Instant,
+}
+
+#[derive(Default)]
+struct PersistCounters {
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A durable, warm-restartable document store. See the module docs.
+pub struct DurableStore {
+    store: Store,
+    dir: PathBuf,
+    /// Checkpoint gate: mutators shared, checkpoint exclusive.
+    gate: RwLock<()>,
+    wal: Mutex<WalState>,
+    policy: FsyncPolicy,
+    counters: PersistCounters,
+    recovery: RecoveryReport,
+}
+
+impl DurableStore {
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Open (or create) the store at `dir` with default [`Options`],
+    /// recovering whatever state the directory holds.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DurableStore> {
+        DurableStore::open_with(dir, Options::default())
+    }
+
+    /// [`DurableStore::open`] with explicit options.
+    pub fn open_with(dir: impl Into<PathBuf>, options: Options) -> Result<DurableStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut report = RecoveryReport::default();
+
+        // 1. Newest snapshot that validates end-to-end. Snapshots that
+        // fail validation are quarantined (renamed aside) so they can
+        // never be mistaken for a live generation again — in particular,
+        // the next checkpoint must not pick a known-bad snapshot as its
+        // retention floor and retire the WAL records the good fallback
+        // still needs.
+        let mut store = None;
+        let mut snap_lsn = 0u64;
+        for (lsn, path) in list_snapshots(&dir)? {
+            match load_snapshot(&path) {
+                Ok((s, manifest)) => {
+                    report.snapshot_lsn = Some(lsn);
+                    report.recovered_docs = manifest.docs.len();
+                    snap_lsn = lsn;
+                    store = Some(s);
+                    break;
+                }
+                Err(_) => {
+                    report.snapshots_skipped += 1;
+                    let mut bad = path.clone();
+                    bad.as_mut_os_string().push(".bad");
+                    let _ = fs::remove_dir_all(&bad);
+                    let _ = fs::rename(&path, &bad);
+                }
+            }
+        }
+        let store = store.unwrap_or_default();
+
+        // 2. Scan the log and replay the tail past the snapshot.
+        let wal_path = dir.join("wal.log");
+        let mut lsn = snap_lsn;
+        let mut valid_len = WAL_HEADER.len() as u64;
+        let mut fresh = true;
+        if wal_path.exists() {
+            let bytes = fs::read(&wal_path)?;
+            // A strict prefix of the header is the residue of a first open
+            // that crashed between writing and syncing it — nothing can
+            // have been acknowledged yet, so the file is provably fresh,
+            // not corrupt.
+            if !bytes.is_empty() && !WAL_HEADER.as_bytes().starts_with(&bytes) {
+                fresh = false;
+                // Frame-skip the snapshot-covered prefix: its content is
+                // superseded, so cold start pays only for the live tail.
+                let scan = scan_tail(&bytes, snap_lsn).map_err(|e| PersistError::Corrupt {
+                    path: wal_path.clone(),
+                    detail: format!("unreadable WAL: {e}"),
+                })?;
+                report.torn_bytes_dropped = scan.dropped_bytes;
+                valid_len = scan.valid_len as u64;
+                let mut removed = std::collections::HashSet::new();
+                for rec in scan.records {
+                    if rec.lsn <= snap_lsn {
+                        continue; // retired by the snapshot
+                    }
+                    lsn = rec.lsn;
+                    Self::replay(&store, &wal_path, rec.lsn, rec.op, &mut removed, &mut report)?;
+                }
+            }
+        }
+
+        // 3. Re-open the log for appending, with the torn tail cut off.
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&wal_path)?;
+        if fresh {
+            file.write_all(WAL_HEADER.as_bytes())?;
+            file.sync_all()?;
+            sync_dir(&dir)?;
+            valid_len = WAL_HEADER.len() as u64;
+        } else {
+            file.set_len(valid_len)?;
+            if report.torn_bytes_dropped > 0 {
+                file.sync_all()?;
+            }
+        }
+        file.seek(SeekFrom::Start(valid_len))?;
+
+        Ok(DurableStore {
+            store,
+            dir,
+            gate: RwLock::new(()),
+            wal: Mutex::new(WalState {
+                file,
+                lsn,
+                len: valid_len,
+                dirty: 0,
+                last_sync: Instant::now(),
+            }),
+            policy: options.fsync,
+            counters: PersistCounters::default(),
+            recovery: report,
+        })
+    }
+
+    fn replay(
+        store: &Store,
+        wal_path: &Path,
+        lsn: u64,
+        op: WalOp,
+        removed: &mut std::collections::HashSet<u64>,
+        report: &mut RecoveryReport,
+    ) -> Result<()> {
+        let corrupt = |detail: String| PersistError::Corrupt {
+            path: wal_path.to_path_buf(),
+            detail: format!("record {lsn}: {detail}"),
+        };
+        match op {
+            WalOp::Edit { doc, epoch, op } => {
+                let cur = match store.epoch(doc) {
+                    Ok(cur) => cur,
+                    // An edit may be logged just after a concurrent remove
+                    // of the same document (the remove appends under the
+                    // store gate, not the document lock): the pre-crash
+                    // outcome was a mutation on an already-detached entry,
+                    // observably gone either way. Only edits targeting a
+                    // document the log never removed indicate real
+                    // corruption.
+                    Err(_) if removed.contains(&doc.raw()) => {
+                        report.replayed_rejected += 1;
+                        return Ok(());
+                    }
+                    Err(_) => return Err(corrupt(format!("edit targets unknown document {doc}"))),
+                };
+                if cur != epoch {
+                    return Err(corrupt(format!(
+                        "replay diverged on {doc}: log expects epoch {epoch}, document is at {cur}"
+                    )));
+                }
+                match store.edit(doc, op) {
+                    Ok(_) => report.replayed_ops += 1,
+                    // A logged op that failed structurally pre-crash fails
+                    // identically here (the log runs ahead of the mutation).
+                    Err(_) => report.replayed_rejected += 1,
+                }
+            }
+            WalOp::DocInsert { doc, name, blob } => {
+                let g = blob.restore()?;
+                store.insert_with_id(doc, g).map_err(|e| corrupt(format!("insert: {e}")))?;
+                if let Some(name) = name {
+                    store.bind_name(name, doc).map_err(|e| corrupt(format!("bind: {e}")))?;
+                }
+                report.replayed_ops += 1;
+            }
+            WalOp::DocRemove { doc } => {
+                store.remove(doc);
+                removed.insert(doc.raw());
+                report.replayed_ops += 1;
+            }
+            WalOp::BindName { doc, name } => match store.bind_name(name, doc) {
+                Ok(()) => report.replayed_ops += 1,
+                // Same remove-race tolerance as edits.
+                Err(_) => report.replayed_rejected += 1,
+            },
+        }
+        Ok(())
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The last log sequence number assigned.
+    pub fn last_lsn(&self) -> u64 {
+        lock(&self.wal).lsn
+    }
+
+    /// The wrapped in-memory store, for the read paths ([`Store::query`],
+    /// [`Store::query_all`], [`Store::suggest_tags`], …).
+    ///
+    /// **Do not mutate through this reference** — `Store::insert`,
+    /// `Store::edit`, `Store::remove` and `Store::with_doc_mut` called
+    /// here bypass the log, and the bypassed changes are silently lost on
+    /// restart (worse: later logged edits may fail to replay against the
+    /// diverged state). All mutations go through the `DurableStore`
+    /// methods.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    // ------------------------------------------------------------------
+    // Logged mutations
+    // ------------------------------------------------------------------
+
+    /// Apply one [`EditOp`], durably: the record is appended (and synced
+    /// per policy) before the document changes.
+    pub fn edit(&self, id: DocId, op: EditOp) -> Result<EditOutcome> {
+        let _shared = read_gate(&self.gate);
+        match self.store.edit_with_log(id, op, |op, epoch| {
+            self.append(WalOp::Edit { doc: id, epoch, op: op.clone() })
+        }) {
+            Ok(result) => result.map_err(PersistError::Store),
+            Err(log_err) => Err(log_err),
+        }
+    }
+
+    /// Add a document; its full blob rides in the log so it survives a
+    /// crash before the next checkpoint.
+    pub fn insert(&self, g: Goddag) -> Result<DocId> {
+        self.insert_inner(None, g)
+    }
+
+    /// Add a document under a name.
+    pub fn insert_named(&self, name: impl Into<String>, g: Goddag) -> Result<DocId> {
+        self.insert_inner(Some(name.into()), g)
+    }
+
+    fn insert_inner(&self, name: Option<String>, g: Goddag) -> Result<DocId> {
+        let _shared = read_gate(&self.gate);
+        let blob = DocBlob::capture(&g);
+        // The WAL mutex serializes id allocation among durable inserts, so
+        // the logged id and the applied id cannot be interleaved apart.
+        let mut w = lock(&self.wal);
+        let id = DocId::from_raw(self.store.next_doc_raw());
+        Self::append_locked(
+            &mut w,
+            &self.counters,
+            self.policy,
+            WalOp::DocInsert { doc: id, name: name.clone(), blob },
+        )?;
+        self.store.insert_with_id(id, g)?;
+        if let Some(name) = name {
+            self.store.bind_name(name, id)?;
+        }
+        Ok(id)
+    }
+
+    /// Drop a document (and all of its name bindings), durably. Returns
+    /// whether the handle was live.
+    pub fn remove(&self, id: DocId) -> Result<bool> {
+        let _shared = read_gate(&self.gate);
+        if !self.store.contains(id) {
+            return Ok(false); // nothing to log
+        }
+        self.append(WalOp::DocRemove { doc: id })?;
+        Ok(self.store.remove(id))
+    }
+
+    /// Resolve a name and drop that document, durably.
+    pub fn remove_named(&self, name: &str) -> Result<DocId> {
+        let _shared = read_gate(&self.gate);
+        let id = self.store.id_by_name(name)?;
+        self.append(WalOp::DocRemove { doc: id })?;
+        self.store.remove(id);
+        Ok(id)
+    }
+
+    /// Bind (or rebind) a name to a live document, durably.
+    pub fn bind_name(&self, name: impl Into<String>, id: DocId) -> Result<()> {
+        let _shared = read_gate(&self.gate);
+        let name = name.into();
+        if !self.store.contains(id) {
+            return Err(PersistError::Store(cxstore::StoreError::NoSuchDoc(id)));
+        }
+        self.append(WalOp::BindName { doc: id, name: name.clone() })?;
+        self.store.bind_name(name, id)?;
+        Ok(())
+    }
+
+    fn append(&self, op: WalOp) -> Result<()> {
+        let mut w = lock(&self.wal);
+        Self::append_locked(&mut w, &self.counters, self.policy, op)
+    }
+
+    fn append_locked(
+        w: &mut WalState,
+        counters: &PersistCounters,
+        policy: FsyncPolicy,
+        op: WalOp,
+    ) -> Result<()> {
+        let pre_len = w.len;
+        let line = encode_record(w.lsn + 1, &op);
+        if let Err(e) = w.file.write_all(line.as_bytes()) {
+            // Cut any partial write back to the last good record so the
+            // file stays a valid prefix.
+            let _ = w.file.set_len(pre_len);
+            let _ = w.file.seek(SeekFrom::Start(pre_len));
+            return Err(e.into());
+        }
+        w.lsn += 1;
+        w.len += line.len() as u64;
+        w.dirty += 1;
+        counters.wal_appends.fetch_add(1, Ordering::Relaxed);
+        counters.wal_bytes.fetch_add(line.len() as u64, Ordering::Relaxed);
+        let due = match policy {
+            FsyncPolicy::EveryOp => true,
+            FsyncPolicy::EveryN(n) => w.dirty >= n.max(1),
+            FsyncPolicy::Interval(d) => w.last_sync.elapsed() >= d,
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            if let Err(e) = Self::sync_locked(w, counters) {
+                // The append error aborts the caller's operation before it
+                // is applied in memory, so the record must not survive
+                // either — a phantom record would poison a later replay
+                // (the next edit re-logs the same pre-op epoch, and the
+                // phantom would consume it first).
+                let _ = w.file.set_len(pre_len);
+                let _ = w.file.seek(SeekFrom::Start(pre_len));
+                w.len = pre_len;
+                w.lsn -= 1;
+                w.dirty = w.dirty.saturating_sub(1);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn sync_locked(w: &mut WalState, counters: &PersistCounters) -> Result<()> {
+        if w.dirty > 0 {
+            w.file.sync_data()?;
+            counters.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+            w.dirty = 0;
+        }
+        w.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Force an fsync of everything appended so far (a durability barrier
+    /// under the lazier policies).
+    pub fn sync(&self) -> Result<()> {
+        let mut w = lock(&self.wal);
+        Self::sync_locked(&mut w, &self.counters)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Write a snapshot of every document plus the manifest, durably, then
+    /// rotate the log and prune retired snapshots. Blocks mutations for
+    /// the duration (reads continue).
+    ///
+    /// Retention keeps *two* generations: the new snapshot plus the
+    /// previous one, and every WAL record past the previous snapshot's
+    /// LSN. Should the new snapshot later fail validation (bit rot, torn
+    /// disk), recovery falls back to the previous snapshot and reaches the
+    /// exact same state by replaying the retained log tail. Only records
+    /// covered by *both* snapshots are dropped.
+    pub fn checkpoint(&self) -> Result<CheckpointInfo> {
+        let _exclusive = write_gate(&self.gate);
+        let mut w = lock(&self.wal);
+        // Everything up to w.lsn is in memory (mutators are drained); the
+        // snapshot captures exactly that state.
+        Self::sync_locked(&mut w, &self.counters)?;
+        let lsn = w.lsn;
+        let (docs, bytes) = write_snapshot(&self.dir, &self.store, lsn)?;
+        // The retention floor is the newest *older* snapshot that still
+        // validates end-to-end (manifest + blob CRCs + epochs) — a
+        // bit-rotted one must not retire the WAL records (and the older
+        // good snapshot) that real fallback needs.
+        let prev = list_snapshots(&self.dir)?
+            .into_iter()
+            .filter(|&(l, _)| l < lsn)
+            .find(|(l, path)| crate::snapshot::validate_snapshot(*l, path))
+            .map(|(l, _)| l)
+            .unwrap_or(0);
+        Self::drop_wal_prefix(&mut w, &self.dir, prev)?;
+        prune_snapshots(&self.dir, prev);
+        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(CheckpointInfo { lsn, docs, bytes })
+    }
+
+    /// Rewrite the WAL without its retired prefix (records with
+    /// `lsn <= keep_after` — covered by every retained snapshot), via a
+    /// durable tmp-file + rename swap. No-op when nothing is retired.
+    fn drop_wal_prefix(w: &mut WalState, dir: &Path, keep_after: u64) -> Result<()> {
+        let wal_path = dir.join("wal.log");
+        let bytes = fs::read(&wal_path)?;
+        // Records are LSN-ordered in the file, so the retired part is a
+        // byte prefix; walk record framing (payload blocks skipped, not
+        // parsed — the file is our own, synced output) until the first
+        // record past `keep_after`.
+        let mut cut = WAL_HEADER.len();
+        while cut < bytes.len() {
+            match crate::codec::skip_record(&bytes[cut..]) {
+                Some((lsn, used)) if lsn <= keep_after => cut += used,
+                _ => break,
+            }
+        }
+        if cut == WAL_HEADER.len() {
+            return Ok(()); // nothing retired
+        }
+        let tmp_path = dir.join("wal.log.tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(WAL_HEADER.as_bytes())?;
+        tmp.write_all(&bytes[cut..])?;
+        tmp.sync_all()?;
+        // `tmp` (cursor already at end) becomes the writer handle *before*
+        // the rename: once the rename unlinks the old inode there must be
+        // no failure window in which the writer could keep appending
+        // acknowledged, fsynced edits to a file nothing will ever read
+        // again. If the rename fails, the old file is untouched and the
+        // old handle stays in place.
+        fs::rename(&tmp_path, &wal_path)?;
+        w.file = tmp;
+        w.len = (WAL_HEADER.len() + (bytes.len() - cut)) as u64;
+        w.dirty = 0;
+        sync_dir(dir)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// [`Store::stats`] plus the WAL / checkpoint / recovery counters.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = self.store.stats();
+        s.wal_appends = self.counters.wal_appends.load(Ordering::Relaxed);
+        s.wal_bytes = self.counters.wal_bytes.load(Ordering::Relaxed);
+        s.wal_fsyncs = self.counters.wal_fsyncs.load(Ordering::Relaxed);
+        s.checkpoints = self.counters.checkpoints.load(Ordering::Relaxed);
+        s.replayed_ops = self.recovery.replayed_ops;
+        s.recovered_docs = self.recovery.recovered_docs as u64;
+        s
+    }
+}
+
+impl Drop for DurableStore {
+    fn drop(&mut self) {
+        // Best-effort flush of anything a lazy policy left unsynced.
+        let mut w = lock(&self.wal);
+        let _ = Self::sync_locked(&mut w, &self.counters);
+    }
+}
+
+fn read_gate(gate: &RwLock<()>) -> std::sync::RwLockReadGuard<'_, ()> {
+    gate.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_gate(gate: &RwLock<()>) -> std::sync::RwLockWriteGuard<'_, ()> {
+    gate.write().unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,0 +1,73 @@
+//! Persistence-layer errors.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Shorthand result type.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+/// Anything that can go wrong while logging, snapshotting or recovering.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The wrapped store refused an operation.
+    Store(cxstore::StoreError),
+    /// A serialized artifact (WAL record, document blob, manifest) failed
+    /// to decode or failed its integrity checks.
+    Codec {
+        /// 1-based line within the artifact (0 when not line-addressable).
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// On-disk state is inconsistent with itself — e.g. a replayed epoch
+    /// diverging from what the log recorded. Refusing to serve from it.
+    Corrupt {
+        /// The offending file or directory.
+        path: PathBuf,
+        /// What was inconsistent.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Store(e) => write!(f, "store error: {e}"),
+            PersistError::Codec { line, detail } => {
+                if *line == 0 {
+                    write!(f, "decode error: {detail}")
+                } else {
+                    write!(f, "decode error at line {line}: {detail}")
+                }
+            }
+            PersistError::Corrupt { path, detail } => {
+                write!(f, "corrupt store at {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+impl From<cxstore::StoreError> for PersistError {
+    fn from(e: cxstore::StoreError) -> PersistError {
+        PersistError::Store(e)
+    }
+}

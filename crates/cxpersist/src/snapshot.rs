@@ -1,0 +1,313 @@
+//! Checkpoints: one directory per snapshot, holding a CRC-guarded manifest
+//! plus one [`DocBlob`] file per document.
+//!
+//! Layout under the store directory:
+//!
+//! ```text
+//! store/
+//!   wal.log               ← the write-ahead log (codec.rs)
+//!   snap-0000000000000042/
+//!     manifest.txt        ← lsn, id allocator, doc table, name bindings
+//!     doc-0.blob          ← DocBlob text, one per document
+//!     doc-3.blob
+//! ```
+//!
+//! A snapshot is written to a `.tmp` directory first and renamed into
+//! place, so a crash mid-checkpoint leaves either the old state or a fully
+//! formed new directory; the loader additionally validates the manifest
+//! CRC and every blob before trusting a snapshot, falling back to the next
+//! newest otherwise.
+
+use crate::blob::DocBlob;
+use crate::codec::{crc32, dec, enc, parse_tok};
+use crate::error::{PersistError, Result};
+use cxstore::{DocId, Store};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Magic first line of a manifest.
+const MANIFEST_HEADER: &str = "#cxmanifest v1";
+
+/// One document listed in a [`Manifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestDoc {
+    /// Raw [`DocId`].
+    pub doc: u64,
+    /// Edit epoch at snapshot time (cross-checked against the blob).
+    pub epoch: u64,
+    /// Blob file name within the snapshot directory.
+    pub file: String,
+}
+
+/// The snapshot manifest: everything the store needs besides the blobs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// WAL position the snapshot captures: recovery replays only records
+    /// with a larger LSN.
+    pub lsn: u64,
+    /// Doc-id allocator position (ids are never reused, even across
+    /// restarts).
+    pub next_doc: u64,
+    /// Documents, in id order.
+    pub docs: Vec<ManifestDoc>,
+    /// `name → raw id` bindings, sorted by name.
+    pub names: Vec<(String, u64)>,
+}
+
+impl Manifest {
+    /// Serialize with a trailing CRC line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        let _ = writeln!(out, "lsn {}", self.lsn);
+        let _ = writeln!(out, "next {}", self.next_doc);
+        for d in &self.docs {
+            let _ = writeln!(out, "doc {} {} {}", d.doc, d.epoch, enc(&d.file));
+        }
+        for (n, id) in &self.names {
+            let _ = writeln!(out, "name {} {id}", enc(n));
+        }
+        let crc = crc32(out.as_bytes());
+        let _ = writeln!(out, "crc {crc:08x}");
+        out
+    }
+
+    /// Parse and CRC-verify.
+    pub fn parse_text(input: &str) -> Result<Manifest> {
+        let bad = |line: usize, detail: String| PersistError::Codec { line, detail };
+        let stripped = input.strip_suffix('\n').unwrap_or(input);
+        let (body, footer) =
+            stripped.rsplit_once('\n').ok_or_else(|| bad(1, "manifest too short".into()))?;
+        let body = format!("{body}\n");
+        let crc_expect = footer
+            .strip_prefix("crc ")
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| bad(0, "missing manifest crc".into()))?;
+        if crc32(body.as_bytes()) != crc_expect {
+            return Err(bad(0, "manifest CRC mismatch".into()));
+        }
+        let mut lines = body.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| bad(1, "empty manifest".into()))?;
+        if header.trim() != MANIFEST_HEADER {
+            return Err(bad(1, "bad manifest magic".into()));
+        }
+        let mut m = Manifest::default();
+        let mut saw_lsn = false;
+        for (i, line) in lines {
+            let ln = i + 1;
+            let mut parts = line.split(' ');
+            match parts.next() {
+                Some("lsn") => {
+                    m.lsn = parse_tok(parts.next(), ln, "lsn")?;
+                    saw_lsn = true;
+                }
+                Some("next") => m.next_doc = parse_tok(parts.next(), ln, "next id")?,
+                Some("doc") => {
+                    let doc: u64 = parse_tok(parts.next(), ln, "doc id")?;
+                    let epoch: u64 = parse_tok(parts.next(), ln, "epoch")?;
+                    let file =
+                        dec(parts.next().ok_or_else(|| bad(ln, "missing blob file".into()))?, ln)?;
+                    m.docs.push(ManifestDoc { doc, epoch, file });
+                }
+                Some("name") => {
+                    let name =
+                        dec(parts.next().ok_or_else(|| bad(ln, "missing name".into()))?, ln)?;
+                    let id: u64 = parse_tok(parts.next(), ln, "doc id")?;
+                    m.names.push((name, id));
+                }
+                Some(other) => {
+                    return Err(bad(ln, format!("unknown manifest directive {other:?}")))
+                }
+                None => {}
+            }
+        }
+        if !saw_lsn {
+            return Err(bad(0, "manifest missing lsn".into()));
+        }
+        Ok(m)
+    }
+}
+
+/// `snap-<lsn, 16 hex digits>` — hex-padded so lexicographic order is
+/// numeric order.
+pub(crate) fn snapshot_dir_name(lsn: u64) -> String {
+    format!("snap-{lsn:016x}")
+}
+
+/// Inverse of [`snapshot_dir_name`].
+pub(crate) fn parse_snapshot_dir(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Fsync a directory (so renames/creations inside it are durable).
+pub(crate) fn sync_dir(path: &Path) -> std::io::Result<()> {
+    fs::File::open(path)?.sync_all()
+}
+
+/// Write a complete snapshot of `store` at WAL position `lsn` into
+/// `dir/snap-<lsn>`, durably. Returns `(docs, bytes)` written.
+pub(crate) fn write_snapshot(dir: &Path, store: &Store, lsn: u64) -> Result<(usize, u64)> {
+    let final_path = dir.join(snapshot_dir_name(lsn));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_dir_name(lsn)));
+    if tmp_path.exists() {
+        fs::remove_dir_all(&tmp_path)?;
+    }
+    fs::create_dir_all(&tmp_path)?;
+
+    let mut docs = Vec::new();
+    let mut bytes = 0u64;
+    for id in store.doc_ids() {
+        let blob = store.with_doc(id, DocBlob::capture)?;
+        let file = format!("doc-{}.blob", id.raw());
+        let text = blob.to_text();
+        bytes += text.len() as u64;
+        let path = tmp_path.join(&file);
+        fs::write(&path, &text)?;
+        fs::File::open(&path)?.sync_all()?;
+        docs.push(ManifestDoc { doc: id.raw(), epoch: blob.epoch, file });
+    }
+    let manifest = Manifest {
+        lsn,
+        next_doc: store.next_doc_raw(),
+        docs,
+        names: store.name_bindings().into_iter().map(|(n, id)| (n, id.raw())).collect(),
+    };
+    let text = manifest.to_text();
+    bytes += text.len() as u64;
+    let mpath = tmp_path.join("manifest.txt");
+    fs::write(&mpath, &text)?;
+    fs::File::open(&mpath)?.sync_all()?;
+    sync_dir(&tmp_path)?;
+
+    if final_path.exists() {
+        // A previous checkpoint at the same LSN (no intervening traffic):
+        // replace it.
+        fs::remove_dir_all(&final_path)?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok((manifest.docs.len(), bytes))
+}
+
+/// All snapshot directories under `dir`, newest first.
+pub(crate) fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(lsn) = entry.file_name().to_str().and_then(parse_snapshot_dir) {
+            if entry.file_type()?.is_dir() {
+                out.push((lsn, entry.path()));
+            }
+        }
+    }
+    out.sort_by_key(|&(lsn, _)| std::cmp::Reverse(lsn));
+    Ok(out)
+}
+
+/// Load one snapshot into a fresh [`Store`]. Validates the manifest CRC,
+/// every blob's CRC, and the manifest-vs-blob epoch agreement; any failure
+/// rejects the whole snapshot (the caller falls back to an older one).
+pub(crate) fn load_snapshot(path: &Path) -> Result<(Store, Manifest)> {
+    let corrupt = |detail: String| PersistError::Corrupt { path: path.to_path_buf(), detail };
+    let manifest = Manifest::parse_text(&fs::read_to_string(path.join("manifest.txt"))?)?;
+    let store = Store::new();
+    for d in &manifest.docs {
+        let blob = DocBlob::parse_text(&fs::read_to_string(path.join(&d.file))?)?;
+        if blob.epoch != d.epoch {
+            return Err(corrupt(format!(
+                "doc {}: blob epoch {} disagrees with manifest epoch {}",
+                d.doc, blob.epoch, d.epoch
+            )));
+        }
+        let g = blob.restore()?;
+        store.insert_with_id(DocId::from_raw(d.doc), g)?;
+    }
+    for (name, id) in &manifest.names {
+        store
+            .bind_name(name.clone(), DocId::from_raw(*id))
+            .map_err(|e| corrupt(format!("name {name:?}: {e}")))?;
+    }
+    store.reserve_doc_ids(manifest.next_doc);
+    Ok((store, manifest))
+}
+
+/// Cheap end-to-end validation of a snapshot directory: manifest CRC +
+/// LSN agreement, every blob's CRC and its epoch cross-check — everything
+/// [`load_snapshot`] checks short of actually rebuilding the documents.
+/// The checkpoint retention floor uses this: WAL records may only be
+/// retired against a fallback generation that is demonstrably restorable.
+pub(crate) fn validate_snapshot(lsn: u64, path: &Path) -> bool {
+    let Ok(text) = fs::read_to_string(path.join("manifest.txt")) else { return false };
+    let Ok(manifest) = Manifest::parse_text(&text) else { return false };
+    if manifest.lsn != lsn {
+        return false;
+    }
+    manifest.docs.iter().all(|d| {
+        fs::read_to_string(path.join(&d.file))
+            .ok()
+            .and_then(|text| DocBlob::parse_text(&text).ok())
+            .is_some_and(|blob| blob.epoch == d.epoch)
+    })
+}
+
+/// Remove snapshot directories older than `keep_lsn`, plus stray `.tmp`
+/// directories. Best-effort (pruning failures never fail a checkpoint).
+pub(crate) fn prune_snapshots(dir: &Path, keep_lsn: u64) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_tmp = name.starts_with("snap-") && name.ends_with(".tmp");
+        let old_snap = parse_snapshot_dir(name).is_some_and(|lsn| lsn < keep_lsn);
+        if stale_tmp || old_snap {
+            let _ = fs::remove_dir_all(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = Manifest {
+            lsn: 42,
+            next_doc: 9,
+            docs: vec![
+                ManifestDoc { doc: 0, epoch: 3, file: "doc-0.blob".into() },
+                ManifestDoc { doc: 7, epoch: 19, file: "doc-7.blob".into() },
+            ],
+            names: vec![("a manuscript".into(), 0), ("ms".into(), 7)],
+        };
+        let text = m.to_text();
+        assert_eq!(Manifest::parse_text(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn manifest_corruption_detected() {
+        let m = Manifest { lsn: 1, next_doc: 1, docs: vec![], names: vec![] };
+        let text = m.to_text();
+        let mut bytes = text.clone().into_bytes();
+        bytes[15] ^= 0x01;
+        assert!(Manifest::parse_text(&String::from_utf8(bytes).unwrap()).is_err());
+        assert!(Manifest::parse_text("").is_err());
+    }
+
+    #[test]
+    fn snapshot_dir_names() {
+        assert_eq!(snapshot_dir_name(66), "snap-0000000000000042");
+        assert_eq!(parse_snapshot_dir("snap-0000000000000042"), Some(66));
+        assert_eq!(parse_snapshot_dir("snap-42"), None);
+        assert_eq!(parse_snapshot_dir("wal.log"), None);
+    }
+}

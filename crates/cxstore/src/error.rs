@@ -11,6 +11,8 @@ pub type Result<T> = std::result::Result<T, StoreError>;
 pub enum StoreError {
     /// The handle does not name a live document (never existed, or removed).
     NoSuchDoc(DocId),
+    /// `insert_with_id` targeted a handle that is already live.
+    IdInUse(DocId),
     /// A name lookup failed.
     NoSuchName(String),
     /// An edit referenced a hierarchy the document does not have.
@@ -29,6 +31,7 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::NoSuchDoc(id) => write!(f, "no document {id}"),
+            StoreError::IdInUse(id) => write!(f, "document id {id} is already in use"),
             StoreError::NoSuchName(n) => write!(f, "no document named {n:?}"),
             StoreError::UnknownHierarchy(h) => write!(f, "unknown hierarchy {h:?}"),
             StoreError::EditRejected(why) => write!(f, "edit rejected: {why}"),

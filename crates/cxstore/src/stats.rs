@@ -66,6 +66,19 @@ pub struct StoreStats {
     pub edits: u64,
     /// Edits rejected.
     pub edits_rejected: u64,
+    /// Write-ahead-log records appended (durable stores; 0 for in-memory
+    /// stores).
+    pub wal_appends: u64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// `fsync` calls issued by the write-ahead log.
+    pub wal_fsyncs: u64,
+    /// Checkpoints (snapshot + log rotation) taken.
+    pub checkpoints: u64,
+    /// Log records replayed during recovery.
+    pub replayed_ops: u64,
+    /// Documents restored from the newest snapshot during recovery.
+    pub recovered_docs: u64,
 }
 
 impl StoreStats {

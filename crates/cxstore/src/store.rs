@@ -8,7 +8,7 @@ use crate::stats::{Counters, StoreStats};
 use expath::{parse, Evaluator, Expr, Value};
 use goddag::Goddag;
 use prevalid::InsertionContext;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -23,6 +23,13 @@ impl DocId {
     /// The raw id value (for logs and wire formats).
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Rebuild a handle from its raw value — the inverse of
+    /// [`DocId::raw`], for persistence layers that store handles in logs
+    /// and manifests. A forged value simply names no live document.
+    pub fn from_raw(raw: u64) -> DocId {
+        DocId(raw)
     }
 }
 
@@ -44,11 +51,101 @@ struct CachedQuery {
     last_used: AtomicU64,
 }
 
+/// Number of doc-table shards. Ids are sequential, so `id % N` spreads
+/// consecutive inserts round-robin; a fixed power of two keeps the modulo a
+/// mask and the table layout independent of runtime configuration.
+const DOC_SHARDS: usize = 16;
+
+/// The sharded document registry: N independently locked maps hashed by
+/// raw [`DocId`], so concurrent inserts/removals on different documents
+/// stop serializing on one table-wide lock. Entry lookups touch exactly
+/// one shard; whole-table reads (ids, stats) visit all shards and sort by
+/// id, which — ids being allocation-ordered — reproduces insertion order
+/// deterministically.
+struct DocTable {
+    shards: Vec<RwLock<HashMap<u64, Arc<DocEntry>>>>,
+}
+
+impl DocTable {
+    fn new() -> DocTable {
+        DocTable { shards: (0..DOC_SHARDS).map(|_| RwLock::default()).collect() }
+    }
+
+    fn shard(&self, raw: u64) -> &RwLock<HashMap<u64, Arc<DocEntry>>> {
+        &self.shards[(raw as usize) % DOC_SHARDS]
+    }
+
+    /// Insert; fails (returns the entry back) when the id is taken.
+    fn insert(&self, raw: u64, e: Arc<DocEntry>) -> bool {
+        use std::collections::hash_map::Entry;
+        match crate::entry::write_lock(self.shard(raw)).entry(raw) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(e);
+                true
+            }
+        }
+    }
+
+    fn remove(&self, raw: u64) -> bool {
+        crate::entry::write_lock(self.shard(raw)).remove(&raw).is_some()
+    }
+
+    fn get(&self, raw: u64) -> Option<Arc<DocEntry>> {
+        crate::entry::read_lock(self.shard(raw)).get(&raw).cloned()
+    }
+
+    fn contains(&self, raw: u64) -> bool {
+        crate::entry::read_lock(self.shard(raw)).contains_key(&raw)
+    }
+
+    fn len(&self) -> usize {
+        // Guards held together so the count is a consistent snapshot, like
+        // every other whole-table read.
+        self.lock_all().iter().map(|g| g.len()).sum()
+    }
+
+    /// All shard read guards, acquired in index order. Holding every
+    /// guard makes a whole-table read an atomic snapshot — the same
+    /// point-in-time semantics the pre-sharding single lock gave
+    /// `doc_ids()`/`entries()` (and through them `query_all`). The fixed
+    /// acquisition order cannot deadlock: single-entry operations only
+    /// ever hold one shard lock.
+    fn lock_all(&self) -> Vec<std::sync::RwLockReadGuard<'_, HashMap<u64, Arc<DocEntry>>>> {
+        self.shards.iter().map(crate::entry::read_lock).collect()
+    }
+
+    /// All live `(id, entry)` pairs sorted by id (= insertion order), as
+    /// one consistent snapshot.
+    fn sorted_entries(&self) -> Vec<(DocId, Arc<DocEntry>)> {
+        let guards = self.lock_all();
+        let mut out: Vec<(DocId, Arc<DocEntry>)> =
+            Vec::with_capacity(guards.iter().map(|g| g.len()).sum());
+        for g in &guards {
+            out.extend(g.iter().map(|(&raw, e)| (DocId(raw), Arc::clone(e))));
+        }
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// All live ids sorted (= insertion order), as one consistent
+    /// snapshot.
+    fn sorted_ids(&self) -> Vec<DocId> {
+        let guards = self.lock_all();
+        let mut out: Vec<DocId> = Vec::with_capacity(guards.iter().map(|g| g.len()).sum());
+        for g in &guards {
+            out.extend(g.keys().map(|&raw| DocId(raw)));
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
 /// A thread-safe repository of GODDAG documents with epoch-validated
 /// overlap-index caches, an LRU compiled-query cache, and a batch query
 /// service. See the crate docs for the full tour.
 pub struct Store {
-    docs: RwLock<BTreeMap<DocId, Arc<DocEntry>>>,
+    docs: DocTable,
     names: RwLock<HashMap<String, DocId>>,
     next_id: AtomicU64,
     queries: RwLock<HashMap<String, CachedQuery>>,
@@ -74,7 +171,7 @@ impl Store {
     /// expressions (minimum 1), evicting least-recently-used beyond that.
     pub fn with_query_cache_capacity(cap: usize) -> Store {
         Store {
-            docs: RwLock::default(),
+            docs: DocTable::new(),
             names: RwLock::default(),
             next_id: AtomicU64::new(0),
             queries: RwLock::default(),
@@ -90,9 +187,16 @@ impl Store {
 
     /// Add a document; returns its permanent handle.
     pub fn insert(&self, g: Goddag) -> DocId {
-        let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.docs_write().insert(id, Arc::new(DocEntry::new(g)));
-        id
+        let entry = Arc::new(DocEntry::new(g));
+        loop {
+            let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
+            // A racing `insert_with_id` may claim this id between our
+            // allocation and the map insert; allocate again rather than
+            // silently aliasing its document.
+            if self.docs.insert(id.0, Arc::clone(&entry)) {
+                return id;
+            }
+        }
     }
 
     /// Add a document under a name (replacing any previous binding of the
@@ -101,6 +205,33 @@ impl Store {
         let id = self.insert(g);
         self.names_write().insert(name.into(), id);
         id
+    }
+
+    /// Add a document under a *specific* handle — the recovery path of
+    /// durable stores, which must revive pre-crash handles exactly so that
+    /// logged operations keep resolving. Fails with [`StoreError::IdInUse`]
+    /// when the handle is live. The id allocator is advanced past `id`, so
+    /// later [`Store::insert`] calls never collide.
+    pub fn insert_with_id(&self, id: DocId, g: Goddag) -> Result<DocId> {
+        self.next_id.fetch_max(id.0 + 1, Ordering::Relaxed);
+        if self.docs.insert(id.0, Arc::new(DocEntry::new(g))) {
+            Ok(id)
+        } else {
+            Err(StoreError::IdInUse(id))
+        }
+    }
+
+    /// Advance the id allocator to at least `next_raw`. Recovery uses this
+    /// so handles of documents that were inserted and removed again before
+    /// the crash stay retired (handles are never reused, even across
+    /// restarts).
+    pub fn reserve_doc_ids(&self, next_raw: u64) {
+        self.next_id.fetch_max(next_raw, Ordering::Relaxed);
+    }
+
+    /// The raw id the next insert will receive (manifest bookkeeping).
+    pub fn next_doc_raw(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
     }
 
     /// Add many documents.
@@ -113,35 +244,66 @@ impl Store {
         self.names_read().get(name).copied().ok_or_else(|| StoreError::NoSuchName(name.into()))
     }
 
+    /// Bind (or rebind) a name to a live document.
+    pub fn bind_name(&self, name: impl Into<String>, id: DocId) -> Result<()> {
+        // The liveness check runs *while holding* the names lock: a
+        // concurrent `remove` takes this lock after dropping the document,
+        // so its binding cleanup always observes (and removes) a racing
+        // insert — no stale name → dead-id entry can survive.
+        let mut names = self.names_write();
+        if !self.contains(id) {
+            return Err(StoreError::NoSuchDoc(id));
+        }
+        names.insert(name.into(), id);
+        Ok(())
+    }
+
+    /// All current `name → id` bindings, sorted by name.
+    pub fn name_bindings(&self) -> Vec<(String, DocId)> {
+        let mut out: Vec<(String, DocId)> =
+            self.names_read().iter().map(|(n, id)| (n.clone(), *id)).collect();
+        out.sort();
+        out
+    }
+
     /// Drop a document. In-flight readers holding the entry finish
     /// unharmed; the handle then dangles permanently. Returns whether the
-    /// handle was live.
+    /// handle was live. Every name bound to the document is unbound with it
+    /// (no stale `name → id` entries survive).
     pub fn remove(&self, id: DocId) -> bool {
-        let removed = self.docs_write().remove(&id).is_some();
+        let removed = self.docs.remove(id.0);
         if removed {
             self.names_write().retain(|_, v| *v != id);
         }
         removed
     }
 
+    /// Resolve a name and drop that document (plus all of its name
+    /// bindings). Errors when the name is unbound.
+    pub fn remove_named(&self, name: &str) -> Result<DocId> {
+        let id = self.id_by_name(name)?;
+        self.remove(id);
+        Ok(id)
+    }
+
     /// Number of live documents.
     pub fn len(&self) -> usize {
-        self.docs_read().len()
+        self.docs.len()
     }
 
     /// True when no documents are stored.
     pub fn is_empty(&self) -> bool {
-        self.docs_read().is_empty()
+        self.len() == 0
     }
 
     /// Whether the handle is live.
     pub fn contains(&self, id: DocId) -> bool {
-        self.docs_read().contains_key(&id)
+        self.docs.contains(id.0)
     }
 
     /// All live handles, in insertion order.
     pub fn doc_ids(&self) -> Vec<DocId> {
-        self.docs_read().keys().copied().collect()
+        self.docs.sorted_ids()
     }
 
     /// Clone out a consistent snapshot of a document.
@@ -317,39 +479,99 @@ impl Store {
     /// prevalidation gate first: a rejection returns
     /// [`StoreError::EditRejected`] and leaves the document untouched.
     pub fn edit(&self, id: DocId, op: EditOp) -> Result<EditOutcome> {
-        let entry = self.entry(id)?;
+        enum Never {}
+        match self.edit_with_log(id, op, |_, _| Ok::<(), Never>(())) {
+            Ok(result) => result,
+            Err(never) => match never {},
+        }
+    }
+
+    /// [`Store::edit`] with a durability hook: after the edit passes
+    /// validation (document lookup, prevalidation gate, tag syntax) but
+    /// *before* any mutation, `log` is called — still under the document's
+    /// write lock — with the operation and the document's current edit
+    /// epoch. This is where a write-ahead log appends the record: a crash
+    /// after the append replays to the same state, a crash before it never
+    /// acknowledged the edit. A `log` error (outer `Err`) aborts the edit
+    /// with the document untouched; the inner result is the edit's own
+    /// outcome.
+    ///
+    /// Determinism contract relied on by replay: given the same document
+    /// state and the same op, the mutation result (including any structural
+    /// rejection *after* logging, e.g. crossing markup) is identical — so a
+    /// logged record can be re-run through this same path on recovery.
+    pub fn edit_with_log<E>(
+        &self,
+        id: DocId,
+        op: EditOp,
+        log: impl FnOnce(&EditOp, u64) -> std::result::Result<(), E>,
+    ) -> std::result::Result<Result<EditOutcome>, E> {
+        let entry = match self.entry(id) {
+            Ok(e) => e,
+            Err(err) => return Ok(Err(err)),
+        };
         let mut g = entry.write();
-        let result = self.apply(&entry, &mut g, op);
+        let resolved = match self.gate(&entry, &g, &op) {
+            Ok(resolved) => resolved,
+            Err(err) => {
+                Counters::bump(&self.counters.edits_rejected);
+                return Ok(Err(err));
+            }
+        };
+        log(&op, g.edit_epoch())?;
+        let result = self.apply(&mut g, op, resolved);
         match &result {
             Ok(_) => Counters::bump(&self.counters.edits),
             Err(_) => Counters::bump(&self.counters.edits_rejected),
         }
-        result
+        Ok(result)
     }
 
-    fn apply(&self, entry: &DocEntry, g: &mut Goddag, op: EditOp) -> Result<EditOutcome> {
+    /// The pure pre-mutation checks for an op: hierarchy existence, tag
+    /// syntax, and the prevalidation gate for `InsertElement` into a
+    /// hierarchy that carries a DTD. Runs before the WAL append so rejected
+    /// edits never pollute the log. Returns the resolved hierarchy and tag
+    /// for `InsertElement` so [`Store::apply`] does not repeat the lookups.
+    fn gate(
+        &self,
+        entry: &DocEntry,
+        g: &Goddag,
+        op: &EditOp,
+    ) -> Result<Option<(goddag::HierarchyId, QName)>> {
+        let EditOp::InsertElement { hierarchy, tag, start, end, .. } = op else {
+            return Ok(None);
+        };
+        let h = g
+            .hierarchy_by_name(hierarchy)
+            .ok_or_else(|| StoreError::UnknownHierarchy(hierarchy.clone()))?;
+        let name = QName::parse(tag)
+            .map_err(|_| StoreError::EditRejected(format!("invalid tag {tag:?}")))?;
+        if let Some(engine) = entry.engine_for(g, h) {
+            // One reusable check context per gated edit: the host partition
+            // and wrap tables are built once and the tag is tested against
+            // them (the same context that powers [`Store::suggest_tags`]).
+            let verdict = match InsertionContext::new(&engine, g, h, *start, *end) {
+                Ok(ctx) => ctx.check(tag),
+                Err(v) => v,
+            };
+            if !verdict.ok {
+                return Err(StoreError::EditRejected(
+                    verdict.reason.unwrap_or_else(|| "prevalidation failed".into()),
+                ));
+            }
+        }
+        Ok(Some((h, name)))
+    }
+
+    fn apply(
+        &self,
+        g: &mut Goddag,
+        op: EditOp,
+        resolved: Option<(goddag::HierarchyId, QName)>,
+    ) -> Result<EditOutcome> {
         let node = match op {
-            EditOp::InsertElement { hierarchy, tag, attrs, start, end } => {
-                let h = g
-                    .hierarchy_by_name(&hierarchy)
-                    .ok_or(StoreError::UnknownHierarchy(hierarchy))?;
-                if let Some(engine) = entry.engine_for(g, h) {
-                    // One reusable check context per gated edit: the host
-                    // partition and wrap tables are built once and the tag
-                    // is tested against them (the same context that powers
-                    // [`Store::suggest_tags`]).
-                    let verdict = match InsertionContext::new(&engine, g, h, start, end) {
-                        Ok(ctx) => ctx.check(&tag),
-                        Err(v) => v,
-                    };
-                    if !verdict.ok {
-                        return Err(StoreError::EditRejected(
-                            verdict.reason.unwrap_or_else(|| "prevalidation failed".into()),
-                        ));
-                    }
-                }
-                let name = QName::parse(&tag)
-                    .map_err(|_| StoreError::EditRejected(format!("invalid tag {tag:?}")))?;
+            EditOp::InsertElement { attrs, start, end, .. } => {
+                let (h, name) = resolved.expect("gate resolves InsertElement");
                 let attrs = attrs
                     .into_iter()
                     .map(|(n, v)| Attribute::new(n.as_str(), v))
@@ -436,11 +658,11 @@ impl Store {
     // ------------------------------------------------------------------
 
     fn entry(&self, id: DocId) -> Result<Arc<DocEntry>> {
-        self.docs_read().get(&id).cloned().ok_or(StoreError::NoSuchDoc(id))
+        self.docs.get(id.0).ok_or(StoreError::NoSuchDoc(id))
     }
 
     fn entries(&self) -> Vec<(DocId, Arc<DocEntry>)> {
-        self.docs_read().iter().map(|(id, e)| (*id, Arc::clone(e))).collect()
+        self.docs.sorted_entries()
     }
 
     fn query_entry(&self, entry: &DocEntry, ast: &Expr) -> Result<Vec<goddag::NodeId>> {
@@ -459,14 +681,6 @@ impl Store {
         ast: &Expr,
     ) -> Result<Vec<(DocId, Vec<goddag::NodeId>)>> {
         entries.iter().map(|(id, e)| self.query_entry(e, ast).map(|ns| (*id, ns))).collect()
-    }
-
-    fn docs_read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<DocId, Arc<DocEntry>>> {
-        crate::entry::read_lock(&self.docs)
-    }
-
-    fn docs_write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<DocId, Arc<DocEntry>>> {
-        crate::entry::write_lock(&self.docs)
     }
 
     fn names_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, DocId>> {
@@ -783,6 +997,159 @@ mod tests {
             store.suggest_tags(id, "nope", start, end),
             Err(StoreError::UnknownHierarchy(_))
         ));
+    }
+
+    #[test]
+    fn remove_cleans_every_name_binding() {
+        // Pinned for the persistence layer: a removed document must not
+        // leave stale name → id entries behind, even under aliases.
+        let store = Store::new();
+        let id = store.insert_named("a", corpus::figure1::goddag());
+        store.bind_name("alias", id).unwrap();
+        assert_eq!(store.id_by_name("alias").unwrap(), id);
+        assert!(store.remove(id));
+        assert!(store.id_by_name("a").is_err());
+        assert!(store.id_by_name("alias").is_err());
+        assert!(store.name_bindings().is_empty());
+    }
+
+    #[test]
+    fn remove_named_drops_doc_and_bindings() {
+        let store = Store::new();
+        let id = store.insert_named("ms", corpus::figure1::goddag());
+        let keep = store.insert_named("other", corpus::figure1::goddag());
+        assert_eq!(store.remove_named("ms").unwrap(), id);
+        assert!(!store.contains(id));
+        assert!(store.id_by_name("ms").is_err());
+        assert!(matches!(store.remove_named("ms"), Err(StoreError::NoSuchName(_))));
+        // Unrelated documents and bindings survive.
+        assert_eq!(store.id_by_name("other").unwrap(), keep);
+    }
+
+    #[test]
+    fn insert_with_id_revives_handles_and_reserves_allocator() {
+        let store = Store::new();
+        let id = store.insert(corpus::figure1::goddag());
+        // Re-inserting a live id fails.
+        assert!(matches!(
+            store.insert_with_id(id, corpus::figure1::goddag()),
+            Err(StoreError::IdInUse(_))
+        ));
+        // A far-future id succeeds and pushes the allocator past itself.
+        let revived = DocId::from_raw(17);
+        store.insert_with_id(revived, corpus::figure1::goddag()).unwrap();
+        assert!(store.contains(revived));
+        assert_eq!(store.next_doc_raw(), 18);
+        assert_eq!(store.insert(corpus::figure1::goddag()).raw(), 18);
+        // reserve_doc_ids only ever moves forward.
+        store.reserve_doc_ids(5);
+        assert_eq!(store.next_doc_raw(), 19);
+        store.reserve_doc_ids(100);
+        assert_eq!(store.next_doc_raw(), 100);
+        // Insertion order stays id order across shards.
+        assert_eq!(store.doc_ids(), vec![id, revived, DocId::from_raw(18)]);
+    }
+
+    #[test]
+    fn doc_ids_deterministic_across_shards() {
+        let store = Store::new();
+        let ids = store.insert_all((0..40).map(|_| corpus::figure1::goddag()));
+        assert_eq!(store.doc_ids(), ids);
+        assert_eq!(store.len(), 40);
+        // Remove a scattering and re-check order.
+        for i in [0usize, 7, 13, 31] {
+            assert!(store.remove(ids[i]));
+        }
+        let expect: Vec<DocId> = ids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ![0usize, 7, 13, 31].contains(i))
+            .map(|(_, id)| *id)
+            .collect();
+        assert_eq!(store.doc_ids(), expect);
+        assert_eq!(
+            store.entries().iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            expect,
+            "entries() must match doc_ids() ordering"
+        );
+    }
+
+    #[test]
+    fn edit_with_log_sees_op_before_mutation_and_can_abort() {
+        let (store, id) = figure1_store();
+        let epoch0 = store.epoch(id).unwrap();
+        // Logger observes the op and the pre-edit epoch.
+        let mut seen = None;
+        let out = store
+            .edit_with_log(id, EditOp::InsertText { offset: 0, text: "X".into() }, |op, epoch| {
+                seen = Some((op.clone(), epoch));
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(seen.as_ref().unwrap().1, epoch0);
+        assert!(out.epoch > epoch0);
+        // A failing logger aborts the edit entirely.
+        let err =
+            store.edit_with_log(id, EditOp::InsertText { offset: 0, text: "Y".into() }, |_, _| {
+                Err("disk full")
+            });
+        assert_eq!(err.unwrap_err(), "disk full");
+        assert!(store.with_doc(id, |g| g.content().starts_with('X')).unwrap());
+        assert_eq!(store.stats().edits, 1);
+    }
+
+    #[test]
+    fn edit_with_log_gate_rejections_never_reach_the_logger() {
+        let store = Store::new();
+        let mut g = corpus::figure1::goddag();
+        corpus::dtds::attach_standard(&mut g);
+        let id = store.insert(g);
+        let mut logged = 0;
+        let res = store
+            .edit_with_log(
+                id,
+                EditOp::InsertElement {
+                    hierarchy: "ling".into(),
+                    tag: "nonsense".into(),
+                    attrs: vec![],
+                    start: 0,
+                    end: 3,
+                },
+                |_, _| {
+                    logged += 1;
+                    Ok::<(), std::convert::Infallible>(())
+                },
+            )
+            .unwrap();
+        assert!(matches!(res, Err(StoreError::EditRejected(_))));
+        assert_eq!(logged, 0, "gate-rejected ops must not hit the WAL");
+        // Same for unknown hierarchies and syntactically invalid tags.
+        for op in [
+            EditOp::InsertElement {
+                hierarchy: "nope".into(),
+                tag: "w".into(),
+                attrs: vec![],
+                start: 0,
+                end: 1,
+            },
+            EditOp::InsertElement {
+                hierarchy: "ling".into(),
+                tag: "not a name".into(),
+                attrs: vec![],
+                start: 0,
+                end: 1,
+            },
+        ] {
+            let res = store
+                .edit_with_log(id, op, |_, _| {
+                    logged += 1;
+                    Ok::<(), std::convert::Infallible>(())
+                })
+                .unwrap();
+            assert!(res.is_err());
+            assert_eq!(logged, 0);
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod graph;
 mod ids;
 mod iter;
 mod navigate;
+mod relabel;
 mod renumber;
 mod serialize;
 mod span;

@@ -1,0 +1,220 @@
+//! Arena relabeling: rebuild a document's node-id layout to match a
+//! recorded one.
+//!
+//! Node ids are allocation-order indices (`nodes.len()` at creation time)
+//! and tombstones are never reused, so the id a future edit will assign is a
+//! deterministic function of the arena length. A document re-imported from
+//! stand-off gets a *compact* fresh arena, which breaks that determinism
+//! against the original: logged edits that reference pre-crash [`NodeId`]s
+//! would resolve to the wrong nodes, and replayed insertions would mint
+//! different ids than the pre-crash run did.
+//!
+//! [`Goddag::relabel_nodes`] closes that gap for the persistence layer
+//! (`cxpersist`): given the original id of every current node plus the
+//! original arena length, it moves each node to its recorded slot and fills
+//! the gaps with tombstones. After relabeling (and
+//! [`Goddag::force_edit_epoch`]), the document is id-for-id
+//! indistinguishable from the original for every public API that matters to
+//! replay: lookups, liveness, allocation order of future edits.
+
+use crate::error::{GoddagError, Result};
+use crate::graph::{Goddag, NodeData, NodeKind};
+use crate::ids::NodeId;
+use crate::span::Span;
+
+impl Goddag {
+    /// Rebuild the arena so that the node currently at index `i` lands at
+    /// `assignments[i]`, in an arena of `arena_len` slots; slots no
+    /// assignment targets become tombstones (dead placeholder nodes, exactly
+    /// like edits leave behind).
+    ///
+    /// Requirements (checked, error leaves the document untouched):
+    /// `assignments.len()` equals the current arena length, every current
+    /// node is live (relabeling is for freshly imported documents, before
+    /// any edits), targets are distinct and `< arena_len`, and the root maps
+    /// to itself (`NodeId(0)` is the root in every document this crate
+    /// builds).
+    ///
+    /// This is a support API for durable stores; it bumps the edit epoch
+    /// like any other structural mutation (callers restoring a snapshot
+    /// follow up with [`Goddag::force_edit_epoch`]).
+    pub fn relabel_nodes(&mut self, assignments: &[NodeId], arena_len: usize) -> Result<()> {
+        if assignments.len() != self.nodes.len() {
+            return Err(GoddagError::Edit(format!(
+                "relabel: {} assignments for {} nodes",
+                assignments.len(),
+                self.nodes.len()
+            )));
+        }
+        if arena_len < self.nodes.len() {
+            return Err(GoddagError::Edit(format!(
+                "relabel: target arena {arena_len} smaller than current {}",
+                self.nodes.len()
+            )));
+        }
+        let mut seen = vec![false; arena_len];
+        for (i, &t) in assignments.iter().enumerate() {
+            if !self.nodes[i].alive {
+                return Err(GoddagError::Edit(format!(
+                    "relabel: node n{i} is dead; relabeling requires a fresh document"
+                )));
+            }
+            if t.idx() >= arena_len {
+                return Err(GoddagError::Edit(format!(
+                    "relabel: target {t} out of bounds for arena {arena_len}"
+                )));
+            }
+            if seen[t.idx()] {
+                return Err(GoddagError::Edit(format!("relabel: duplicate target {t}")));
+            }
+            seen[t.idx()] = true;
+        }
+        if assignments[self.root.idx()] != self.root {
+            return Err(GoddagError::Edit(format!(
+                "relabel: root must keep its id, got {}",
+                assignments[self.root.idx()]
+            )));
+        }
+
+        let map = |n: NodeId| assignments[n.idx()];
+        let tombstone = || NodeData {
+            kind: NodeKind::Leaf { text: String::new() },
+            parent: None,
+            children: Vec::new(),
+            leaf_parents: Vec::new(),
+            span: Span::empty_at(0),
+            char_start: 0,
+            alive: false,
+        };
+        let mut arena: Vec<NodeData> = (0..arena_len).map(|_| tombstone()).collect();
+        for (i, mut d) in std::mem::take(&mut self.nodes).into_iter().enumerate() {
+            d.parent = d.parent.map(map);
+            for c in &mut d.children {
+                *c = map(*c);
+            }
+            for p in &mut d.leaf_parents {
+                *p = map(*p);
+            }
+            arena[assignments[i].idx()] = d;
+        }
+        self.nodes = arena;
+        for l in &mut self.leaves {
+            *l = map(*l);
+        }
+        for list in &mut self.root_children {
+            for c in list {
+                *c = map(*c);
+            }
+        }
+        self.root = map(self.root);
+        self.bump_epoch();
+        Ok(())
+    }
+
+    /// Overwrite the edit epoch. The epoch normally only moves forward, one
+    /// bump per mutation; a durable store restoring a snapshot uses this to
+    /// resume the counter exactly where the pre-crash document left it, so
+    /// that replayed edits land on the same epoch values the write-ahead log
+    /// recorded. Any cache keyed on an epoch from a *different* lineage of
+    /// this document is invalidated by construction (the store rebuilds
+    /// entries fresh on recovery).
+    pub fn force_edit_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GoddagBuilder;
+    use crate::ids::HierarchyId;
+    use crate::validate::check_invariants;
+    use xmlcore::QName;
+
+    fn q(s: &str) -> QName {
+        QName::parse(s).unwrap()
+    }
+
+    fn doc() -> Goddag {
+        let mut b = GoddagBuilder::new(q("r"));
+        b.content("one two three");
+        let phys = b.hierarchy("phys");
+        let ling = b.hierarchy("ling");
+        b.range(phys, "line", vec![], 0, 7).unwrap();
+        b.range(ling, "w", vec![], 4, 13).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn relabel_to_sparse_arena_preserves_structure() {
+        let g0 = doc();
+        let mut g = g0.clone();
+        let n = g.arena_len();
+        // Scatter every non-root node to a sparse layout.
+        let assignments: Vec<NodeId> =
+            (0..n).map(|i| if i == 0 { NodeId(0) } else { NodeId(2 * i as u32 + 3) }).collect();
+        g.relabel_nodes(&assignments, 2 * n + 5).unwrap();
+        check_invariants(&g).unwrap();
+        assert_eq!(g.arena_len(), 2 * n + 5);
+        assert_eq!(g.content(), g0.content());
+        assert_eq!(g.element_count(), g0.element_count());
+        for h in [HierarchyId(0), HierarchyId(1)] {
+            assert_eq!(g.to_xml(h).unwrap(), g0.to_xml(h).unwrap());
+        }
+        // Unassigned slots are dead.
+        assert!(!g.is_alive(NodeId(1)));
+        // Future allocations now start at the recorded arena length.
+        // 0..4 lies on existing leaf boundaries, so no split precedes the
+        // element allocation.
+        let e = g.insert_element(HierarchyId(0), q("seg"), vec![], 0, 4).unwrap();
+        assert_eq!(e.idx(), 2 * n + 5);
+    }
+
+    #[test]
+    fn relabel_identity_is_noop_structurally() {
+        let mut g = doc();
+        let before = g.to_xml(HierarchyId(0)).unwrap();
+        let ids: Vec<NodeId> = (0..g.arena_len() as u32).map(NodeId).collect();
+        g.relabel_nodes(&ids, g.arena_len()).unwrap();
+        check_invariants(&g).unwrap();
+        assert_eq!(g.to_xml(HierarchyId(0)).unwrap(), before);
+    }
+
+    #[test]
+    fn relabel_rejects_bad_inputs() {
+        let mut g = doc();
+        let n = g.arena_len();
+        let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        // Wrong length.
+        assert!(g.relabel_nodes(&ids[..n - 1], n).is_err());
+        // Shrinking arena.
+        assert!(g.relabel_nodes(&ids, n - 1).is_err());
+        // Duplicate target.
+        let mut dup = ids.clone();
+        dup[n - 1] = dup[n - 2];
+        assert!(g.relabel_nodes(&dup, n).is_err());
+        // Out of bounds.
+        let mut oob = ids.clone();
+        oob[n - 1] = NodeId(n as u32 + 10);
+        assert!(g.relabel_nodes(&oob, n).is_err());
+        // Root must stay put.
+        let mut moved_root: Vec<NodeId> = ids.clone();
+        moved_root.swap(0, 1);
+        assert!(g.relabel_nodes(&moved_root, n).is_err());
+        // Dead nodes refuse relabeling.
+        let e = g.elements().next().unwrap();
+        g.remove_element(e).unwrap();
+        let ids: Vec<NodeId> = (0..g.arena_len() as u32).map(NodeId).collect();
+        let len = g.arena_len();
+        assert!(g.relabel_nodes(&ids, len).is_err());
+    }
+
+    #[test]
+    fn force_edit_epoch_sets_counter() {
+        let mut g = doc();
+        g.force_edit_epoch(1234);
+        assert_eq!(g.edit_epoch(), 1234);
+        g.insert_text(0, "X").unwrap();
+        assert_eq!(g.edit_epoch(), 1235);
+    }
+}

@@ -43,4 +43,6 @@ pub use fragmentation::{
     count_fragments, export_fragmentation, import_fragmentation, FragmentationOptions, CX_JOIN,
 };
 pub use milestone::{export_milestone, import_milestone, MilestoneOptions, CX_MID, CX_MS};
-pub use standoff::{export_standoff, import_standoff, Annotation, StandoffDoc};
+pub use standoff::{
+    escape_token, export_standoff, import_standoff, unescape_token, Annotation, StandoffDoc,
+};

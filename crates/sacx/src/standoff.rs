@@ -54,11 +54,18 @@ pub struct StandoffDoc {
     pub annotations: Vec<Annotation>,
 }
 
-fn enc(s: &str) -> String {
+/// Percent-escape a string into a single token free of spaces, newlines,
+/// `=` and non-ASCII bytes — the escaping used for names and attribute
+/// values in the stand-off text format (and reused by `cxpersist`'s WAL
+/// codec, which layers its own empty-string convention on top). Non-ASCII
+/// bytes are escaped byte-wise: pushing them as `char`s would re-encode
+/// each UTF-8 byte as its own code point and mangle the value on
+/// re-import.
+pub fn escape_token(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
         match b {
-            b'%' | b'\n' | b'\r' | b' ' | b'=' | 0..=0x1f => {
+            b'%' | b'\n' | b'\r' | b' ' | b'=' | 0..=0x1f | 0x80.. => {
                 let _ = write!(out, "%{b:02x}");
             }
             _ => out.push(b as char),
@@ -67,23 +74,18 @@ fn enc(s: &str) -> String {
     out
 }
 
-fn dec(s: &str, line: usize) -> Result<String> {
+/// Undo [`escape_token`]. Errors carry a bare detail string so callers in
+/// other crates can wrap them in their own error types.
+pub fn unescape_token(s: &str) -> std::result::Result<String, String> {
     let mut bytes: Vec<u8> = Vec::with_capacity(s.len());
     let raw = s.as_bytes();
     let mut i = 0;
     while i < raw.len() {
         if raw[i] == b'%' {
-            let hex = raw
-                .get(i + 1..i + 3)
-                .ok_or(SacxError::Standoff { line, detail: "truncated percent escape".into() })?;
-            let hex = std::str::from_utf8(hex).map_err(|_| SacxError::Standoff {
-                line,
-                detail: "invalid percent escape".into(),
-            })?;
-            let b = u8::from_str_radix(hex, 16).map_err(|_| SacxError::Standoff {
-                line,
-                detail: format!("invalid percent escape %{hex}"),
-            })?;
+            let hex = raw.get(i + 1..i + 3).ok_or("truncated percent escape")?;
+            let hex = std::str::from_utf8(hex).map_err(|_| "invalid percent escape".to_string())?;
+            let b = u8::from_str_radix(hex, 16)
+                .map_err(|_| format!("invalid percent escape %{hex}"))?;
             bytes.push(b);
             i += 3;
         } else {
@@ -91,19 +93,56 @@ fn dec(s: &str, line: usize) -> Result<String> {
             i += 1;
         }
     }
-    String::from_utf8(bytes)
-        .map_err(|_| SacxError::Standoff { line, detail: "escape does not decode to UTF-8".into() })
+    String::from_utf8(bytes).map_err(|_| "escape does not decode to UTF-8".to_string())
+}
+
+fn enc(s: &str) -> String {
+    escape_token(s)
+}
+
+fn dec(s: &str, line: usize) -> Result<String> {
+    unescape_token(s).map_err(|detail| SacxError::Standoff { line, detail })
 }
 
 impl StandoffDoc {
     /// Build the stand-off view of a GODDAG.
     pub fn from_goddag(g: &Goddag) -> StandoffDoc {
-        let mut annotations: Vec<(goddag::NodeId, Annotation)> = Vec::new();
+        StandoffDoc::from_goddag_with_ids(g).0
+    }
+
+    /// Build the stand-off view and also report which element produced each
+    /// annotation (`ids[i]` is the [`goddag::NodeId`] behind
+    /// `annotations[i]`).
+    ///
+    /// The annotation order is a *structural* document order: span start
+    /// ascending, span end descending, hierarchy, then nesting depth
+    /// (parents before children). Depth — not node id — breaks the tie
+    /// between same-hierarchy elements with identical spans, because edits
+    /// can leave a parent with a higher id than its child, and
+    /// [`StandoffDoc::to_goddag`] nests equal spans outer-first in
+    /// annotation order. The order is therefore id-independent, which is
+    /// what lets a persistence layer re-derive the same element sequence on
+    /// a freshly imported copy and map recorded ids onto it.
+    pub fn from_goddag_with_ids(g: &Goddag) -> (StandoffDoc, Vec<goddag::NodeId>) {
+        // (span start, -span end, hierarchy, depth) — the structural sort key.
+        type Key = (u32, i64, u16, u32);
+        let mut annotations: Vec<(goddag::NodeId, Key, Annotation)> = Vec::new();
         for h in g.hierarchy_ids() {
             for e in g.elements_in(h) {
                 let (start, end) = g.char_range(e);
+                let span = g.span(e);
+                let mut depth = 0u32;
+                let mut cur = e;
+                while let Some(p) = g.parent_in(cur, h) {
+                    if p == g.root() {
+                        break;
+                    }
+                    depth += 1;
+                    cur = p;
+                }
                 annotations.push((
                     e,
+                    (span.start, -(span.end as i64), h.0, depth),
                     Annotation {
                         hierarchy: h.0,
                         tag: g.name(e).expect("named").local.clone(),
@@ -118,8 +157,12 @@ impl StandoffDoc {
                 ));
             }
         }
-        annotations.sort_by_key(|(e, _)| g.doc_order_key(*e));
-        StandoffDoc {
+        // The key is total over live elements: equal spans within one
+        // hierarchy force an ancestor chain (crossing is impossible), so
+        // depths differ; distinct hierarchies differ in the third component.
+        annotations.sort_by_key(|(_, key, _)| *key);
+        let ids = annotations.iter().map(|(e, _, _)| *e).collect();
+        let doc = StandoffDoc {
             root: g.name(g.root()).expect("root is named").to_string(),
             root_attrs: g
                 .attrs(g.root())
@@ -131,8 +174,9 @@ impl StandoffDoc {
                 .map(|h| g.hierarchy(h).expect("live id").name.clone())
                 .collect(),
             content: g.content(),
-            annotations: annotations.into_iter().map(|(_, a)| a).collect(),
-        }
+            annotations: annotations.into_iter().map(|(_, _, a)| a).collect(),
+        };
+        (doc, ids)
     }
 
     /// Materialize the GODDAG.
@@ -395,6 +439,16 @@ mod tests {
     }
 
     #[test]
+    fn non_ascii_attr_values_roundtrip() {
+        let g = parse_distributed(&[("a", "<r><w lemma=\"swā þæt\">x</w></r>")]).unwrap();
+        let text = export_standoff(&g);
+        assert!(text.lines().last().unwrap().is_ascii(), "annotations stay ASCII-clean");
+        let g2 = import_standoff(&text).unwrap();
+        let w = g2.find_elements("w")[0];
+        assert_eq!(g2.attr(w, "lemma"), Some("swā þæt"));
+    }
+
+    #[test]
     fn content_with_newlines_survives() {
         let g = parse_distributed(&[("a", "<r>line one\nline two\n</r>")]).unwrap();
         let text = export_standoff(&g);
@@ -427,6 +481,54 @@ mod tests {
     fn unknown_directive_rejected() {
         let bad = "#cxml-standoff v1\nroot r\nwat 1\ncontent 0\n\n";
         assert!(matches!(StandoffDoc::parse_text(bad), Err(SacxError::Standoff { .. })));
+    }
+
+    #[test]
+    fn equal_spans_roundtrip_parent_first_even_with_inverted_ids() {
+        // Wrap "abcd" in <inner>, wrap "abcdefg" in <outer> (which becomes
+        // inner's parent with a *higher* node id), then delete "efg": the
+        // spans are now equal while the parent still has the higher id.
+        // Export order must follow nesting, not ids, or the re-import would
+        // flip the chain.
+        let mut g = parse_distributed(&[("a", "<r>abcdefg</r>")]).unwrap();
+        let h = g.hierarchy_by_name("a").unwrap();
+        let inner =
+            g.insert_element(h, xmlcore::QName::parse("inner").unwrap(), vec![], 0, 4).unwrap();
+        let outer =
+            g.insert_element(h, xmlcore::QName::parse("outer").unwrap(), vec![], 0, 7).unwrap();
+        g.delete_text(4, 7).unwrap();
+        assert_eq!(g.parent_in(inner, h), Some(outer));
+        assert_eq!(g.char_range(inner), g.char_range(outer));
+        assert!(outer > inner, "the parent must have the higher id for this test to bite");
+
+        let (doc, ids) = StandoffDoc::from_goddag_with_ids(&g);
+        assert_eq!(doc.annotations.len(), 2);
+        assert_eq!(
+            doc.annotations.iter().map(|a| a.tag.as_str()).collect::<Vec<_>>(),
+            ["outer", "inner"],
+            "equal spans must serialize outermost-first"
+        );
+        assert_eq!(ids[0], outer);
+
+        let g2 = doc.to_goddag().unwrap();
+        check_invariants(&g2).unwrap();
+        assert_eq!(g2.to_xml(goddag::HierarchyId(0)).unwrap(), g.to_xml(h).unwrap());
+        // And the re-derived annotation order matches element-for-element.
+        let (doc2, ids2) = StandoffDoc::from_goddag_with_ids(&g2);
+        assert_eq!(doc2.annotations, doc.annotations);
+        assert_eq!(ids2.len(), ids.len());
+    }
+
+    #[test]
+    fn with_ids_parallels_annotations() {
+        let g = sample();
+        let (doc, ids) = StandoffDoc::from_goddag_with_ids(&g);
+        assert_eq!(doc.annotations.len(), ids.len());
+        for (a, &e) in doc.annotations.iter().zip(&ids) {
+            assert_eq!(g.name(e).unwrap().local, a.tag);
+            assert_eq!(g.char_range(e), (a.start, a.end));
+            assert_eq!(g.hierarchy_of(e).unwrap().0, a.hierarchy);
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`prevalid`] | potential-validity checking (prevalidation) |
 //! | [`xtagger`] | editing sessions: suggestions, prevalidation gate, undo/redo, filtering |
 //! | [`cxstore`] | concurrent multi-document repository: cached overlap indexes, compiled-query cache, batch/parallel queries, gated edits |
+//! | [`cxpersist`] | durable stores: `EditOp` write-ahead log, stand-off snapshots, warm restart |
 //! | [`corpus`] | synthetic manuscript workloads + the paper's Figure 1 reconstruction |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@
 //! ```
 
 pub use corpus;
+pub use cxpersist;
 pub use cxstore;
 pub use expath;
 pub use goddag;
