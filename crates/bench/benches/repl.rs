@@ -1,0 +1,143 @@
+//! `cxrepl` benchmarks: what log shipping costs and what catch-up takes.
+//!
+//! Series:
+//! * `repl/ship_only/{n}` — one primary-side fetch of an `n`-record tail
+//!   (file read + frame-skip + slice), no apply. The shipping floor.
+//! * `repl/catchup/{transport}/{n}` — a follower joining `n` records
+//!   behind: install the pre-captured snapshot, then fetch + apply the
+//!   whole tail over the in-process or TCP transport. The reported
+//!   elements/s is ship+apply throughput in records/s.
+//! * `repl/bootstrap/snapshot` — a fresh follower against a checkpointed
+//!   primary whose early records are retired: full snapshot bootstrap.
+//!
+//! All stores live under unique directories in the system temp dir and
+//! are removed when the bench finishes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cxpersist::{DurableStore, FsyncPolicy, Options, StoreSnapshot};
+use cxrepl::{Follower, InProcessTransport, Primary, ReplicaStore, TcpReplServer, TcpTransport};
+use cxstore::EditOp;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// Unique scratch directory (cleaned by `Scratch::drop`).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let path = std::env::temp_dir().join(format!(
+            "cxrepl-bench-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        Scratch(path)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A primary holding one manuscript, a snapshot capture at that point,
+/// and `lag` further text-edit records in its WAL.
+fn lagged_primary(scratch: &Scratch, lag: usize) -> (Arc<Primary>, StoreSnapshot) {
+    let durable =
+        DurableStore::open_with(&scratch.0, Options { fsync: FsyncPolicy::Never }).unwrap();
+    let id = durable
+        .insert(
+            corpus::generate(&corpus::Params { words: 200, ..corpus::Params::default() }).goddag,
+        )
+        .unwrap();
+    let snap = durable.capture_snapshot().unwrap();
+    for i in 0..lag {
+        durable.edit(id, EditOp::InsertText { offset: 0, text: format!("r{i} ") }).unwrap();
+    }
+    (Arc::new(Primary::new(Arc::new(durable))), snap)
+}
+
+fn bench_repl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repl");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    const LAG: usize = 1000;
+
+    // Primary-side shipping alone: slice an n-record tail out of the WAL.
+    {
+        let scratch = Scratch::new("ship");
+        let (primary, snap) = lagged_primary(&scratch, LAG);
+        group.throughput(Throughput::Elements(LAG as u64));
+        group.bench_function(BenchmarkId::new("ship_only", LAG), |b| {
+            b.iter(|| primary.handle_fetch(black_box(snap.lsn), usize::MAX).unwrap());
+        });
+    }
+
+    // Follower catch-up from LAG records behind, in-process and TCP.
+    {
+        let scratch = Scratch::new("catchup");
+        let (primary, snap) = lagged_primary(&scratch, LAG);
+        let server = TcpReplServer::bind(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+        group.throughput(Throughput::Elements(LAG as u64));
+        group.bench_function(BenchmarkId::new("catchup/inproc", LAG), |b| {
+            b.iter(|| {
+                let replica = Arc::new(ReplicaStore::new());
+                replica.install_snapshot(&snap).unwrap();
+                let mut f = Follower::new(
+                    Arc::clone(&replica),
+                    InProcessTransport::new(Arc::clone(&primary)),
+                );
+                assert_eq!(f.catch_up().unwrap(), LAG as u64);
+                replica
+            });
+        });
+        group.bench_function(BenchmarkId::new("catchup/tcp", LAG), |b| {
+            let mut transport = Some(TcpTransport::connect(server.addr()).unwrap());
+            b.iter(|| {
+                let replica = Arc::new(ReplicaStore::new());
+                replica.install_snapshot(&snap).unwrap();
+                let mut f = Follower::new(Arc::clone(&replica), transport.take().unwrap());
+                assert_eq!(f.catch_up().unwrap(), LAG as u64);
+                transport = Some(f.into_transport());
+                replica
+            });
+        });
+        server.shutdown();
+    }
+
+    // Fresh-follower snapshot bootstrap (records retired by checkpoints).
+    {
+        let scratch = Scratch::new("bootstrap");
+        let (primary, _) = lagged_primary(&scratch, 100);
+        primary.durable().checkpoint().unwrap();
+        let id = primary.durable().store().doc_ids()[0];
+        primary.durable().edit(id, EditOp::InsertText { offset: 0, text: "x ".into() }).unwrap();
+        primary.durable().checkpoint().unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("bootstrap/snapshot", |b| {
+            b.iter(|| {
+                let replica = Arc::new(ReplicaStore::new());
+                let mut f = Follower::new(
+                    Arc::clone(&replica),
+                    InProcessTransport::new(Arc::clone(&primary)),
+                );
+                f.catch_up().unwrap();
+                assert_eq!(replica.snapshots_installed(), 1);
+                replica
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_repl);
+criterion_main!(benches);

@@ -426,6 +426,47 @@ pub fn scan_tail(bytes: &[u8], skip_through: u64) -> Result<WalScan, PersistErro
     })
 }
 
+// ---------------------------------------------------------------------
+// Batch scanning (log shipping)
+// ---------------------------------------------------------------------
+
+/// Result of scanning a shipped record batch.
+#[derive(Debug)]
+pub struct BatchScan {
+    /// Records of the valid prefix, in shipping order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix.
+    pub valid_len: usize,
+    /// Whether a torn/corrupt tail was dropped (the receiver re-requests
+    /// from its last applied LSN).
+    pub torn: bool,
+}
+
+/// Scan a shipped batch: raw concatenated record bytes (no file header),
+/// as produced by slicing a WAL file's tail. Decodes the longest valid
+/// prefix whose LSNs are strictly increasing and greater than `after`;
+/// the first torn, corrupt or non-monotonic record ends the prefix and
+/// everything past it is dropped — the receiver's cue to re-request from
+/// its last applied LSN. A batch cut at *any* byte boundary therefore
+/// yields a (possibly empty) valid prefix, never garbage.
+pub fn scan_batch(bytes: &[u8], after: u64) -> BatchScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut last_lsn = after;
+    while pos < bytes.len() {
+        let Ok((rec, used)) = decode_record(&bytes[pos..], records.len() + 1) else {
+            break;
+        };
+        if rec.lsn <= last_lsn {
+            break;
+        }
+        last_lsn = rec.lsn;
+        records.push(rec);
+        pos += used;
+    }
+    BatchScan { records, valid_len: pos, torn: pos < bytes.len() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,5 +657,29 @@ mod tests {
     fn scan_requires_header() {
         assert!(scan(b"").is_err());
         assert!(scan(b"not a wal\n").is_err());
+    }
+
+    #[test]
+    fn scan_batch_tolerates_any_cut() {
+        let mut batch = Vec::new();
+        for lsn in 4..=7u64 {
+            batch.extend_from_slice(
+                encode_record(lsn, &WalOp::DocRemove { doc: DocId::from_raw(lsn) }).as_bytes(),
+            );
+        }
+        let full = scan_batch(&batch, 3);
+        assert_eq!(full.records.len(), 4);
+        assert!(!full.torn);
+        for cut in 0..batch.len() {
+            let s = scan_batch(&batch[..cut], 3);
+            assert!(s.valid_len <= cut);
+            assert_eq!(s.torn, s.valid_len < cut);
+            // The prefix is exactly the records that fit whole.
+            for (i, rec) in s.records.iter().enumerate() {
+                assert_eq!(rec.lsn, 4 + i as u64, "cut at {cut}");
+            }
+        }
+        // Records at or below `after` end the prefix (stale retransmission).
+        assert_eq!(scan_batch(&batch, 4).records.len(), 0);
     }
 }

@@ -19,9 +19,12 @@
 //! documents and rotates the log.
 
 use crate::blob::DocBlob;
-use crate::codec::{encode_record, scan_tail, WalOp, WAL_HEADER};
+use crate::codec::{encode_record, scan_tail, skip_record, WalOp, WAL_HEADER};
 use crate::error::{PersistError, Result};
-use crate::snapshot::{list_snapshots, load_snapshot, prune_snapshots, sync_dir, write_snapshot};
+use crate::snapshot::{
+    list_snapshots, load_snapshot, prune_snapshots, sync_dir, validated_manifest, write_snapshot,
+    StoreSnapshot,
+};
 use cxstore::{DocId, EditOp, EditOutcome, Store, StoreStats};
 use goddag::Goddag;
 use std::fs::{self, File, OpenOptions};
@@ -85,8 +88,45 @@ pub struct CheckpointInfo {
     pub lsn: u64,
     /// Documents written.
     pub docs: usize,
-    /// Snapshot bytes written (blobs + manifest).
+    /// Snapshot bytes referenced (fresh and reused blobs + manifest).
     pub bytes: u64,
+    /// Blobs newly captured because the document changed since the
+    /// previous generation (or there was none).
+    pub fresh_docs: usize,
+    /// Blobs reused from the previous generation — the document's edit
+    /// epoch was unchanged, so the checkpoint hard-linked (or copied) the
+    /// existing file instead of re-serializing the document.
+    pub reused_docs: usize,
+}
+
+/// A WAL position: the last assigned LSN plus the byte length of the
+/// valid log prefix that holds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalPosition {
+    /// Last assigned log sequence number.
+    pub lsn: u64,
+    /// Valid log bytes (header included).
+    pub bytes: u64,
+}
+
+/// What [`DurableStore::wal_tail`] can hand a log-shipping caller.
+#[derive(Debug)]
+pub enum TailShipment {
+    /// No records past the requested LSN — the follower is caught up.
+    CaughtUp,
+    /// Raw record bytes (each self-framed and CRC'd by the WAL codec),
+    /// LSN-contiguous starting at `first`.
+    Records {
+        /// LSN of the first shipped record (always `after + 1`).
+        first: u64,
+        /// LSN of the last shipped record.
+        last: u64,
+        /// The record bytes, sliceable straight into a shipping batch.
+        bytes: Vec<u8>,
+    },
+    /// The requested LSN predates the oldest retained record (a checkpoint
+    /// retired it) — the follower needs a snapshot bootstrap instead.
+    SnapshotNeeded,
 }
 
 /// The WAL writer: file handle plus append/sync bookkeeping, behind one
@@ -275,7 +315,11 @@ impl DurableStore {
                         "replay diverged on {doc}: log expects epoch {epoch}, document is at {cur}"
                     )));
                 }
-                match store.edit(doc, op) {
+                // Ungated apply: the pre-crash gate already passed this op
+                // (gate-rejected edits never reach the log), so replay
+                // skips re-paying prevalidation — the same contract the
+                // replication followers rely on.
+                match store.apply_replicated(doc, op) {
                     Ok(_) => report.replayed_ops += 1,
                     // A logged op that failed structurally pre-crash fails
                     // identically here (the log runs ahead of the mutation).
@@ -317,6 +361,160 @@ impl DurableStore {
     /// The last log sequence number assigned.
     pub fn last_lsn(&self) -> u64 {
         lock(&self.wal).lsn
+    }
+
+    /// The current WAL position: last assigned LSN plus valid byte length.
+    /// Replication lag is observable as the difference between a primary's
+    /// position and a follower's last applied LSN.
+    pub fn wal_position(&self) -> WalPosition {
+        let w = lock(&self.wal);
+        WalPosition { lsn: w.lsn, bytes: w.len }
+    }
+
+    /// Read the raw WAL tail past `after` for log shipping: up to
+    /// `max_bytes` of record bytes (always at least one whole record),
+    /// LSN-contiguous from `after + 1`. Returns
+    /// [`TailShipment::SnapshotNeeded`] when a checkpoint already retired
+    /// the requested records, and [`TailShipment::CaughtUp`] when `after`
+    /// is the head. Errors when `after` lies beyond the head — a follower
+    /// claiming records this primary never wrote (split history).
+    pub fn wal_tail(&self, after: u64, max_bytes: usize) -> Result<TailShipment> {
+        // Under the WAL mutex: validate the position and make everything
+        // about to be shipped durable. Shipping implies durability —
+        // under the lazy fsync policies a record can sit in the page
+        // cache, and a follower must never *apply* a record the primary
+        // could still lose in a crash (the follower would hold history no
+        // recovered primary ever had, and the re-assigned LSN would make
+        // the streams diverge permanently). The fsync batches whatever is
+        // pending (a no-op under `EveryOp` or when clean).
+        let head = {
+            let mut w = lock(&self.wal);
+            if after == w.lsn {
+                return Ok(TailShipment::CaughtUp);
+            }
+            if after > w.lsn {
+                return Err(PersistError::Corrupt {
+                    path: self.dir.join("wal.log"),
+                    detail: format!(
+                        "follower claims LSN {after}, but this log ends at {} — diverged history",
+                        w.lsn
+                    ),
+                });
+            }
+            Self::sync_locked(&mut w, &self.counters)?;
+            w.lsn
+        };
+        // The file read runs *outside* the mutex so shipping never stalls
+        // the edit path. Two races are possible and both are benign,
+        // because records defend themselves (framing + LSN): a checkpoint
+        // may swap in the rotated file (retired records are gone — if the
+        // follower needed them the contiguity check below reports
+        // `SnapshotNeeded`), and a concurrent append may leave a torn
+        // record at the end (the frame walk stops before it; shipping is
+        // capped at `head`, the LSN made durable above, regardless).
+        let bytes = fs::read(self.dir.join("wal.log"))?;
+        let mut pos = if bytes.starts_with(WAL_HEADER.as_bytes()) { WAL_HEADER.len() } else { 0 };
+        // Frame-skip the records the follower already holds.
+        let mut first = None;
+        while pos < bytes.len() {
+            match skip_record(&bytes[pos..]) {
+                Some((lsn, used)) if lsn <= after => pos += used,
+                Some((lsn, _)) => {
+                    first = Some(lsn);
+                    break;
+                }
+                None => break,
+            }
+        }
+        // The tail must continue exactly at `after + 1`; anything else
+        // means a checkpoint retired the records in between.
+        let Some(first) = first.filter(|&l| l == after + 1) else {
+            return Ok(TailShipment::SnapshotNeeded);
+        };
+        let start = pos;
+        let mut last = after;
+        while pos < bytes.len() {
+            let Some((lsn, used)) = skip_record(&bytes[pos..]) else { break };
+            if lsn > head {
+                break; // appended after the sync — not durable yet
+            }
+            if pos + used - start > max_bytes && last > after {
+                break; // cap reached (but always ship at least one record)
+            }
+            last = lsn;
+            pos += used;
+        }
+        let mut bytes = bytes;
+        bytes.drain(..start);
+        bytes.truncate(pos - start);
+        Ok(TailShipment::Records { first, last, bytes })
+    }
+
+    /// Capture a consistent [`StoreSnapshot`] of the whole store at the
+    /// current WAL position — the replication bootstrap artifact. Briefly
+    /// blocks mutations (holds the checkpoint gate exclusively) so the
+    /// captured state is exactly the state at the returned LSN, and syncs
+    /// the log first — a shipped snapshot, like shipped records, must not
+    /// contain state the primary could still lose.
+    pub fn capture_snapshot(&self) -> Result<StoreSnapshot> {
+        let _exclusive = write_gate(&self.gate);
+        let lsn = {
+            let mut w = lock(&self.wal);
+            Self::sync_locked(&mut w, &self.counters)?;
+            w.lsn
+        };
+        StoreSnapshot::capture(&self.store, lsn)
+    }
+
+    /// Turn an in-memory store into a durable one at `dir` — the promotion
+    /// path: a replica that must start accepting writes adopts its applied
+    /// state as the new authoritative history. Writes a full snapshot at
+    /// `lsn` (durable before any new edit is acknowledged) and opens a
+    /// fresh WAL continuing from that LSN. Refuses a directory that
+    /// already holds a store.
+    pub fn adopt(
+        dir: impl Into<PathBuf>,
+        store: Store,
+        lsn: u64,
+        options: Options,
+    ) -> Result<DurableStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        if dir.join("wal.log").exists() || !list_snapshots(&dir)?.is_empty() {
+            return Err(PersistError::Corrupt {
+                path: dir,
+                detail: "refusing to adopt into a directory that already holds a store".into(),
+            });
+        }
+        let write = write_snapshot(&dir, &store, lsn, None)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(dir.join("wal.log"))?;
+        file.write_all(WAL_HEADER.as_bytes())?;
+        file.sync_all()?;
+        sync_dir(&dir)?;
+        Ok(DurableStore {
+            store,
+            dir,
+            gate: RwLock::new(()),
+            wal: Mutex::new(WalState {
+                file,
+                lsn,
+                len: WAL_HEADER.len() as u64,
+                dirty: 0,
+                last_sync: Instant::now(),
+            }),
+            policy: options.fsync,
+            counters: PersistCounters::default(),
+            recovery: RecoveryReport {
+                snapshot_lsn: Some(lsn),
+                recovered_docs: write.docs,
+                ..RecoveryReport::default()
+            },
+        })
     }
 
     /// The wrapped in-memory store, for the read paths ([`Store::query`],
@@ -491,6 +689,17 @@ impl DurableStore {
     /// disk), recovery falls back to the previous snapshot and reaches the
     /// exact same state by replaying the retained log tail. Only records
     /// covered by *both* snapshots are dropped.
+    ///
+    /// Checkpoints are *incremental*: a document whose edit epoch is
+    /// unchanged since the previous validated generation reuses that
+    /// generation's blob file (hard link where the filesystem allows),
+    /// so cost scales with the dirty set. The reuse means both retained
+    /// generations share one inode for such a document — the fallback
+    /// guarantee above is byte-independent for dirty documents and the
+    /// manifests, while rot in a shared clean-doc blob fails both
+    /// generations for that document and recovery refuses loudly rather
+    /// than serving partial state (reuse sources are CRC-validated
+    /// end-to-end at checkpoint time, so rot never launders forward).
     pub fn checkpoint(&self) -> Result<CheckpointInfo> {
         let _exclusive = write_gate(&self.gate);
         let mut w = lock(&self.wal);
@@ -498,21 +707,33 @@ impl DurableStore {
         // snapshot captures exactly that state.
         Self::sync_locked(&mut w, &self.counters)?;
         let lsn = w.lsn;
-        let (docs, bytes) = write_snapshot(&self.dir, &self.store, lsn)?;
-        // The retention floor is the newest *older* snapshot that still
-        // validates end-to-end (manifest + blob CRCs + epochs) — a
-        // bit-rotted one must not retire the WAL records (and the older
-        // good snapshot) that real fallback needs.
+        // The newest *older* snapshot that validates end-to-end (manifest
+        // + blob CRCs + epochs) serves two roles: its blobs are reused for
+        // documents whose epoch is unchanged (incremental checkpointing),
+        // and it is the retention floor — a bit-rotted snapshot must
+        // neither contribute blobs nor retire the WAL records (and the
+        // older good snapshot) that real fallback needs.
         let prev = list_snapshots(&self.dir)?
             .into_iter()
             .filter(|&(l, _)| l < lsn)
-            .find(|(l, path)| crate::snapshot::validate_snapshot(*l, path))
-            .map(|(l, _)| l)
-            .unwrap_or(0);
-        Self::drop_wal_prefix(&mut w, &self.dir, prev)?;
-        prune_snapshots(&self.dir, prev);
+            .find_map(|(l, path)| validated_manifest(l, &path).map(|m| (l, path, m)));
+        let write = write_snapshot(
+            &self.dir,
+            &self.store,
+            lsn,
+            prev.as_ref().map(|(_, path, m)| (path.as_path(), m)),
+        )?;
+        let floor = prev.as_ref().map_or(0, |&(l, _, _)| l);
+        Self::drop_wal_prefix(&mut w, &self.dir, floor)?;
+        prune_snapshots(&self.dir, floor);
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
-        Ok(CheckpointInfo { lsn, docs, bytes })
+        Ok(CheckpointInfo {
+            lsn,
+            docs: write.docs,
+            bytes: write.bytes,
+            fresh_docs: write.fresh_docs,
+            reused_docs: write.reused_docs,
+        })
     }
 
     /// Rewrite the WAL without its retired prefix (records with

@@ -19,6 +19,17 @@
 //!   previous snapshot survives as a fallback, and the log drops only the
 //!   prefix both snapshots cover — so a later-damaged snapshot still
 //!   recovers to the exact same state from the older snapshot + log tail.
+//! * **Incremental checkpoints** — a checkpoint re-captures only the
+//!   documents whose edit epoch changed since the previous validated
+//!   generation; unchanged blobs are hard-linked (or copied) from it, so
+//!   checkpoint cost scales with the dirty set.
+//! * **Log shipping surface** — [`DurableStore::wal_tail`] slices
+//!   LSN-contiguous record bytes for replication followers,
+//!   [`DurableStore::capture_snapshot`] produces a shippable
+//!   [`StoreSnapshot`] bootstrap, [`scan_batch`] decodes a shipped batch
+//!   tolerating a torn tail, and [`DurableStore::adopt`] turns an applied
+//!   replica state into a new writable store (follower promotion). The
+//!   `cxrepl` crate builds the primary/replica/transport layer on these.
 //! * **Recovery** — [`DurableStore::open`] loads the newest snapshot that
 //!   validates end-to-end (falling back to older ones), replays the log
 //!   tail past the snapshot LSN, verifies every replayed edit's recorded
@@ -51,8 +62,11 @@ mod snapshot;
 
 pub use blob::DocBlob;
 pub use codec::{
-    crc32, decode_record, encode_record, scan, scan_tail, WalOp, WalRecord, WalScan, WAL_HEADER,
+    crc32, decode_record, encode_record, scan, scan_batch, scan_tail, BatchScan, WalOp, WalRecord,
+    WalScan, WAL_HEADER,
 };
-pub use durable::{CheckpointInfo, DurableStore, FsyncPolicy, Options, RecoveryReport};
+pub use durable::{
+    CheckpointInfo, DurableStore, FsyncPolicy, Options, RecoveryReport, TailShipment, WalPosition,
+};
 pub use error::{PersistError, Result};
-pub use snapshot::{Manifest, ManifestDoc};
+pub use snapshot::{Manifest, ManifestDoc, StoreSnapshot};

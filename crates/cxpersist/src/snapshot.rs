@@ -130,6 +130,145 @@ impl Manifest {
     }
 }
 
+// ---------------------------------------------------------------------
+// Wire snapshots (replication bootstrap)
+// ---------------------------------------------------------------------
+
+/// A complete store state as one shippable artifact: the replication
+/// bootstrap form. Where on-disk snapshots spread a manifest plus one blob
+/// file per document across a directory, a `StoreSnapshot` carries the
+/// same information — WAL position, id-allocator position, every
+/// document's [`DocBlob`], the name bindings — in a single self-delimiting
+/// text so it can travel over a byte transport. Blob integrity rides on
+/// each blob's own CRC footer; the trailing `end` line guards against
+/// truncation of the artifact as a whole.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSnapshot {
+    /// WAL position the snapshot captures: shipped records with a larger
+    /// LSN apply on top.
+    pub lsn: u64,
+    /// Doc-id allocator position.
+    pub next_doc: u64,
+    /// `(raw id, blob)` per document, in id order.
+    pub docs: Vec<(u64, DocBlob)>,
+    /// `name → raw id` bindings, sorted by name.
+    pub names: Vec<(String, u64)>,
+}
+
+impl StoreSnapshot {
+    /// Capture a consistent snapshot of `store` at WAL position `lsn`.
+    /// The caller is responsible for quiescing mutators (the durable
+    /// store's checkpoint gate) so the captured state actually is the
+    /// state at `lsn`.
+    pub fn capture(store: &Store, lsn: u64) -> Result<StoreSnapshot> {
+        let mut docs = Vec::new();
+        for id in store.doc_ids() {
+            docs.push((id.raw(), store.with_doc(id, DocBlob::capture)?));
+        }
+        Ok(StoreSnapshot {
+            lsn,
+            next_doc: store.next_doc_raw(),
+            docs,
+            names: store.name_bindings().into_iter().map(|(n, id)| (n, id.raw())).collect(),
+        })
+    }
+
+    /// Load the snapshot into an *empty* store (the receiver clears its
+    /// state first when re-bootstrapping).
+    pub fn restore_into(&self, store: &Store) -> Result<()> {
+        for (raw, blob) in &self.docs {
+            let g = blob.restore()?;
+            store.insert_with_id(DocId::from_raw(*raw), g)?;
+        }
+        for (name, id) in &self.names {
+            store.bind_name(name.clone(), DocId::from_raw(*id))?;
+        }
+        store.reserve_doc_ids(self.next_doc);
+        Ok(())
+    }
+
+    /// Serialize to the wire text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("#cxsnap v1\n");
+        let _ = writeln!(out, "lsn {}", self.lsn);
+        let _ = writeln!(out, "next {}", self.next_doc);
+        for (name, id) in &self.names {
+            let _ = writeln!(out, "name {} {id}", enc(name));
+        }
+        for (raw, blob) in &self.docs {
+            let text = blob.to_text();
+            let _ = writeln!(out, "doc {raw} {}", text.len());
+            out.push_str(&text);
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse the wire text form. Truncation (a missing `end` line, a short
+    /// blob) and blob corruption are errors — the receiver re-requests.
+    pub fn parse_text(input: &str) -> Result<StoreSnapshot> {
+        let bad = |line: usize, detail: String| PersistError::Codec { line, detail };
+        let mut rest = input;
+        let mut ln = 0usize;
+        let next_line = |rest: &mut &str| -> Option<String> {
+            let i = rest.find('\n')?;
+            let l = rest[..i].to_string();
+            *rest = &rest[i + 1..];
+            Some(l)
+        };
+        let header = next_line(&mut rest).ok_or_else(|| bad(1, "empty snapshot".into()))?;
+        if header.trim() != "#cxsnap v1" {
+            return Err(bad(1, "bad snapshot magic".into()));
+        }
+        let mut snap = StoreSnapshot { lsn: 0, next_doc: 0, docs: Vec::new(), names: Vec::new() };
+        let mut saw_lsn = false;
+        let mut complete = false;
+        while let Some(line) = next_line(&mut rest) {
+            ln += 1;
+            let mut parts = line.split(' ');
+            match parts.next() {
+                Some("lsn") => {
+                    snap.lsn = parse_tok(parts.next(), ln, "lsn")?;
+                    saw_lsn = true;
+                }
+                Some("next") => snap.next_doc = parse_tok(parts.next(), ln, "next id")?,
+                Some("name") => {
+                    let name =
+                        dec(parts.next().ok_or_else(|| bad(ln, "missing name".into()))?, ln)?;
+                    let id: u64 = parse_tok(parts.next(), ln, "doc id")?;
+                    snap.names.push((name, id));
+                }
+                Some("doc") => {
+                    let raw: u64 = parse_tok(parts.next(), ln, "doc id")?;
+                    let len: usize = parse_tok(parts.next(), ln, "blob length")?;
+                    if rest.len() < len || !rest.is_char_boundary(len) {
+                        return Err(bad(ln, "blob length out of bounds".into()));
+                    }
+                    let blob = DocBlob::parse_text(&rest[..len])?;
+                    rest = &rest[len..];
+                    snap.docs.push((raw, blob));
+                }
+                Some("end") => {
+                    complete = true;
+                    break;
+                }
+                Some(other) => {
+                    return Err(bad(ln, format!("unknown snapshot directive {other:?}")))
+                }
+                None => {}
+            }
+        }
+        if !saw_lsn {
+            return Err(bad(0, "snapshot missing lsn".into()));
+        }
+        if !complete {
+            return Err(bad(ln, "snapshot truncated (missing end marker)".into()));
+        }
+        Ok(snap)
+    }
+}
+
 /// `snap-<lsn, 16 hex digits>` — hex-padded so lexicographic order is
 /// numeric order.
 pub(crate) fn snapshot_dir_name(lsn: u64) -> String {
@@ -150,9 +289,33 @@ pub(crate) fn sync_dir(path: &Path) -> std::io::Result<()> {
     fs::File::open(path)?.sync_all()
 }
 
+/// What a snapshot write did, blob by blob.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SnapshotWrite {
+    /// Documents in the snapshot.
+    pub docs: usize,
+    /// Bytes the snapshot references (fresh and reused blobs + manifest).
+    pub bytes: u64,
+    /// Blobs newly captured and written (the document changed since the
+    /// previous generation, or there was none).
+    pub fresh_docs: usize,
+    /// Blobs reused from the previous generation (hard-linked or copied —
+    /// the document's edit epoch was unchanged).
+    pub reused_docs: usize,
+}
+
 /// Write a complete snapshot of `store` at WAL position `lsn` into
-/// `dir/snap-<lsn>`, durably. Returns `(docs, bytes)` written.
-pub(crate) fn write_snapshot(dir: &Path, store: &Store, lsn: u64) -> Result<(usize, u64)> {
+/// `dir/snap-<lsn>`, durably. When `prev` names a *validated* previous
+/// generation, any document whose edit epoch is unchanged since it reuses
+/// that generation's blob file — hard-linked when the filesystem allows,
+/// copied otherwise — instead of re-capturing and re-writing it, so
+/// checkpoint cost scales with the dirty set, not the corpus.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    store: &Store,
+    lsn: u64,
+    prev: Option<(&Path, &Manifest)>,
+) -> Result<SnapshotWrite> {
     let final_path = dir.join(snapshot_dir_name(lsn));
     let tmp_path = dir.join(format!("{}.tmp", snapshot_dir_name(lsn)));
     if tmp_path.exists() {
@@ -161,16 +324,39 @@ pub(crate) fn write_snapshot(dir: &Path, store: &Store, lsn: u64) -> Result<(usi
     fs::create_dir_all(&tmp_path)?;
 
     let mut docs = Vec::new();
-    let mut bytes = 0u64;
+    let mut out = SnapshotWrite::default();
     for id in store.doc_ids() {
-        let blob = store.with_doc(id, DocBlob::capture)?;
         let file = format!("doc-{}.blob", id.raw());
-        let text = blob.to_text();
-        bytes += text.len() as u64;
         let path = tmp_path.join(&file);
-        fs::write(&path, &text)?;
+        // Unchanged since the previous generation? Reuse its blob — the
+        // blob capture is deterministic, so equal epochs mean a
+        // byte-identical file. The previous generation was validated
+        // end-to-end (blob CRCs included) before being offered here, so
+        // reuse cannot launder bit rot into the new snapshot.
+        let epoch = store.epoch(id)?;
+        let reused = prev.and_then(|(prev_dir, m)| {
+            let d = m.docs.iter().find(|d| d.doc == id.raw() && d.epoch == epoch)?;
+            let src = prev_dir.join(&d.file);
+            fs::hard_link(&src, &path).or_else(|_| fs::copy(&src, &path).map(|_| ())).ok()?;
+            Some(fs::metadata(&path).ok().map_or(0, |m| m.len()))
+        });
+        let blob_bytes = match reused {
+            Some(len) => {
+                out.reused_docs += 1;
+                len
+            }
+            None => {
+                let blob = store.with_doc(id, DocBlob::capture)?;
+                debug_assert_eq!(blob.epoch, epoch, "checkpoint gate holds mutators out");
+                let text = blob.to_text();
+                fs::write(&path, &text)?;
+                out.fresh_docs += 1;
+                text.len() as u64
+            }
+        };
         fs::File::open(&path)?.sync_all()?;
-        docs.push(ManifestDoc { doc: id.raw(), epoch: blob.epoch, file });
+        out.bytes += blob_bytes;
+        docs.push(ManifestDoc { doc: id.raw(), epoch, file });
     }
     let manifest = Manifest {
         lsn,
@@ -179,7 +365,7 @@ pub(crate) fn write_snapshot(dir: &Path, store: &Store, lsn: u64) -> Result<(usi
         names: store.name_bindings().into_iter().map(|(n, id)| (n, id.raw())).collect(),
     };
     let text = manifest.to_text();
-    bytes += text.len() as u64;
+    out.bytes += text.len() as u64;
     let mpath = tmp_path.join("manifest.txt");
     fs::write(&mpath, &text)?;
     fs::File::open(&mpath)?.sync_all()?;
@@ -192,7 +378,8 @@ pub(crate) fn write_snapshot(dir: &Path, store: &Store, lsn: u64) -> Result<(usi
     }
     fs::rename(&tmp_path, &final_path)?;
     sync_dir(dir)?;
-    Ok((manifest.docs.len(), bytes))
+    out.docs = manifest.docs.len();
+    Ok(out)
 }
 
 /// All snapshot directories under `dir`, newest first.
@@ -243,20 +430,23 @@ pub(crate) fn load_snapshot(path: &Path) -> Result<(Store, Manifest)> {
 /// Cheap end-to-end validation of a snapshot directory: manifest CRC +
 /// LSN agreement, every blob's CRC and its epoch cross-check — everything
 /// [`load_snapshot`] checks short of actually rebuilding the documents.
-/// The checkpoint retention floor uses this: WAL records may only be
-/// retired against a fallback generation that is demonstrably restorable.
-pub(crate) fn validate_snapshot(lsn: u64, path: &Path) -> bool {
-    let Ok(text) = fs::read_to_string(path.join("manifest.txt")) else { return false };
-    let Ok(manifest) = Manifest::parse_text(&text) else { return false };
+/// Returns the parsed manifest so callers can reuse unchanged blobs
+/// (incremental checkpoints) or retire WAL records against it. A snapshot
+/// may only serve as a retention floor or blob-reuse source when it is
+/// demonstrably restorable.
+pub(crate) fn validated_manifest(lsn: u64, path: &Path) -> Option<Manifest> {
+    let text = fs::read_to_string(path.join("manifest.txt")).ok()?;
+    let manifest = Manifest::parse_text(&text).ok()?;
     if manifest.lsn != lsn {
-        return false;
+        return None;
     }
-    manifest.docs.iter().all(|d| {
+    let ok = manifest.docs.iter().all(|d| {
         fs::read_to_string(path.join(&d.file))
             .ok()
             .and_then(|text| DocBlob::parse_text(&text).ok())
             .is_some_and(|blob| blob.epoch == d.epoch)
-    })
+    });
+    ok.then_some(manifest)
 }
 
 /// Remove snapshot directories older than `keep_lsn`, plus stray `.tmp`
@@ -301,6 +491,37 @@ mod tests {
         bytes[15] ^= 0x01;
         assert!(Manifest::parse_text(&String::from_utf8(bytes).unwrap()).is_err());
         assert!(Manifest::parse_text("").is_err());
+    }
+
+    #[test]
+    fn store_snapshot_roundtrip_and_truncation() {
+        let store = Store::new();
+        let a = store.insert_named("a ms", corpus::figure1::goddag());
+        let b = store.insert(corpus::figure1::goddag());
+        store.bind_name("alias", b).unwrap();
+        let snap = StoreSnapshot::capture(&store, 17).unwrap();
+        let text = snap.to_text();
+        let again = StoreSnapshot::parse_text(&text).unwrap();
+        assert_eq!(again, snap);
+
+        let fresh = Store::new();
+        again.restore_into(&fresh).unwrap();
+        assert_eq!(fresh.doc_ids(), store.doc_ids());
+        assert_eq!(fresh.name_bindings(), store.name_bindings());
+        assert_eq!(fresh.next_doc_raw(), store.next_doc_raw());
+        assert_eq!(
+            fresh.with_doc(a, sacx::export_standoff).unwrap(),
+            store.with_doc(a, sacx::export_standoff).unwrap()
+        );
+
+        // Any truncation is detected (blob CRC, length bound, or the
+        // missing end marker), never silently half-loaded.
+        for mut cut in [text.len() - 1, text.len() - 5, text.len() / 2, 20] {
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            assert!(StoreSnapshot::parse_text(&text[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

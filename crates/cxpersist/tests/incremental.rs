@@ -1,0 +1,121 @@
+//! Incremental checkpoints: a document whose edit epoch is unchanged
+//! since the previous generation must reuse that generation's blob
+//! (hard-linked, same inode) — only dirty documents get new blobs.
+
+mod common;
+
+use common::TempDir;
+use cxpersist::{DurableStore, FsyncPolicy, Options};
+use cxstore::EditOp;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn snapshot_dirs(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let n = e.file_name().to_string_lossy().into_owned();
+            n.starts_with("snap-") && !n.ends_with(".tmp") && !n.ends_with(".bad")
+        })
+        .map(|e| e.path())
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(unix)]
+fn inode(path: &Path) -> u64 {
+    use std::os::unix::fs::MetadataExt;
+    fs::metadata(path).unwrap().ino()
+}
+
+#[test]
+fn only_dirty_docs_get_new_blobs() {
+    let dir = TempDir::new("incr");
+    let store = DurableStore::open_with(dir.path(), Options { fsync: FsyncPolicy::Never }).unwrap();
+    let a = store.insert_named("a", corpus::figure1::goddag()).unwrap();
+    let b = store.insert_named("b", corpus::figure1::goddag()).unwrap();
+    let c = store.insert_named("c", corpus::figure1::goddag()).unwrap();
+    store.edit(a, EditOp::InsertText { offset: 0, text: "gen1 ".into() }).unwrap();
+
+    // Generation 1: no previous snapshot, everything is fresh.
+    let info1 = store.checkpoint().unwrap();
+    assert_eq!((info1.docs, info1.fresh_docs, info1.reused_docs), (3, 3, 0));
+
+    // Touch only `a`; generation 2 must re-capture exactly `a`.
+    store.edit(a, EditOp::InsertText { offset: 0, text: "gen2 ".into() }).unwrap();
+    let info2 = store.checkpoint().unwrap();
+    assert_eq!(info2.docs, 3);
+    assert_eq!(info2.fresh_docs, 1, "only the dirty doc is re-captured");
+    assert_eq!(info2.reused_docs, 2);
+
+    let snaps = snapshot_dirs(dir.path());
+    assert_eq!(snaps.len(), 2, "both generations retained");
+    // Reused blobs are the same inode (hard link), the dirty one is not,
+    // and reuse is still byte-faithful.
+    #[cfg(unix)]
+    {
+        for doc in [b, c] {
+            let f = format!("doc-{}.blob", doc.raw());
+            assert_eq!(
+                inode(&snaps[0].join(&f)),
+                inode(&snaps[1].join(&f)),
+                "unchanged doc {doc} reuses the previous blob file"
+            );
+        }
+        let fa = format!("doc-{}.blob", a.raw());
+        assert_ne!(inode(&snaps[0].join(&fa)), inode(&snaps[1].join(&fa)));
+    }
+    for doc in [b, c] {
+        let f = format!("doc-{}.blob", doc.raw());
+        assert_eq!(fs::read(snaps[0].join(&f)).unwrap(), fs::read(snaps[1].join(&f)).unwrap());
+    }
+
+    // The incremental snapshot restores bit-for-bit: reopen from it.
+    let want: Vec<(u64, String)> = store
+        .store()
+        .doc_ids()
+        .into_iter()
+        .map(|id| (id.raw(), store.store().with_doc(id, sacx::export_standoff).unwrap()))
+        .collect();
+    drop(store);
+    let store = DurableStore::open(dir.path()).unwrap();
+    assert_eq!(store.recovery().replayed_ops, 0, "everything lives in the snapshot");
+    let got: Vec<(u64, String)> = store
+        .store()
+        .doc_ids()
+        .into_iter()
+        .map(|id| (id.raw(), store.store().with_doc(id, sacx::export_standoff).unwrap()))
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn corrupt_previous_generation_disables_reuse() {
+    let dir = TempDir::new("incr-corrupt");
+    let store = DurableStore::open_with(dir.path(), Options { fsync: FsyncPolicy::Never }).unwrap();
+    let a = store.insert_named("a", corpus::figure1::goddag()).unwrap();
+    store.insert_named("b", corpus::figure1::goddag()).unwrap();
+    store.checkpoint().unwrap();
+
+    // Bit-rot a blob of generation 1, then take generation 2.
+    let snaps = snapshot_dirs(dir.path());
+    let victim = snaps[0].join("doc-1.blob");
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    fs::write(&victim, &bytes).unwrap();
+
+    store.edit(a, EditOp::InsertText { offset: 0, text: "x ".into() }).unwrap();
+    let info = store.checkpoint().unwrap();
+    // The rotted generation fails validation, so nothing is reused from
+    // it — every blob is captured fresh (rot cannot launder forward).
+    assert_eq!((info.fresh_docs, info.reused_docs), (2, 0));
+
+    // And the new generation stands on its own.
+    drop(store);
+    let store = DurableStore::open(dir.path()).unwrap();
+    assert_eq!(store.store().len(), 2);
+    assert!(store.store().id_by_name("a").is_ok());
+}

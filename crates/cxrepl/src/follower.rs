@@ -1,0 +1,188 @@
+//! The replication loop: drive a transport, keep a replica converged.
+
+use crate::error::Result;
+use crate::replica::ReplicaStore;
+use crate::transport::{FetchResponse, LogTransport};
+use cxpersist::StoreSnapshot;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default per-fetch byte budget (the primary always ships at least one
+/// whole record regardless).
+const DEFAULT_BATCH_BYTES: usize = 1 << 20;
+
+/// What one [`Follower::sync_once`] round did.
+#[derive(Debug, Clone, Copy)]
+pub enum SyncProgress {
+    /// Nothing to fetch — the replica is at the primary's head.
+    CaughtUp,
+    /// A record batch applied.
+    Applied {
+        /// Records applied this round.
+        records: u64,
+        /// Whether the batch arrived torn (tail dropped, next round
+        /// re-requests it).
+        torn: bool,
+    },
+    /// A snapshot bootstrap installed.
+    SnapshotInstalled {
+        /// The snapshot's LSN (the replica's new position).
+        lsn: u64,
+    },
+}
+
+/// A follower: one replica plus the transport that feeds it. Use
+/// [`Follower::sync_once`]/[`Follower::catch_up`] to drive it explicitly
+/// (tests, benches, request-time freshness barriers) or
+/// [`Follower::spawn`] for a background tailing thread.
+pub struct Follower<T: LogTransport> {
+    replica: Arc<ReplicaStore>,
+    transport: T,
+    batch_bytes: usize,
+}
+
+impl<T: LogTransport> Follower<T> {
+    /// A follower feeding `replica` over `transport`.
+    pub fn new(replica: Arc<ReplicaStore>, transport: T) -> Follower<T> {
+        Follower { replica, transport, batch_bytes: DEFAULT_BATCH_BYTES }
+    }
+
+    /// Override the per-fetch byte budget.
+    pub fn with_batch_bytes(mut self, bytes: usize) -> Follower<T> {
+        self.batch_bytes = bytes.max(1);
+        self
+    }
+
+    /// The replica this follower feeds.
+    pub fn replica(&self) -> &Arc<ReplicaStore> {
+        &self.replica
+    }
+
+    /// Dissolve the follower, returning its transport — e.g. to reuse one
+    /// TCP connection for a sequence of replicas.
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    /// One fetch/apply round.
+    pub fn sync_once(&mut self) -> Result<SyncProgress> {
+        match self.transport.fetch(self.replica.last_applied(), self.batch_bytes)? {
+            FetchResponse::CaughtUp { head } => {
+                self.replica.observe_head(head);
+                Ok(SyncProgress::CaughtUp)
+            }
+            FetchResponse::Records { head, bytes } => {
+                self.replica.observe_head(head);
+                let b = self.replica.apply_batch(&bytes)?;
+                Ok(SyncProgress::Applied { records: b.applied, torn: b.torn })
+            }
+            FetchResponse::Snapshot { head, bytes } => {
+                let text = std::str::from_utf8(&bytes).map_err(|_| {
+                    crate::error::ReplError::Protocol("snapshot payload is not UTF-8".into())
+                })?;
+                let snap = StoreSnapshot::parse_text(text)?;
+                self.replica.observe_head(head);
+                self.replica.install_snapshot(&snap)?;
+                Ok(SyncProgress::SnapshotInstalled { lsn: snap.lsn })
+            }
+        }
+    }
+
+    /// Sync rounds until the primary reports caught-up. Returns records
+    /// applied (snapshot bootstraps not counted — they replace, not
+    /// apply).
+    pub fn catch_up(&mut self) -> Result<u64> {
+        let mut total = 0;
+        loop {
+            match self.sync_once()? {
+                SyncProgress::CaughtUp => return Ok(total),
+                SyncProgress::Applied { records, .. } => total += records,
+                SyncProgress::SnapshotInstalled { .. } => {}
+            }
+        }
+    }
+
+    /// Tail the primary on a background thread: sync until caught up,
+    /// sleep `poll`, repeat. *Transient* errors (a dead or restarting
+    /// primary, a torn connection) are absorbed and retried after `poll` —
+    /// the replica keeps serving reads at its last applied state
+    /// throughout, which is exactly the availability contract that makes
+    /// promotion possible. *Terminal* errors — [`ReplError::Diverged`] and
+    /// [`ReplError::Gap`], which no retry of the same stream can ever heal
+    /// — park the loop and surface through
+    /// [`FollowerHandle::terminal_error`]: a diverged replica must read as
+    /// *failed*, not as quietly stale.
+    pub fn spawn(self, poll: Duration) -> FollowerHandle
+    where
+        T: 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let replica = Arc::clone(&self.replica);
+        let stop2 = Arc::clone(&stop);
+        let terminal: Arc<Mutex<Option<crate::error::ReplError>>> = Arc::default();
+        let terminal2 = Arc::clone(&terminal);
+        let thread = std::thread::spawn(move || {
+            let mut f = self;
+            while !stop2.load(Ordering::Relaxed) {
+                match f.sync_once() {
+                    Ok(SyncProgress::Applied { .. })
+                    | Ok(SyncProgress::SnapshotInstalled { .. }) => {}
+                    Ok(SyncProgress::CaughtUp) => std::thread::sleep(poll),
+                    Err(
+                        e @ (crate::error::ReplError::Diverged { .. }
+                        | crate::error::ReplError::Gap { .. }),
+                    ) => {
+                        *terminal2.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                            Some(e);
+                        return;
+                    }
+                    Err(_) => {
+                        // The primary is unreachable (or mid-restart):
+                        // back off and retry.
+                        std::thread::sleep(poll);
+                    }
+                }
+            }
+        });
+        FollowerHandle { stop, thread, replica, terminal }
+    }
+}
+
+/// Handle to a background follower thread.
+pub struct FollowerHandle {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+    replica: Arc<ReplicaStore>,
+    terminal: Arc<Mutex<Option<crate::error::ReplError>>>,
+}
+
+impl FollowerHandle {
+    /// The replica the background thread feeds.
+    pub fn replica(&self) -> &Arc<ReplicaStore> {
+        &self.replica
+    }
+
+    /// The terminal error that parked the tailing loop, if any
+    /// (divergence or a stream gap). `None` means the loop is live —
+    /// healthy or merely retrying a transient failure. A parked replica
+    /// still serves reads at its last applied state, but it will never
+    /// advance; re-bootstrap or promote it.
+    pub fn terminal_error(&self) -> Option<String> {
+        self.terminal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .map(|e| e.to_string())
+    }
+
+    /// Stop the loop and join the thread, returning the replica (its Arc
+    /// count drops with the thread, so a caller holding the last clone can
+    /// promote it).
+    pub fn stop(self) -> Arc<ReplicaStore> {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.thread.join();
+        self.replica
+    }
+}

@@ -1,0 +1,277 @@
+//! The cross-process transport: length-prefixed frames over std TCP.
+//!
+//! Wire format (all integers big-endian):
+//!
+//! ```text
+//! request  := after:u64  max_bytes:u32                    (12 bytes)
+//! response := kind:u8  head:u64  len:u32  payload:[len]   (13 + len bytes)
+//! kind     := 0 caught-up | 1 records | 2 snapshot
+//!           | 3 error (utf-8 detail, transient — the follower retries)
+//!           | 4 diverged (utf-8 detail, terminal — the follower parks)
+//! ```
+//!
+//! One [`TcpReplServer`] serves any number of followers, one handler
+//! thread per connection, requests answered in order per connection. The
+//! payloads are exactly what the in-process transport carries — the WAL
+//! codec's self-framed records and the wire-snapshot text — so torn-tail
+//! tolerance and CRC verification are identical on both transports; the
+//! frame length only tells the client how much to read, the records
+//! defend themselves.
+
+use crate::error::{ReplError, Result};
+use crate::primary::Primary;
+use crate::transport::{FetchResponse, LogTransport};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const KIND_CAUGHT_UP: u8 = 0;
+const KIND_RECORDS: u8 = 1;
+const KIND_SNAPSHOT: u8 = 2;
+const KIND_ERROR: u8 = 3;
+/// Split history: preserved as [`ReplError::Diverged`] across the wire so
+/// the follower's loop parks instead of retrying an unhealable stream.
+const KIND_DIVERGED: u8 = 4;
+
+/// How long a peer that has started a frame may stall before the
+/// connection is declared dead. Bounds both the server handler (client
+/// died mid-request) and the client fetch (primary died mid-response) —
+/// a half-open connection must never hang a follower thread forever.
+const FRAME_STALL_LIMIT: Duration = Duration::from_secs(15);
+
+/// Hard ceiling on response payloads accepted by the client (a malformed
+/// length cannot force an absurd allocation).
+const MAX_FRAME: u32 = 1 << 30;
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// A log-shipping listener: accepts follower connections and answers
+/// fetches from a shared [`Primary`].
+pub struct TcpReplServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpReplServer {
+    /// Bind and start serving (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port; read the actual address back with [`TcpReplServer::addr`]).
+    pub fn bind(primary: Arc<Primary>, addr: impl ToSocketAddrs) -> std::io::Result<TcpReplServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop2.load(Ordering::Relaxed) {
+                // Reap finished handlers so reconnecting followers (every
+                // transport error drops and re-dials) don't accumulate
+                // dead handles over a long-lived primary.
+                handlers.retain(|h| !h.is_finished());
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let primary = Arc::clone(&primary);
+                        let stop = Arc::clone(&stop2);
+                        handlers.push(std::thread::spawn(move || {
+                            let _ = serve_connection(&primary, stream, &stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+        });
+        Ok(TcpReplServer { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (followers connect here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and serving. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpReplServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn serve_connection(
+    primary: &Primary,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // Short read timeout so an idle connection re-checks the stop flag;
+    // once a request's first byte arrives, the rest is read to completion.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut req = [0u8; 12];
+    while !stop.load(Ordering::Relaxed) {
+        match stream.read(&mut req[..1]) {
+            Ok(0) => return Ok(()), // follower hung up
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) => return Err(e),
+        }
+        read_full(&mut stream, &mut req[1..])?;
+        let after = u64::from_be_bytes(req[..8].try_into().unwrap());
+        let max_bytes = u32::from_be_bytes(req[8..12].try_into().unwrap()) as usize;
+        let (kind, head, payload) = match primary.handle_fetch(after, max_bytes) {
+            Ok(FetchResponse::CaughtUp { head }) => (KIND_CAUGHT_UP, head, Vec::new()),
+            Ok(FetchResponse::Records { head, bytes }) => (KIND_RECORDS, head, bytes),
+            Ok(FetchResponse::Snapshot { head, bytes }) => (KIND_SNAPSHOT, head, bytes),
+            Err(e @ ReplError::Diverged { .. }) => (KIND_DIVERGED, 0, e.to_string().into_bytes()),
+            Err(e) => (KIND_ERROR, 0, e.to_string().into_bytes()),
+        };
+        let mut header = [0u8; 13];
+        header[0] = kind;
+        header[1..9].copy_from_slice(&head.to_be_bytes());
+        header[9..13].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+        stream.write_all(&header)?;
+        stream.write_all(&payload)?;
+        stream.flush()?;
+    }
+    Ok(())
+}
+
+/// `read_exact` that rides out read timeouts mid-frame (the peer already
+/// committed to sending the whole frame) — but only up to
+/// [`FRAME_STALL_LIMIT`] without progress, so a half-open connection (peer
+/// powered off, network partition — no FIN ever arrives) fails the fetch
+/// instead of hanging the calling thread forever.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+    let mut done = 0;
+    let mut last_progress = std::time::Instant::now();
+    while done < buf.len() {
+        match stream.read(&mut buf[done..]) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(n) => {
+                done += n;
+                last_progress = std::time::Instant::now();
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if last_progress.elapsed() > FRAME_STALL_LIMIT {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "peer stalled mid-frame; connection presumed dead",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// The follower side of the TCP transport. Reconnects lazily: a fetch
+/// against a dead primary fails with [`ReplError::Io`], the follower loop
+/// retries, and the next fetch after the primary returns re-establishes
+/// the connection.
+pub struct TcpTransport {
+    addr: SocketAddr,
+    conn: Option<TcpStream>,
+}
+
+impl TcpTransport {
+    /// A transport for the server at `addr`. Does not connect yet — the
+    /// first fetch does.
+    pub fn new(addr: SocketAddr) -> TcpTransport {
+        TcpTransport { addr, conn: None }
+    }
+
+    /// A transport that eagerly connects (fails fast on a bad address).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpTransport> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no address resolved"))?;
+        let mut t = TcpTransport::new(addr);
+        t.ensure_connected()?;
+        Ok(t)
+    }
+
+    fn ensure_connected(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            self.conn = Some(stream);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+}
+
+impl LogTransport for TcpTransport {
+    fn fetch(&mut self, after: u64, max_bytes: usize) -> Result<FetchResponse> {
+        let result = (|| -> std::io::Result<(u8, u64, Vec<u8>)> {
+            let stream = self.ensure_connected()?;
+            let mut req = [0u8; 12];
+            req[..8].copy_from_slice(&after.to_be_bytes());
+            req[8..12].copy_from_slice(&(max_bytes.min(u32::MAX as usize) as u32).to_be_bytes());
+            stream.write_all(&req)?;
+            stream.flush()?;
+            let mut header = [0u8; 13];
+            read_full(stream, &mut header)?;
+            let kind = header[0];
+            let head = u64::from_be_bytes(header[1..9].try_into().unwrap());
+            let len = u32::from_be_bytes(header[9..13].try_into().unwrap());
+            if len > MAX_FRAME {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("response frame of {len} bytes exceeds the {MAX_FRAME} cap"),
+                ));
+            }
+            let mut payload = vec![0u8; len as usize];
+            read_full(stream, &mut payload)?;
+            Ok((kind, head, payload))
+        })();
+        let (kind, head, payload) = match result {
+            Ok(frame) => frame,
+            Err(e) => {
+                // Poisoned stream state (half-read frame): reconnect next
+                // time rather than misparse.
+                self.conn = None;
+                return Err(ReplError::Io(e));
+            }
+        };
+        match kind {
+            KIND_CAUGHT_UP => Ok(FetchResponse::CaughtUp { head }),
+            KIND_RECORDS => Ok(FetchResponse::Records { head, bytes: payload }),
+            KIND_SNAPSHOT => Ok(FetchResponse::Snapshot { head, bytes: payload }),
+            KIND_DIVERGED => {
+                Err(ReplError::Diverged { detail: String::from_utf8_lossy(&payload).into_owned() })
+            }
+            KIND_ERROR => Err(ReplError::Remote(String::from_utf8_lossy(&payload).into_owned())),
+            other => {
+                self.conn = None;
+                Err(ReplError::Protocol(format!("unknown response kind {other}")))
+            }
+        }
+    }
+}

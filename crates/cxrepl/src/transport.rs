@@ -1,0 +1,77 @@
+//! The shipping abstraction: how a follower's fetch reaches a primary.
+//!
+//! A [`LogTransport`] carries exactly one request shape — "give me what
+//! follows LSN `after`, up to `max_bytes`" — and one response shape,
+//! [`FetchResponse`]. Everything else (framing tolerance, gap detection,
+//! epoch verification) lives in the replica, so a transport can be as dumb
+//! as a function call ([`InProcessTransport`]) or a socket
+//! ([`TcpTransport`](crate::TcpTransport)) without changing replication
+//! semantics.
+
+use crate::error::Result;
+use crate::primary::Primary;
+use std::sync::Arc;
+
+/// A primary's answer to one fetch.
+#[derive(Debug)]
+pub enum FetchResponse {
+    /// Nothing past the requested LSN — the follower is caught up.
+    CaughtUp {
+        /// The primary's head LSN (equals the requested LSN).
+        head: u64,
+    },
+    /// Raw WAL record bytes: each record self-framed and CRC'd by the WAL
+    /// codec, LSNs contiguous from the requested LSN + 1. A torn tail
+    /// (truncated in flight) is detected by the replica's batch scan and
+    /// re-requested — see [`cxpersist::scan_batch`].
+    Records {
+        /// The primary's head LSN at response time (drives lag
+        /// accounting).
+        head: u64,
+        /// The record bytes.
+        bytes: Vec<u8>,
+    },
+    /// The requested LSN predates the primary's oldest retained record:
+    /// a full [`cxpersist::StoreSnapshot`] in wire-text form. The follower
+    /// installs it and continues fetching from its LSN.
+    Snapshot {
+        /// The snapshot's LSN (also the primary's head at capture).
+        head: u64,
+        /// `StoreSnapshot::to_text` bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// One hop from a follower to a primary's log.
+pub trait LogTransport: Send {
+    /// Request everything after `after`, up to roughly `max_bytes` of
+    /// record payload per batch.
+    fn fetch(&mut self, after: u64, max_bytes: usize) -> Result<FetchResponse>;
+}
+
+impl LogTransport for Box<dyn LogTransport> {
+    fn fetch(&mut self, after: u64, max_bytes: usize) -> Result<FetchResponse> {
+        (**self).fetch(after, max_bytes)
+    }
+}
+
+/// The zero-copy transport: follower and primary share a process, the
+/// fetch is a function call. This is the deployment shape for read
+/// replicas inside one server process (and the test/bench harness on a
+/// single-CPU container, where a socket would only add latency).
+pub struct InProcessTransport {
+    primary: Arc<Primary>,
+}
+
+impl InProcessTransport {
+    /// A transport serving from `primary`.
+    pub fn new(primary: Arc<Primary>) -> InProcessTransport {
+        InProcessTransport { primary }
+    }
+}
+
+impl LogTransport for InProcessTransport {
+    fn fetch(&mut self, after: u64, max_bytes: usize) -> Result<FetchResponse> {
+        self.primary.handle_fetch(after, max_bytes)
+    }
+}

@@ -1,0 +1,127 @@
+//! Torn-batch shipping: a replica that receives a batch cut at *every*
+//! byte boundary must apply exactly the whole records of the prefix,
+//! discard the tail, re-request from its last applied LSN, and converge
+//! byte-identical — the crash_sim truncation discipline, applied to the
+//! wire instead of the disk.
+
+mod common;
+
+use common::TempDir;
+use cxpersist::{DurableStore, FsyncPolicy, Options};
+use cxrepl::{FetchResponse, Follower, InProcessTransport, LogTransport, Primary, ReplicaStore};
+use cxstore::EditOp;
+use std::sync::Arc;
+
+/// A transport that truncates the first `Records` response at a fixed
+/// byte offset — everything after passes through untouched.
+struct Truncating {
+    inner: InProcessTransport,
+    cut: usize,
+    fired: bool,
+}
+
+impl LogTransport for Truncating {
+    fn fetch(&mut self, after: u64, max_bytes: usize) -> cxrepl::Result<FetchResponse> {
+        let resp = self.inner.fetch(after, max_bytes)?;
+        match resp {
+            FetchResponse::Records { head, mut bytes } if !self.fired => {
+                self.fired = true;
+                bytes.truncate(self.cut);
+                Ok(FetchResponse::Records { head, bytes })
+            }
+            other => Ok(other),
+        }
+    }
+}
+
+/// A tiny primary: one small doc (record 1) + four text edits (2..=5),
+/// so the full batch stays a few hundred bytes and the sweep stays fast.
+fn tiny_primary(dir: &TempDir) -> Arc<Primary> {
+    let durable =
+        DurableStore::open_with(dir.path(), Options { fsync: FsyncPolicy::Never }).unwrap();
+    let g = sacx::parse_distributed(&[("a", "<r><w>swa</w> hwa</r>")]).unwrap();
+    let id = durable.insert_named("d", g).unwrap();
+    for i in 0..4 {
+        durable.edit(id, EditOp::InsertText { offset: 0, text: format!("t{i} ") }).unwrap();
+    }
+    Arc::new(Primary::new(Arc::new(durable)))
+}
+
+#[test]
+fn every_byte_cut_drops_only_the_tail_and_reconverges() {
+    let dir = TempDir::new("torn");
+    let primary = tiny_primary(&dir);
+    let want = primary
+        .durable()
+        .store()
+        .with_doc(primary.durable().store().id_by_name("d").unwrap(), sacx::export_standoff)
+        .unwrap();
+
+    // The full batch, with per-record boundaries for exactness checks.
+    let full = match primary.handle_fetch(0, usize::MAX).unwrap() {
+        FetchResponse::Records { bytes, .. } => bytes,
+        other => panic!("expected records, got {other:?}"),
+    };
+    let mut boundaries = vec![0usize];
+    {
+        let mut pos = 0;
+        while pos < full.len() {
+            let (_, used) = cxpersist::decode_record(&full[pos..], 0).unwrap();
+            pos += used;
+            boundaries.push(pos);
+        }
+    }
+    assert_eq!(*boundaries.last().unwrap(), full.len());
+    assert_eq!(boundaries.len() - 1, 5, "one insert + four edits");
+
+    for cut in 0..=full.len() {
+        // Whole records below the cut — exactly these must apply.
+        let whole = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count() as u64;
+
+        let replica = Arc::new(ReplicaStore::new());
+        let out = replica.apply_batch(&full[..cut]).unwrap();
+        assert_eq!(out.applied, whole, "cut at {cut}");
+        assert_eq!(out.torn, !boundaries.contains(&cut), "cut at {cut}");
+        assert_eq!(replica.last_applied(), whole, "cut at {cut}");
+
+        // Re-request from the last applied LSN: the remainder applies and
+        // the replica converges byte-identical.
+        let mut follower =
+            Follower::new(Arc::clone(&replica), InProcessTransport::new(Arc::clone(&primary)));
+        let rest = follower.catch_up().unwrap();
+        assert_eq!(whole + rest, 5, "cut at {cut}: every record applies exactly once");
+        let got = replica
+            .store()
+            .with_doc(replica.store().id_by_name("d").unwrap(), sacx::export_standoff)
+            .unwrap();
+        assert_eq!(got, want, "cut at {cut}");
+    }
+}
+
+#[test]
+fn follower_loop_rides_out_a_torn_batch_transparently() {
+    let dir = TempDir::new("torn-loop");
+    let primary = tiny_primary(&dir);
+    // Cut mid-way through the batch (inside some record body).
+    let full_len = match primary.handle_fetch(0, usize::MAX).unwrap() {
+        FetchResponse::Records { bytes, .. } => bytes.len(),
+        other => panic!("expected records, got {other:?}"),
+    };
+    let replica = Arc::new(ReplicaStore::new());
+    let mut follower = Follower::new(
+        Arc::clone(&replica),
+        Truncating {
+            inner: InProcessTransport::new(Arc::clone(&primary)),
+            cut: full_len / 2,
+            fired: false,
+        },
+    );
+    follower.catch_up().unwrap();
+    assert_eq!(replica.torn_batches(), 1, "the torn batch was observed and absorbed");
+    assert_eq!(replica.last_applied(), primary.durable().last_lsn());
+    let id = replica.store().id_by_name("d").unwrap();
+    assert_eq!(
+        replica.store().with_doc(id, sacx::export_standoff).unwrap(),
+        primary.durable().store().with_doc(id, sacx::export_standoff).unwrap(),
+    );
+}

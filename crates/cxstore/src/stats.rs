@@ -79,6 +79,14 @@ pub struct StoreStats {
     pub replayed_ops: u64,
     /// Documents restored from the newest snapshot during recovery.
     pub recovered_docs: u64,
+    /// Log records shipped to replication followers (primaries; 0
+    /// elsewhere).
+    pub repl_records_shipped: u64,
+    /// Shipped log records applied to this store (replicas; 0 elsewhere).
+    pub repl_records_applied: u64,
+    /// Replication lag in records: the last known primary head LSN minus
+    /// the last applied LSN (replicas; 0 elsewhere).
+    pub repl_lag: u64,
 }
 
 impl StoreStats {

@@ -527,6 +527,44 @@ impl Store {
         Ok(result)
     }
 
+    /// Apply one [`EditOp`] *without* the prevalidation gate — the apply
+    /// path of replication followers, which replay operations a primary
+    /// already validated (gate-rejected edits never reach a primary's log,
+    /// so re-running the gate here would re-pay prevalidation for nothing).
+    /// Hierarchy resolution and tag syntax are still checked, and
+    /// structural failures (e.g. crossing markup inside one hierarchy)
+    /// surface exactly as they do on the primary — the determinism the
+    /// recovery path already relies on. The caller is responsible for
+    /// ordering (applying records in LSN order) and for epoch
+    /// verification; this method only executes the mutation.
+    pub fn apply_replicated(&self, id: DocId, op: EditOp) -> Result<EditOutcome> {
+        let entry = self.entry(id)?;
+        let mut g = entry.write();
+        let resolved = Self::resolve_insert(&g, &op)?;
+        let result = self.apply(&mut g, op, resolved);
+        match &result {
+            Ok(_) => Counters::bump(&self.counters.edits),
+            Err(_) => Counters::bump(&self.counters.edits_rejected),
+        }
+        result
+    }
+
+    /// Resolve an `InsertElement`'s hierarchy and tag syntax — shared by
+    /// the gated edit path and the replication apply path so structural
+    /// verdicts stay deterministic between primary, recovery, and
+    /// replicas. `None` for every other op.
+    fn resolve_insert(g: &Goddag, op: &EditOp) -> Result<Option<(goddag::HierarchyId, QName)>> {
+        let EditOp::InsertElement { hierarchy, tag, .. } = op else {
+            return Ok(None);
+        };
+        let h = g
+            .hierarchy_by_name(hierarchy)
+            .ok_or_else(|| StoreError::UnknownHierarchy(hierarchy.clone()))?;
+        let name = QName::parse(tag)
+            .map_err(|_| StoreError::EditRejected(format!("invalid tag {tag:?}")))?;
+        Ok(Some((h, name)))
+    }
+
     /// The pure pre-mutation checks for an op: hierarchy existence, tag
     /// syntax, and the prevalidation gate for `InsertElement` into a
     /// hierarchy that carries a DTD. Runs before the WAL append so rejected
@@ -538,14 +576,12 @@ impl Store {
         g: &Goddag,
         op: &EditOp,
     ) -> Result<Option<(goddag::HierarchyId, QName)>> {
-        let EditOp::InsertElement { hierarchy, tag, start, end, .. } = op else {
+        let Some((h, name)) = Self::resolve_insert(g, op)? else {
             return Ok(None);
         };
-        let h = g
-            .hierarchy_by_name(hierarchy)
-            .ok_or_else(|| StoreError::UnknownHierarchy(hierarchy.clone()))?;
-        let name = QName::parse(tag)
-            .map_err(|_| StoreError::EditRejected(format!("invalid tag {tag:?}")))?;
+        let EditOp::InsertElement { tag, start, end, .. } = op else {
+            unreachable!("resolve_insert only resolves InsertElement")
+        };
         if let Some(engine) = entry.engine_for(g, h) {
             // One reusable check context per gated edit: the host partition
             // and wrap tables are built once and the tag is tested against
