@@ -1,0 +1,140 @@
+//! `cxcluster` benchmarks: what write sharding costs and buys.
+//!
+//! Series:
+//! * `cluster/edit/{shards}` — routed gated text edits round-robin across
+//!   the corpus, 1 shard (the single-primary baseline: routing overhead
+//!   only) vs 4 shards. On multi-core hardware the 4-shard number also
+//!   shows WAL appends no longer serializing on one mutex.
+//! * `cluster/query_all/{shards}` — one fan-out batch query over the same
+//!   12-document corpus, partitioned 1 way vs 4 ways.
+//! * `cluster/move_doc` — one full migration (capture → durable hand-off
+//!   → route swap → tombstone) of a 200-word manuscript.
+//!
+//! All stores live under unique directories in the system temp dir and
+//! are removed when the bench finishes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cxcluster::{Cluster, ShardId};
+use cxpersist::{FsyncPolicy, Options};
+use cxstore::{DocId, EditOp};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// Unique scratch directory (cleaned by `Scratch::drop`).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let path = std::env::temp_dir().join(format!(
+            "cxcluster-bench-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        Scratch(path)
+    }
+
+    fn shard_dirs(&self, n: usize) -> Vec<PathBuf> {
+        (0..n).map(|i| self.0.join(format!("shard-{i}"))).collect()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn corpus_cluster(
+    scratch: &Scratch,
+    shards: usize,
+    docs: usize,
+    words: usize,
+) -> (Cluster, Vec<DocId>) {
+    let cluster =
+        Cluster::open(scratch.shard_dirs(shards), Options { fsync: FsyncPolicy::Never }).unwrap();
+    let ids = (0..docs)
+        .map(|i| {
+            cluster
+                .insert(
+                    corpus::generate(&corpus::Params {
+                        words,
+                        seed: i as u64,
+                        ..corpus::Params::default()
+                    })
+                    .goddag,
+                )
+                .unwrap()
+        })
+        .collect();
+    (cluster, ids)
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    const EDITS: usize = 200;
+
+    // Routed edit throughput: 1 primary vs 4.
+    for shards in [1usize, 4] {
+        let scratch = Scratch::new("edit");
+        let (cluster, ids) = corpus_cluster(&scratch, shards, 8, 100);
+        let mut k = 0usize;
+        group.throughput(Throughput::Elements(EDITS as u64));
+        group.bench_function(BenchmarkId::new("edit", shards), |b| {
+            b.iter(|| {
+                for _ in 0..EDITS {
+                    let id = ids[k % ids.len()];
+                    cluster.edit(id, EditOp::InsertText { offset: 0, text: "x ".into() }).unwrap();
+                    k += 1;
+                }
+            });
+        });
+    }
+
+    // Fan-out batch query: same 12 documents, partitioned 1 way vs 4.
+    for shards in [1usize, 4] {
+        let scratch = Scratch::new("query");
+        let (cluster, ids) = corpus_cluster(&scratch, shards, 12, 100);
+        cluster.query_all("//w").unwrap(); // warm indexes + compiled query
+        group.throughput(Throughput::Elements(ids.len() as u64));
+        group.bench_function(BenchmarkId::new("query_all", shards), |b| {
+            b.iter(|| {
+                let hits = cluster.query_all(black_box("//w")).unwrap();
+                assert_eq!(hits.len(), ids.len());
+                hits
+            });
+        });
+    }
+
+    // Migration latency: bounce one 200-word manuscript between shards.
+    {
+        let scratch = Scratch::new("move");
+        let (cluster, _) = corpus_cluster(&scratch, 4, 4, 100);
+        let big = cluster
+            .insert(
+                corpus::generate(&corpus::Params { words: 200, ..corpus::Params::default() })
+                    .goddag,
+            )
+            .unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("move_doc", |b| {
+            b.iter(|| {
+                let to = ShardId((cluster.shard_of(big).0 + 1) % 4);
+                cluster.move_doc(black_box(big), to).unwrap()
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

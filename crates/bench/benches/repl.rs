@@ -113,6 +113,24 @@ fn bench_repl(c: &mut Criterion) {
         server.shutdown();
     }
 
+    // Steady-state tail cost as the un-checkpointed log grows 10×: a
+    // caught-up follower fetches the last few records. With the WAL offset
+    // cache this seeks (O(slice)); without it, every fetch re-scanned the
+    // whole file (O(file)) — the flat line across sizes is the acceptance
+    // criterion.
+    for lag in [1_000usize, 10_000] {
+        let scratch = Scratch::new("tail-steady");
+        let (primary, _) = lagged_primary(&scratch, lag);
+        let head = primary.durable().last_lsn();
+        let after = head - 10;
+        // Prime the offset cache the way a tailing follower would.
+        primary.durable().wal_tail(after, usize::MAX).unwrap();
+        group.throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::new("tail_steady", lag), |b| {
+            b.iter(|| primary.durable().wal_tail(black_box(after), usize::MAX).unwrap());
+        });
+    }
+
     // Fresh-follower snapshot bootstrap (records retired by checkpoints).
     {
         let scratch = Scratch::new("bootstrap");

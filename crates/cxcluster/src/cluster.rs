@@ -1,0 +1,616 @@
+//! The cluster: N durable primaries behind one store-shaped façade.
+
+use crate::error::{ClusterError, Result};
+use crate::router::{Router, ShardId};
+use cxpersist::{CheckpointInfo, DocBlob, DurableStore, Options};
+use cxrepl::Primary;
+use cxstore::{DocId, EditOp, EditOutcome, StoreError, StoreStats};
+use goddag::Goddag;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+
+/// A write-sharded cluster of [`DurableStore`] primaries.
+///
+/// Each document is **owned by exactly one shard** — the partitioned-
+/// ownership design, not conflict resolution — so the prevalidation gate
+/// and the per-document WAL epoch chain are exactly as strong as on a
+/// single primary: every gated edit runs on the one store that holds the
+/// document, under its write lock, logged to that shard's WAL.
+///
+/// * **Routing** is deterministic ([`Router`]): inserts mint ids from
+///   per-shard residue classes, so `raw % n` finds every unmoved document
+///   without a table; moved documents carry an override entry.
+/// * **Names** get a cluster-level directory so [`Cluster::id_by_name`] /
+///   [`Cluster::remove_named`] route correctly; the authoritative bindings
+///   live durably on the owning shard (and move with the document).
+/// * **Reads** ([`Cluster::query`], [`Cluster::with_doc`], …) never block
+///   on rebalancing: they route, and if the document moved underneath them
+///   they re-route — mid-migration the document is reachable on exactly
+///   one side of the swap at all times.
+/// * **Writes** hold a shared **migration gate**; [`Cluster::move_doc`]
+///   holds it exclusively while it captures the document ([`DocBlob`] +
+///   epoch, under the doc lock), lands it durably on the target
+///   ([`DurableStore::receive_doc`] — the commit point), swaps the routing
+///   entry and tombstones the source. A crash at any step leaves the
+///   document recoverable on at least one shard with identical bytes;
+///   [`Cluster::assemble`] resolves a both-sides residue deterministically.
+/// * **Fan-out** ([`Cluster::query_all`], [`Cluster::doc_ids`], stats) runs
+///   one scoped thread per shard and merges by id — deterministic because
+///   ownership is exclusive and ids are unique.
+pub struct Cluster {
+    shards: Vec<Arc<DurableStore>>,
+    /// Lazily-built `cxrepl` shipping endpoints, one per shard, so each
+    /// primary can front its own replica set.
+    primaries: Vec<OnceLock<Arc<Primary>>>,
+    router: Router,
+    /// The cluster-level name directory (`name → owning document`).
+    names: RwLock<HashMap<String, DocId>>,
+    /// Migration gate: mutators shared, `move_doc` exclusive. Reads do not
+    /// take it.
+    gate: RwLock<()>,
+    /// Round-robin cursor for placing new documents.
+    next_insert: AtomicU64,
+    docs_moved: AtomicU64,
+}
+
+/// One batch-query result set: per-document node hits, keyed by handle.
+type BatchHits = Vec<(DocId, Vec<goddag::NodeId>)>;
+
+fn read_gate(gate: &RwLock<()>) -> std::sync::RwLockReadGuard<'_, ()> {
+    gate.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_gate(gate: &RwLock<()>) -> std::sync::RwLockWriteGuard<'_, ()> {
+    gate.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Cluster {
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Build a cluster over already-open primaries.
+    ///
+    /// Assembly derives all cluster state from the shards themselves (no
+    /// separate routing artifact exists to go stale): the override table
+    /// from where documents actually live, the name directory from the
+    /// shards' durable bindings. A document found on **two** shards is the
+    /// residue of a migration that crashed between the target's durable
+    /// insert and the source's tombstone — both copies are byte-identical
+    /// (the migration gate kept writers out) — and is resolved
+    /// deterministically: the higher edit epoch wins; on the inevitable
+    /// tie, the copy *off* its home shard (the migration's commit side).
+    /// The winner absorbs any name bindings the loser still held, the
+    /// loser is removed durably.
+    pub fn assemble(shards: Vec<Arc<DurableStore>>) -> Result<Cluster> {
+        if shards.is_empty() {
+            return Err(ClusterError::Config("a cluster needs at least one shard".into()));
+        }
+        let router = Router::new(shards.len());
+
+        // Where does every document live?
+        let mut holders: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (s, shard) in shards.iter().enumerate() {
+            for id in shard.store().doc_ids() {
+                holders.entry(id.raw()).or_default().push(s);
+            }
+        }
+
+        for (&raw, held) in &holders {
+            let id = DocId::from_raw(raw);
+            let winner = if held.len() == 1 {
+                held[0]
+            } else {
+                // Crashed migration: pick the winner, heal its names from
+                // every copy, drop the losers.
+                let home = router.home_shard(id).0;
+                let &winner = held
+                    .iter()
+                    .max_by_key(|&&s| {
+                        let epoch = shards[s].store().epoch(id).unwrap_or(0);
+                        (epoch, s != home, s)
+                    })
+                    .expect("held is non-empty");
+                let winner_names: Vec<String> = doc_names(&shards[winner], id);
+                for &s in held {
+                    if s == winner {
+                        continue;
+                    }
+                    for name in doc_names(&shards[s], id) {
+                        if !winner_names.contains(&name) {
+                            shards[winner].bind_name(name, id)?;
+                        }
+                    }
+                    shards[s].remove(id)?;
+                }
+                winner
+            };
+            if winner != router.home_shard(id).0 {
+                router.route(id, ShardId(winner));
+            }
+        }
+
+        // The name directory: union of the shards' bindings. A name bound
+        // on two shards (a cross-shard rebind that crashed between the new
+        // bind and the old unbind — or hand-assembled shards) resolves to
+        // the lowest shard deterministically; the other bindings are
+        // retired durably so the conflict cannot resurface.
+        let mut names: HashMap<String, DocId> = HashMap::new();
+        for shard in &shards {
+            for (name, id) in shard.store().name_bindings() {
+                match names.entry(name) {
+                    Entry::Occupied(e) => {
+                        // The lowest shard won; retire this binding.
+                        shard.unbind_name(e.key())?;
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(id);
+                    }
+                }
+            }
+        }
+
+        let primaries = shards.iter().map(|_| OnceLock::new()).collect();
+        Ok(Cluster {
+            shards,
+            primaries,
+            router,
+            names: RwLock::new(names),
+            gate: RwLock::new(()),
+            next_insert: AtomicU64::new(0),
+            docs_moved: AtomicU64::new(0),
+        })
+    }
+
+    /// Open (or create) one [`DurableStore`] per directory and assemble
+    /// them. Shard identity is positional: reopen a cluster with its
+    /// directories in the same order.
+    pub fn open<I>(dirs: I, options: Options) -> Result<Cluster>
+    where
+        I: IntoIterator,
+        I::Item: Into<PathBuf>,
+    {
+        let mut shards = Vec::new();
+        for dir in dirs {
+            shards.push(Arc::new(DurableStore::open_with(dir, options.clone())?));
+        }
+        Cluster::assemble(shards)
+    }
+
+    // ------------------------------------------------------------------
+    // Topology
+    // ------------------------------------------------------------------
+
+    /// Number of primaries.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The primaries, by shard index.
+    pub fn shards(&self) -> &[Arc<DurableStore>] {
+        &self.shards
+    }
+
+    /// One primary's durable store.
+    pub fn shard(&self, shard: ShardId) -> Result<&Arc<DurableStore>> {
+        self.shards.get(shard.0).ok_or(ClusterError::NoSuchShard(shard.0))
+    }
+
+    /// Where a document lives right now.
+    pub fn shard_of(&self, id: DocId) -> ShardId {
+        self.router.shard_of(id)
+    }
+
+    /// The routing table (see [`Router`]).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The shard's `cxrepl` shipping endpoint, created on first use — wire
+    /// per-shard followers with
+    /// `Follower::new(replica, InProcessTransport::new(cluster.primary(s)?))`
+    /// or serve it over a `TcpReplServer`. Each shard replicates its own
+    /// WAL independently; a follower of shard `s` converges to exactly the
+    /// documents `s` owns.
+    pub fn primary(&self, shard: ShardId) -> Result<Arc<Primary>> {
+        let durable = self.shard(shard)?;
+        Ok(Arc::clone(
+            self.primaries[shard.0].get_or_init(|| Arc::new(Primary::new(Arc::clone(durable)))),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Registry
+    // ------------------------------------------------------------------
+
+    /// Add a document, placing it round-robin across the shards. The
+    /// minted id is congruent to the owning shard's index, so routing it
+    /// needs no table entry.
+    pub fn insert(&self, g: Goddag) -> Result<DocId> {
+        let _shared = read_gate(&self.gate);
+        let (shard, n, residue) = self.place();
+        shard.insert_aligned(None, g, n, residue).map_err(ClusterError::from)
+    }
+
+    /// Add a document under a name (replacing any previous cluster-wide
+    /// binding of that name; if the old binding lived on another shard it
+    /// is unbound there first, so a crash mid-rebind leaves the name
+    /// unbound, never split between shards).
+    pub fn insert_named(&self, name: impl Into<String>, g: Goddag) -> Result<DocId> {
+        let _shared = read_gate(&self.gate);
+        let name = name.into();
+        let mut names = self.names_write();
+        let (shard, n, residue) = self.place();
+        let target = ShardId(residue as usize);
+        let retired = self.retire_foreign_binding(&names, &name, target)?;
+        match shard.insert_aligned(Some(name.clone()), g, n, residue) {
+            Ok(id) => {
+                names.insert(name, id);
+                Ok(id)
+            }
+            Err(e) => {
+                // The old binding is durably gone but the new one never
+                // landed: the directory must reflect that (an entry kept
+                // here would resolve until the next restart, then vanish).
+                if retired {
+                    names.remove(&name);
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Pick the next insert's shard: `(store, modulus, residue)`.
+    fn place(&self) -> (&Arc<DurableStore>, u64, u64) {
+        let n = self.shards.len() as u64;
+        let s = self.next_insert.fetch_add(1, Ordering::Relaxed) % n;
+        (&self.shards[s as usize], n, s)
+    }
+
+    /// Unbind `name` on whatever shard currently holds it, unless that is
+    /// `target` (where the caller is about to rebind anyway). Returns
+    /// whether a binding was durably retired — if the caller's follow-up
+    /// bind then fails, it must drop the directory entry too (the durable
+    /// state has the name unbound). Caller holds the directory write lock.
+    fn retire_foreign_binding(
+        &self,
+        names: &HashMap<String, DocId>,
+        name: &str,
+        target: ShardId,
+    ) -> Result<bool> {
+        if let Some(&old) = names.get(name) {
+            let old_shard = self.router.shard_of(old);
+            if old_shard != target {
+                self.shards[old_shard.0].unbind_name(name)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Bind (or rebind) a name to a live document, durably on its owning
+    /// shard.
+    pub fn bind_name(&self, name: impl Into<String>, id: DocId) -> Result<()> {
+        let _shared = read_gate(&self.gate);
+        let name = name.into();
+        let mut names = self.names_write();
+        let target = self.router.shard_of(id);
+        if !self.shards[target.0].store().contains(id) {
+            return Err(ClusterError::Store(StoreError::NoSuchDoc(id)));
+        }
+        let retired = self.retire_foreign_binding(&names, &name, target)?;
+        match self.shards[target.0].bind_name(name.clone(), id) {
+            Ok(()) => {
+                names.insert(name, id);
+                Ok(())
+            }
+            Err(e) => {
+                // As in `insert_named`: a durably retired old binding must
+                // not linger in the directory when the new bind failed.
+                if retired {
+                    names.remove(&name);
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Drop a name binding (the document stays). Returns what it was bound
+    /// to.
+    pub fn unbind_name(&self, name: &str) -> Result<Option<DocId>> {
+        let _shared = read_gate(&self.gate);
+        let mut names = self.names_write();
+        let Some(&id) = names.get(name) else { return Ok(None) };
+        self.shards[self.router.shard_of(id).0].unbind_name(name)?;
+        names.remove(name);
+        Ok(Some(id))
+    }
+
+    /// Resolve a name to its document, wherever it lives.
+    pub fn id_by_name(&self, name: &str) -> Result<DocId> {
+        self.names_read()
+            .get(name)
+            .copied()
+            .ok_or_else(|| StoreError::NoSuchName(name.into()).into())
+    }
+
+    /// All cluster-wide `name → id` bindings, sorted by name.
+    pub fn name_bindings(&self) -> Vec<(String, DocId)> {
+        let mut out: Vec<(String, DocId)> =
+            self.names_read().iter().map(|(n, id)| (n.clone(), *id)).collect();
+        out.sort();
+        out
+    }
+
+    /// Drop a document (and all of its name bindings), durably, wherever
+    /// it lives. Returns whether the handle was live.
+    pub fn remove(&self, id: DocId) -> Result<bool> {
+        let _shared = read_gate(&self.gate);
+        let mut names = self.names_write();
+        let removed = self.shards[self.router.shard_of(id).0].remove(id)?;
+        if removed {
+            names.retain(|_, v| *v != id);
+            self.router.forget(id);
+        }
+        Ok(removed)
+    }
+
+    /// Resolve a name and drop that document.
+    pub fn remove_named(&self, name: &str) -> Result<DocId> {
+        let _shared = read_gate(&self.gate);
+        let mut names = self.names_write();
+        let id = *names.get(name).ok_or_else(|| StoreError::NoSuchName(name.into()))?;
+        self.shards[self.router.shard_of(id).0].remove(id)?;
+        names.retain(|_, v| *v != id);
+        self.router.forget(id);
+        Ok(id)
+    }
+
+    /// Whether the handle names a live document on any shard.
+    pub fn contains(&self, id: DocId) -> bool {
+        loop {
+            let s = self.router.shard_of(id);
+            if self.shards[s.0].store().contains(id) {
+                return true;
+            }
+            if self.router.shard_of(id) == s {
+                return false;
+            }
+            // Moved while we looked: re-route.
+        }
+    }
+
+    /// Total live documents.
+    pub fn len(&self) -> usize {
+        let _shared = read_gate(&self.gate);
+        self.shards.iter().map(|s| s.store().len()).sum()
+    }
+
+    /// True when no shard holds a document.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live handles across the cluster, sorted (= insertion order by
+    /// id; round-robin placement interleaves the shards).
+    pub fn doc_ids(&self) -> Vec<DocId> {
+        let _shared = read_gate(&self.gate);
+        let mut out: Vec<DocId> = self.shards.iter().flat_map(|s| s.store().doc_ids()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Reads (never blocked by rebalancing)
+    // ------------------------------------------------------------------
+
+    /// Run a closure against a document under its read lock, wherever it
+    /// lives. `Fn` rather than `FnOnce`: if the document migrates between
+    /// routing and the shard read, the read re-routes and runs again — a
+    /// reader sees the document on exactly one side of a move, never on
+    /// neither.
+    pub fn with_doc<R>(&self, id: DocId, f: impl Fn(&Goddag) -> R) -> Result<R> {
+        self.routed_read(id, |shard| shard.store().with_doc(id, &f))
+    }
+
+    /// Evaluate a node-set expression against one document.
+    pub fn query(&self, id: DocId, expr: &str) -> Result<Vec<goddag::NodeId>> {
+        self.routed_read(id, |shard| shard.store().query(id, expr))
+    }
+
+    /// A document's current edit epoch.
+    pub fn epoch(&self, id: DocId) -> Result<u64> {
+        self.routed_read(id, |shard| shard.store().epoch(id))
+    }
+
+    /// Editor tag suggestions, served from the owning shard's cached
+    /// prevalidation engine.
+    pub fn suggest_tags(
+        &self,
+        id: DocId,
+        hierarchy: &str,
+        start: usize,
+        end: usize,
+    ) -> Result<Vec<String>> {
+        self.routed_read(id, |shard| shard.store().suggest_tags(id, hierarchy, start, end))
+    }
+
+    /// The routed-read retry loop: route, read, and if the document is
+    /// gone *because the route changed underneath us*, re-route. A
+    /// document that is gone with a stable route is genuinely gone.
+    fn routed_read<R>(
+        &self,
+        id: DocId,
+        read: impl Fn(&Arc<DurableStore>) -> cxstore::Result<R>,
+    ) -> Result<R> {
+        loop {
+            let s = self.router.shard_of(id);
+            match read(&self.shards[s.0]) {
+                Ok(r) => return Ok(r),
+                Err(StoreError::NoSuchDoc(_)) if self.router.shard_of(id) != s => continue,
+                Err(e) => return Err(ClusterError::Store(e)),
+            }
+        }
+    }
+
+    /// Evaluate a node-set expression against **every** document: one
+    /// scoped thread per shard (each running the shard's own parallel
+    /// [`cxstore::Store::query_all`]), merged and sorted by id —
+    /// deterministic because each document is owned by exactly one shard.
+    /// Holds the migration gate shared so the shard set cannot tear
+    /// mid-fan-out (a `move_doc` briefly delays batch queries; per-doc
+    /// reads stay concurrent).
+    pub fn query_all(&self, expr: &str) -> Result<Vec<(DocId, Vec<goddag::NodeId>)>> {
+        let _shared = read_gate(&self.gate);
+        let results: Vec<cxstore::Result<BatchHits>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|s| scope.spawn(move || s.store().query_all(expr)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard query panicked")).collect()
+        });
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r.map_err(ClusterError::Store)?);
+        }
+        out.sort_unstable_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Apply one gated [`EditOp`] on the owning shard — logged to that
+    /// shard's WAL, prevalidated exactly as on a single primary.
+    pub fn edit(&self, id: DocId, op: EditOp) -> Result<EditOutcome> {
+        let _shared = read_gate(&self.gate);
+        // Under the shared gate the route cannot change mid-edit.
+        self.shards[self.router.shard_of(id).0].edit(id, op).map_err(ClusterError::from)
+    }
+
+    // ------------------------------------------------------------------
+    // Rebalancing
+    // ------------------------------------------------------------------
+
+    /// Migrate a document to another primary. Returns the shard it left.
+    ///
+    /// Holds the migration gate exclusively (drains in-flight writers,
+    /// holds new ones; readers keep running), then:
+    ///
+    /// 1. **capture** — the document's [`DocBlob`] under its read lock
+    ///    (writers are drained, so this is the authoritative state) plus
+    ///    its name bindings;
+    /// 2. **apply** — [`DurableStore::receive_doc`] on the target: the
+    ///    blob is logged to the target's WAL before anything else changes.
+    ///    This is the migration's commit point;
+    /// 3. **swap** — the routing entry flips; readers now resolve to the
+    ///    target (the source copy still exists but is unreachable);
+    /// 4. **tombstone** — the source logs a `DocRemove` and drops its
+    ///    copy (and the name bindings with it).
+    ///
+    /// A crash after 2 leaves byte-identical copies on both shards;
+    /// [`Cluster::assemble`] keeps exactly one (and heals names). A crash
+    /// before 2 leaves the document untouched on the source.
+    pub fn move_doc(&self, id: DocId, to: ShardId) -> Result<ShardId> {
+        if to.0 >= self.shards.len() {
+            return Err(ClusterError::NoSuchShard(to.0));
+        }
+        let _exclusive = write_gate(&self.gate);
+        let from = self.router.shard_of(id);
+        if from == to {
+            return Ok(from);
+        }
+        let source = &self.shards[from.0];
+        let blob = source.store().with_doc(id, DocBlob::capture).map_err(ClusterError::Store)?;
+        let names = doc_names(source, id);
+        self.shards[to.0].receive_doc(id, &blob, &names)?;
+        self.router.route(id, to);
+        source.remove(id)?;
+        self.docs_moved.fetch_add(1, Ordering::Relaxed);
+        Ok(from)
+    }
+
+    /// Move every document off `from`, round-robin across the remaining
+    /// shards (decommissioning / re-weighting). Returns the moved ids.
+    pub fn drain_shard(&self, from: ShardId) -> Result<Vec<DocId>> {
+        if from.0 >= self.shards.len() {
+            return Err(ClusterError::NoSuchShard(from.0));
+        }
+        let targets: Vec<usize> = (0..self.shards.len()).filter(|&s| s != from.0).collect();
+        if targets.is_empty() {
+            return Err(ClusterError::Config("cannot drain a single-shard cluster".into()));
+        }
+        let ids = self.shards[from.0].store().doc_ids();
+        let mut moved = Vec::with_capacity(ids.len());
+        for (k, id) in ids.into_iter().enumerate() {
+            if self.router.shard_of(id) != from {
+                continue; // moved away (or removed) since listing
+            }
+            self.move_doc(id, ShardId(targets[k % targets.len()]))?;
+            moved.push(id);
+        }
+        Ok(moved)
+    }
+
+    /// Documents moved between shards since this cluster was assembled.
+    pub fn docs_moved(&self) -> u64 {
+        self.docs_moved.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Durability plumbing
+    // ------------------------------------------------------------------
+
+    /// Checkpoint every shard (each drains its own mutators; the cluster
+    /// keeps serving throughout — shards checkpoint independently).
+    pub fn checkpoint_all(&self) -> Result<Vec<CheckpointInfo>> {
+        self.shards.iter().map(|s| s.checkpoint().map_err(ClusterError::from)).collect()
+    }
+
+    /// Fsync every shard's WAL (a cluster-wide durability barrier under
+    /// lazy fsync policies).
+    pub fn sync_all(&self) -> Result<()> {
+        for s in &self.shards {
+            s.sync()?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Aggregated [`StoreStats`] across all shards, plus the cluster
+    /// counters (`cluster_shards`, `docs_moved`).
+    pub fn stats(&self) -> StoreStats {
+        let mut out = StoreStats::default();
+        for s in &self.shards {
+            out.absorb(&s.stats());
+        }
+        out.cluster_shards = self.shards.len();
+        out.docs_moved = self.docs_moved.load(Ordering::Relaxed);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn names_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, DocId>> {
+        self.names.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn names_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, DocId>> {
+        self.names.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The names a shard currently binds to `id`.
+fn doc_names(shard: &DurableStore, id: DocId) -> Vec<String> {
+    shard.store().name_bindings().into_iter().filter(|(_, d)| *d == id).map(|(n, _)| n).collect()
+}

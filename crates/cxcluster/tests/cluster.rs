@@ -1,0 +1,267 @@
+//! Cluster basics: routing, placement, the name directory, fan-out reads,
+//! rebalancing, and reopening.
+
+mod common;
+
+use common::TempDir;
+use cxcluster::{Cluster, ClusterError, ShardId};
+use cxpersist::{FsyncPolicy, Options};
+use cxstore::{DocId, EditOp, Store, StoreError};
+use std::collections::BTreeMap;
+
+fn options() -> Options {
+    Options { fsync: FsyncPolicy::Never }
+}
+
+fn cluster(dir: &TempDir, n: usize) -> Cluster {
+    Cluster::open(dir.shard_dirs(n), options()).unwrap()
+}
+
+fn manuscript(words: usize, seed: u64) -> goddag::Goddag {
+    let mut ms = corpus::generate(&corpus::Params { words, seed, ..corpus::Params::default() });
+    corpus::dtds::attach_standard(&mut ms.goddag);
+    ms.goddag
+}
+
+fn exports(cluster: &Cluster) -> BTreeMap<u64, String> {
+    cluster
+        .doc_ids()
+        .into_iter()
+        .map(|id| (id.raw(), cluster.with_doc(id, sacx::export_standoff).unwrap()))
+        .collect()
+}
+
+#[test]
+fn placement_aligns_ids_with_their_home_shard() {
+    let dir = TempDir::new("placement");
+    let c = cluster(&dir, 3);
+    let ids: Vec<DocId> = (0..9).map(|_| c.insert(corpus::figure1::goddag()).unwrap()).collect();
+    for id in &ids {
+        let s = c.shard_of(*id);
+        assert_eq!(s.0 as u64, id.raw() % 3, "unmoved docs route by hash");
+        assert!(c.shards()[s.0].store().contains(*id), "the owning shard holds the doc");
+        for (i, shard) in c.shards().iter().enumerate() {
+            if i != s.0 {
+                assert!(!shard.store().contains(*id), "no other shard holds it");
+            }
+        }
+    }
+    // Round-robin placement spreads the shards evenly.
+    let per_shard: Vec<usize> = c.shards().iter().map(|s| s.store().len()).collect();
+    assert_eq!(per_shard, vec![3, 3, 3]);
+    assert_eq!(c.len(), 9);
+    assert_eq!(c.doc_ids(), {
+        let mut v = ids.clone();
+        v.sort();
+        v
+    });
+    assert!(c.router().overrides().is_empty(), "hash routing needs no table");
+}
+
+#[test]
+fn name_directory_routes_across_shards() {
+    let dir = TempDir::new("names");
+    let c = cluster(&dir, 3);
+    let a = c.insert_named("alpha", corpus::figure1::goddag()).unwrap();
+    let b = c.insert_named("beta", corpus::figure1::goddag()).unwrap();
+    assert_ne!(c.shard_of(a), c.shard_of(b), "round-robin placed them apart");
+    assert_eq!(c.id_by_name("alpha").unwrap(), a);
+    assert_eq!(c.id_by_name("beta").unwrap(), b);
+
+    // Cross-shard rebind: "alpha" moves to b's shard; the old shard's
+    // binding is retired durably.
+    c.bind_name("alpha", b).unwrap();
+    assert_eq!(c.id_by_name("alpha").unwrap(), b);
+    let a_shard = c.shards()[c.shard_of(a).0].store();
+    assert!(a_shard.id_by_name("alpha").is_err(), "old shard binding retired");
+
+    // remove_named resolves through the directory wherever the doc lives.
+    assert_eq!(c.remove_named("beta").unwrap(), b);
+    assert!(!c.contains(b));
+    assert!(c.id_by_name("alpha").is_err(), "alpha pointed at b, died with it");
+    assert!(matches!(c.remove_named("beta"), Err(ClusterError::Store(StoreError::NoSuchName(_)))));
+    assert!(c.contains(a), "unrelated doc survives");
+
+    // unbind leaves the document alone.
+    c.bind_name("gamma", a).unwrap();
+    assert_eq!(c.unbind_name("gamma").unwrap(), Some(a));
+    assert_eq!(c.unbind_name("gamma").unwrap(), None);
+    assert!(c.contains(a));
+}
+
+#[test]
+fn gated_edits_route_and_match_a_single_store_control() {
+    let dir = TempDir::new("edits");
+    let c = cluster(&dir, 3);
+    let control = Store::new();
+    let mut ids = Vec::new();
+    for i in 0..3 {
+        let g = manuscript(40, 100 + i);
+        let id = c.insert(g.clone()).unwrap();
+        control.insert_with_id(id, g).unwrap();
+        ids.push(id);
+    }
+    // Gated success and gated rejection agree with the control store.
+    for (k, &id) in ids.iter().enumerate() {
+        let ok = EditOp::InsertText { offset: 0, text: format!("x{k} ") };
+        let co = control.edit(id, ok.clone()).unwrap();
+        let cl = c.edit(id, ok).unwrap();
+        assert_eq!(co.node, cl.node);
+        assert_eq!(co.epoch, cl.epoch);
+        let bad = EditOp::InsertElement {
+            hierarchy: "ling".into(),
+            tag: "nonsense".into(),
+            attrs: vec![],
+            start: 0,
+            end: 3,
+        };
+        assert!(matches!(
+            c.edit(id, bad.clone()),
+            Err(ClusterError::Store(StoreError::EditRejected(_)))
+        ));
+        assert!(control.edit(id, bad).is_err());
+    }
+    // Fan-out query equals the control's batch query.
+    let cl = c.query_all("//w").unwrap();
+    let co = control.query_all("//w").unwrap();
+    assert_eq!(cl, co);
+    // Per-doc query and suggestions route too.
+    assert_eq!(c.query(ids[0], "//w").unwrap(), control.query(ids[0], "//w").unwrap());
+    let (s, e) = control
+        .with_doc(ids[0], |g| {
+            let ws = g.find_elements("w");
+            (g.char_range(ws[0]).0, g.char_range(ws[1]).1)
+        })
+        .unwrap();
+    assert_eq!(
+        c.suggest_tags(ids[0], "ling", s, e).unwrap(),
+        control.suggest_tags(ids[0], "ling", s, e).unwrap()
+    );
+    // Edits against a missing doc error like a store.
+    let ghost = DocId::from_raw(999);
+    assert!(matches!(
+        c.edit(ghost, EditOp::InsertText { offset: 0, text: "x".into() }),
+        Err(ClusterError::Store(StoreError::NoSuchDoc(_)))
+    ));
+}
+
+#[test]
+fn move_doc_preserves_bytes_names_and_future_edit_determinism() {
+    let dir = TempDir::new("move");
+    let c = cluster(&dir, 3);
+    let control = Store::new();
+    let g = manuscript(50, 7);
+    let id = c.insert_named("ms", g.clone()).unwrap();
+    control.insert_with_id(id, g).unwrap();
+    c.edit(id, EditOp::InsertText { offset: 0, text: "pre ".into() }).unwrap();
+    control.edit(id, EditOp::InsertText { offset: 0, text: "pre ".into() }).unwrap();
+
+    let from = c.shard_of(id);
+    let to = ShardId((from.0 + 1) % 3);
+    assert_eq!(c.move_doc(id, to).unwrap(), from);
+    assert_eq!(c.shard_of(id), to);
+    assert_eq!(c.docs_moved(), 1);
+    assert!(!c.shards()[from.0].store().contains(id), "tombstoned on the source");
+    assert!(c.shards()[to.0].store().contains(id));
+    assert_eq!(c.id_by_name("ms").unwrap(), id, "the name followed the document");
+    assert_eq!(c.shards()[to.0].store().id_by_name("ms").unwrap(), id);
+
+    // Byte-identical state...
+    assert_eq!(
+        c.with_doc(id, sacx::export_standoff).unwrap(),
+        control.with_doc(id, sacx::export_standoff).unwrap()
+    );
+    // ...and id-for-id equivalent future edits: the next insert mints the
+    // same node id as the never-moved control.
+    let (s, e) = control
+        .with_doc(id, |g| {
+            let ws = g.find_elements("w");
+            (g.char_range(ws[0]).0, g.char_range(ws[1]).1)
+        })
+        .unwrap();
+    let op = EditOp::InsertElement {
+        hierarchy: "ling".into(),
+        tag: "phrase".into(),
+        attrs: vec![],
+        start: s,
+        end: e,
+    };
+    let a = c.edit(id, op.clone()).unwrap();
+    let b = control.edit(id, op).unwrap();
+    assert_eq!(a.node, b.node, "migration preserves the id layout");
+    assert_eq!(a.epoch, b.epoch);
+
+    // Moving to the same shard is a no-op; moving to a ghost shard errors.
+    assert_eq!(c.move_doc(id, to).unwrap(), to);
+    assert_eq!(c.docs_moved(), 1);
+    assert!(matches!(c.move_doc(id, ShardId(9)), Err(ClusterError::NoSuchShard(9))));
+    // Moving home again clears the override.
+    c.move_doc(id, from).unwrap();
+    assert!(c.router().overrides().is_empty());
+}
+
+#[test]
+fn drain_shard_empties_it_and_keeps_every_document_reachable() {
+    let dir = TempDir::new("drain");
+    let c = cluster(&dir, 3);
+    for i in 0..9 {
+        c.insert_named(format!("doc-{i}"), corpus::figure1::goddag()).unwrap();
+    }
+    let before = exports(&c);
+    let drained = c.drain_shard(ShardId(1)).unwrap();
+    assert_eq!(drained.len(), 3);
+    assert_eq!(c.shards()[1].store().len(), 0, "shard 1 is empty");
+    assert_eq!(exports(&c), before, "every document still reachable, byte-identical");
+    for id in &drained {
+        assert_ne!(c.shard_of(*id), ShardId(1));
+    }
+    for i in 0..9 {
+        assert!(c.id_by_name(&format!("doc-{i}")).is_ok());
+    }
+    assert_eq!(c.stats().docs_moved, 3);
+    assert_eq!(c.stats().cluster_shards, 3);
+    assert_eq!(c.stats().docs, 9);
+}
+
+#[test]
+fn reopen_reassembles_routing_names_and_bytes() {
+    let dir = TempDir::new("reopen");
+    let dirs = dir.shard_dirs(3);
+    let (ids, moved, before) = {
+        let c = Cluster::open(dirs.clone(), options()).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            ids.push(c.insert_named(format!("doc-{i}"), manuscript(20, 50 + i)).unwrap());
+        }
+        for (k, &id) in ids.iter().enumerate() {
+            c.edit(id, EditOp::InsertText { offset: 0, text: format!("e{k} ") }).unwrap();
+        }
+        let moved = ids[4];
+        let to = ShardId((c.shard_of(moved).0 + 2) % 3);
+        c.move_doc(moved, to).unwrap();
+        c.shards()[0].checkpoint().unwrap(); // one shard checkpointed, others pure WAL
+        c.sync_all().unwrap();
+        (ids, moved, exports(&c))
+    };
+    let c = Cluster::open(dirs, options()).unwrap();
+    assert_eq!(exports(&c), before, "reopen is byte-identical");
+    assert_ne!(c.shard_of(moved), ShardId((moved.raw() % 3) as usize), "override re-derived");
+    assert_eq!(c.router().overrides().len(), 1);
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(c.id_by_name(&format!("doc-{i}")).unwrap(), *id);
+    }
+    // New inserts keep minting aligned, non-colliding ids.
+    let fresh = c.insert(corpus::figure1::goddag()).unwrap();
+    assert!(!ids.contains(&fresh));
+    assert_eq!(c.shard_of(fresh).0 as u64, fresh.raw() % 3);
+}
+
+#[test]
+fn assemble_needs_at_least_one_shard() {
+    assert!(matches!(Cluster::assemble(vec![]), Err(ClusterError::Config(_))));
+    let dir = TempDir::new("single");
+    let c = cluster(&dir, 1);
+    let id = c.insert(corpus::figure1::goddag()).unwrap();
+    assert!(c.contains(id));
+    assert!(matches!(c.drain_shard(ShardId(0)), Err(ClusterError::Config(_))));
+}

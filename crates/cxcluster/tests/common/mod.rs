@@ -1,0 +1,42 @@
+//! Shared test plumbing: self-cleaning temp directories (the environment
+//! has no `tempfile` crate) and a cluster scaffold.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A unique directory under the system temp dir, removed on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    pub fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "cxcluster-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    #[allow(dead_code)] // not every test file uses every helper
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// `n` shard directories under this temp dir, in index order.
+    #[allow(dead_code)]
+    pub fn shard_dirs(&self, n: usize) -> Vec<PathBuf> {
+        (0..n).map(|i| self.path.join(format!("shard-{i}"))).collect()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

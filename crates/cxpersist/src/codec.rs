@@ -141,6 +141,13 @@ pub enum WalOp {
         /// The name.
         name: String,
     },
+    /// A name was unbound without removing its document — how a cluster
+    /// retires one shard's binding when a name moves to a document on a
+    /// different shard (a plain rebind only shadows within one store).
+    UnbindName {
+        /// The name.
+        name: String,
+    },
 }
 
 /// One WAL record: a monotonic log sequence number plus the operation.
@@ -184,6 +191,9 @@ pub fn encode_record(lsn: u64, op: &WalOp) -> String {
         }
         WalOp::BindName { doc, name } => {
             let _ = write!(body, "bind {} {}", doc.raw(), enc(name));
+        }
+        WalOp::UnbindName { name } => {
+            let _ = write!(body, "unbind {}", enc(name));
         }
     }
     let crc = crc32(body.as_bytes());
@@ -278,6 +288,10 @@ pub fn decode_record(input: &[u8], line_no: usize) -> Result<(WalRecord, usize),
             let doc = DocId::from_raw(num(parts.next(), line_no, "doc id")?);
             let name = dec(parts.next().ok_or_else(|| bad(line_no, "missing name"))?, line_no)?;
             WalOp::BindName { doc, name }
+        }
+        "unbind" => {
+            let name = dec(parts.next().ok_or_else(|| bad(line_no, "missing name"))?, line_no)?;
+            WalOp::UnbindName { name }
         }
         other => return Err(bad(line_no, format!("unknown record kind {other:?}"))),
     };
@@ -532,6 +546,8 @@ mod tests {
             },
             WalOp::DocRemove { doc: DocId::from_raw(7) },
             WalOp::BindName { doc: DocId::from_raw(7), name: "the manuscript".into() },
+            WalOp::UnbindName { name: "the manuscript".into() },
+            WalOp::UnbindName { name: "spaced out name".into() },
         ];
         for (i, op) in ops.into_iter().enumerate() {
             let encoded = encode_record(i as u64 + 1, &op);

@@ -28,7 +28,7 @@ use crate::snapshot::{
 use cxstore::{DocId, EditOp, EditOutcome, Store, StoreStats};
 use goddag::Goddag;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
@@ -149,6 +149,28 @@ struct PersistCounters {
     wal_bytes: AtomicU64,
     wal_fsyncs: AtomicU64,
     checkpoints: AtomicU64,
+    tail_cache_hits: AtomicU64,
+}
+
+/// Cap on remembered tail positions. Each tailing follower occupies one
+/// slot (its `after` advances fetch by fetch, replacing its old entry);
+/// 16 covers a realistic fan-out without unbounded growth.
+const TAIL_CACHE_CAP: usize = 16;
+
+/// The per-follower WAL offset cache: `lsn → byte offset of the first
+/// record past it`, learned from previous [`DurableStore::wal_tail`]
+/// slices. Steady-state tailing seeks straight to the position instead of
+/// frame-skipping the whole file — O(slice) per fetch, not O(file).
+/// Entries are valid for one rotation epoch (a checkpoint's log rotation
+/// rewrites the file and shifts every offset); the fast path additionally
+/// CRC-verifies the first record it lands on, so a stale entry can only
+/// ever cost a fallback scan, never ship wrong bytes.
+#[derive(Default)]
+struct TailCache {
+    /// Rotation epoch the offsets describe.
+    rotation: u64,
+    /// `(after, absolute byte offset where record `after + 1` starts)`.
+    entries: Vec<(u64, u64)>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -165,6 +187,10 @@ pub struct DurableStore {
     policy: FsyncPolicy,
     counters: PersistCounters,
     recovery: RecoveryReport,
+    /// Bumped (under the WAL mutex) whenever the log file is rewritten —
+    /// the [`TailCache`] invalidation signal.
+    rotations: AtomicU64,
+    tail_cache: Mutex<TailCache>,
 }
 
 impl DurableStore {
@@ -278,6 +304,8 @@ impl DurableStore {
             policy: options.fsync,
             counters: PersistCounters::default(),
             recovery: report,
+            rotations: AtomicU64::new(0),
+            tail_cache: Mutex::default(),
         })
     }
 
@@ -344,6 +372,12 @@ impl DurableStore {
                 // Same remove-race tolerance as edits.
                 Err(_) => report.replayed_rejected += 1,
             },
+            WalOp::UnbindName { name } => {
+                // Unbinding an already-unbound name is a no-op, not
+                // corruption (the snapshot may already reflect the unbind).
+                store.unbind_name(&name);
+                report.replayed_ops += 1;
+            }
         }
         Ok(())
     }
@@ -386,8 +420,10 @@ impl DurableStore {
         // could still lose in a crash (the follower would hold history no
         // recovered primary ever had, and the re-assigned LSN would make
         // the streams diverge permanently). The fsync batches whatever is
-        // pending (a no-op under `EveryOp` or when clean).
-        let head = {
+        // pending (a no-op under `EveryOp` or when clean). The rotation
+        // epoch is read under the same mutex (rotations bump it there), so
+        // `(head, rotation)` is a coherent pair.
+        let (head, rotation) = {
             let mut w = lock(&self.wal);
             if after == w.lsn {
                 return Ok(TailShipment::CaughtUp);
@@ -402,9 +438,9 @@ impl DurableStore {
                 });
             }
             Self::sync_locked(&mut w, &self.counters)?;
-            w.lsn
+            (w.lsn, self.rotations.load(Ordering::Relaxed))
         };
-        // The file read runs *outside* the mutex so shipping never stalls
+        // All file reads run *outside* the mutex so shipping never stalls
         // the edit path. Two races are possible and both are benign,
         // because records defend themselves (framing + LSN): a checkpoint
         // may swap in the rotated file (retired records are gone — if the
@@ -412,9 +448,49 @@ impl DurableStore {
         // `SnapshotNeeded`), and a concurrent append may leave a torn
         // record at the end (the frame walk stops before it; shipping is
         // capped at `head`, the LSN made durable above, regardless).
-        let bytes = fs::read(self.dir.join("wal.log"))?;
+        let wal_path = self.dir.join("wal.log");
+
+        // Fast path: a previous slice remembered where record `after + 1`
+        // starts in this rotation epoch, so steady-state tailing seeks and
+        // reads only the live tail — O(slice), not O(file). The landing is
+        // verified with a full CRC decode of the first record before
+        // anything ships: a stale or raced entry costs a fallback scan,
+        // never wrong bytes.
+        let cached = {
+            let c = lock(&self.tail_cache);
+            if c.rotation == rotation {
+                c.entries.iter().find(|&&(a, _)| a == after).map(|&(_, off)| off)
+            } else {
+                None
+            }
+        };
+        if let Some(offset) = cached {
+            let mut file = File::open(&wal_path)?;
+            if offset <= file.metadata()?.len() {
+                file.seek(SeekFrom::Start(offset))?;
+                // Bounded read: the slice cap plus one record's worth of
+                // slack, not offset..EOF — a follower far behind must pay
+                // O(batch) per fetch, not O(remaining tail). A record cut
+                // off by the window reads as a torn tail, which the frame
+                // walk stops at cleanly; if even the *first* record
+                // exceeds the window (one giant blob), its decode fails
+                // and the full scan below ships it regardless of size.
+                let window = (max_bytes as u64).saturating_add(1 << 20);
+                let mut bytes = Vec::new();
+                file.take(window).read_to_end(&mut bytes)?;
+                if matches!(crate::codec::decode_record(&bytes, 1), Ok((rec, _)) if rec.lsn == after + 1)
+                {
+                    self.counters.tail_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(self.slice_tail(bytes, 0, offset, after, head, max_bytes, rotation));
+                }
+            }
+        }
+
+        // Slow path (a follower's first fetch; any cache anomaly): read
+        // the whole file and frame-skip the records the follower already
+        // holds.
+        let bytes = fs::read(&wal_path)?;
         let mut pos = if bytes.starts_with(WAL_HEADER.as_bytes()) { WAL_HEADER.len() } else { 0 };
-        // Frame-skip the records the follower already holds.
         let mut first = None;
         while pos < bytes.len() {
             match skip_record(&bytes[pos..]) {
@@ -428,10 +504,31 @@ impl DurableStore {
         }
         // The tail must continue exactly at `after + 1`; anything else
         // means a checkpoint retired the records in between.
-        let Some(first) = first.filter(|&l| l == after + 1) else {
+        if first != Some(after + 1) {
             return Ok(TailShipment::SnapshotNeeded);
-        };
-        let start = pos;
+        }
+        Ok(self.slice_tail(bytes, pos, 0, after, head, max_bytes, rotation))
+    }
+
+    /// Slice LSN-contiguous records out of `bytes`: the record with LSN
+    /// `after + 1` is known to start at `bytes[start]` (both callers
+    /// verified it), `base` is the absolute file offset of `bytes[0]`.
+    /// Ships at least one record, caps near `max_bytes`, stops at `head`
+    /// (records appended after the durability sync), and remembers the end
+    /// position so the next fetch at the shipped LSN seeks instead of
+    /// scanning.
+    #[allow(clippy::too_many_arguments)]
+    fn slice_tail(
+        &self,
+        mut bytes: Vec<u8>,
+        start: usize,
+        base: u64,
+        after: u64,
+        head: u64,
+        max_bytes: usize,
+        rotation: u64,
+    ) -> TailShipment {
+        let mut pos = start;
         let mut last = after;
         while pos < bytes.len() {
             let Some((lsn, used)) = skip_record(&bytes[pos..]) else { break };
@@ -444,10 +541,34 @@ impl DurableStore {
             last = lsn;
             pos += used;
         }
-        let mut bytes = bytes;
+        {
+            let mut c = lock(&self.tail_cache);
+            // Never poison a newer epoch's entries with offsets read from
+            // an older file (`c.rotation > rotation`: a rotation completed
+            // while this slice ran and someone already repopulated).
+            if c.rotation < rotation {
+                c.rotation = rotation;
+                c.entries.clear();
+            }
+            if c.rotation == rotation {
+                // Two positions were just learned: where this slice began
+                // (a retrying follower re-fetches the same `after`) and
+                // where it ended (a healthy follower fetches `last` next).
+                for (lsn, off) in [(after, base + start as u64), (last, base + pos as u64)] {
+                    if let Some(e) = c.entries.iter_mut().find(|e| e.0 == lsn) {
+                        e.1 = off;
+                    } else {
+                        if c.entries.len() >= TAIL_CACHE_CAP {
+                            c.entries.remove(0);
+                        }
+                        c.entries.push((lsn, off));
+                    }
+                }
+            }
+        }
         bytes.drain(..start);
         bytes.truncate(pos - start);
-        Ok(TailShipment::Records { first, last, bytes })
+        TailShipment::Records { first: after + 1, last, bytes }
     }
 
     /// Capture a consistent [`StoreSnapshot`] of the whole store at the
@@ -514,6 +635,8 @@ impl DurableStore {
                 recovered_docs: write.docs,
                 ..RecoveryReport::default()
             },
+            rotations: AtomicU64::new(0),
+            tail_cache: Mutex::default(),
         })
     }
 
@@ -549,21 +672,43 @@ impl DurableStore {
     /// Add a document; its full blob rides in the log so it survives a
     /// crash before the next checkpoint.
     pub fn insert(&self, g: Goddag) -> Result<DocId> {
-        self.insert_inner(None, g)
+        self.insert_inner(None, g, None)
     }
 
     /// Add a document under a name.
     pub fn insert_named(&self, name: impl Into<String>, g: Goddag) -> Result<DocId> {
-        self.insert_inner(Some(name.into()), g)
+        self.insert_inner(Some(name.into()), g, None)
     }
 
-    fn insert_inner(&self, name: Option<String>, g: Goddag) -> Result<DocId> {
+    /// Add a document whose id is drawn from the `residue (mod modulus)`
+    /// range — the write-sharding insert: shard `i` of `n` primaries mints
+    /// only ids `≡ i (mod n)`, so a hash router maps every unmoved
+    /// document back to the shard that owns it without any lookup table.
+    pub fn insert_aligned(
+        &self,
+        name: Option<String>,
+        g: Goddag,
+        modulus: u64,
+        residue: u64,
+    ) -> Result<DocId> {
+        self.insert_inner(name, g, Some((modulus, residue)))
+    }
+
+    fn insert_inner(
+        &self,
+        name: Option<String>,
+        g: Goddag,
+        align: Option<(u64, u64)>,
+    ) -> Result<DocId> {
         let _shared = read_gate(&self.gate);
         let blob = DocBlob::capture(&g);
         // The WAL mutex serializes id allocation among durable inserts, so
         // the logged id and the applied id cannot be interleaved apart.
         let mut w = lock(&self.wal);
-        let id = DocId::from_raw(self.store.next_doc_raw());
+        let id = DocId::from_raw(match align {
+            None => self.store.next_doc_raw(),
+            Some((m, r)) => self.store.allocate_doc_raw_aligned(m, r),
+        });
         Self::append_locked(
             &mut w,
             &self.counters,
@@ -575,6 +720,42 @@ impl DurableStore {
             self.store.bind_name(name, id)?;
         }
         Ok(id)
+    }
+
+    /// Install a migrated document under its original handle — the
+    /// receiving half of a cluster `move_doc`. The blob (captured on the
+    /// source primary under the document's lock) is logged verbatim as a
+    /// `DocInsert` record, so the hand-off is durable before the source
+    /// tombstones its copy, and the restored document is id-for-id and
+    /// epoch-for-epoch the source's (future edits replay identically).
+    /// `names` are the source's bindings for the document, re-bound (and
+    /// logged) here. Refuses a live handle.
+    pub fn receive_doc(&self, id: DocId, blob: &DocBlob, names: &[String]) -> Result<()> {
+        let _shared = read_gate(&self.gate);
+        let g = blob.restore()?;
+        {
+            // The liveness check runs under the WAL mutex — the lock every
+            // durable id claim holds — so a racing insert cannot take the
+            // handle between the check and the append. Checking outside
+            // would let a durably-logged DocInsert record precede a failed
+            // local apply, and replicas of this shard would diverge on it.
+            let mut w = lock(&self.wal);
+            if self.store.contains(id) {
+                return Err(PersistError::Store(cxstore::StoreError::IdInUse(id)));
+            }
+            Self::append_locked(
+                &mut w,
+                &self.counters,
+                self.policy,
+                WalOp::DocInsert { doc: id, name: None, blob: blob.clone() },
+            )?;
+            self.store.insert_with_id(id, g)?;
+        }
+        for name in names {
+            self.append(WalOp::BindName { doc: id, name: name.clone() })?;
+            self.store.bind_name(name.clone(), id)?;
+        }
+        Ok(())
     }
 
     /// Drop a document (and all of its name bindings), durably. Returns
@@ -607,6 +788,18 @@ impl DurableStore {
         self.append(WalOp::BindName { doc: id, name: name.clone() })?;
         self.store.bind_name(name, id)?;
         Ok(())
+    }
+
+    /// Drop a name binding without touching its document, durably. Returns
+    /// the id the name was bound to (`None` — and nothing logged — when it
+    /// was unbound already).
+    pub fn unbind_name(&self, name: &str) -> Result<Option<DocId>> {
+        let _shared = read_gate(&self.gate);
+        if self.store.id_by_name(name).is_err() {
+            return Ok(None); // nothing to log
+        }
+        self.append(WalOp::UnbindName { name: name.to_string() })?;
+        Ok(self.store.unbind_name(name))
     }
 
     fn append(&self, op: WalOp) -> Result<()> {
@@ -724,7 +917,7 @@ impl DurableStore {
             prev.as_ref().map(|(_, path, m)| (path.as_path(), m)),
         )?;
         let floor = prev.as_ref().map_or(0, |&(l, _, _)| l);
-        Self::drop_wal_prefix(&mut w, &self.dir, floor)?;
+        self.drop_wal_prefix(&mut w, floor)?;
         prune_snapshots(&self.dir, floor);
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(CheckpointInfo {
@@ -739,7 +932,8 @@ impl DurableStore {
     /// Rewrite the WAL without its retired prefix (records with
     /// `lsn <= keep_after` — covered by every retained snapshot), via a
     /// durable tmp-file + rename swap. No-op when nothing is retired.
-    fn drop_wal_prefix(w: &mut WalState, dir: &Path, keep_after: u64) -> Result<()> {
+    fn drop_wal_prefix(&self, w: &mut WalState, keep_after: u64) -> Result<()> {
+        let dir = &self.dir;
         let wal_path = dir.join("wal.log");
         let bytes = fs::read(&wal_path)?;
         // Records are LSN-ordered in the file, so the retired part is a
@@ -771,6 +965,10 @@ impl DurableStore {
         w.file = tmp;
         w.len = (WAL_HEADER.len() + (bytes.len() - cut)) as u64;
         w.dirty = 0;
+        // Every byte offset the tail cache learned describes the unlinked
+        // file; bump the epoch (still under the WAL mutex) so tailers
+        // re-scan once and re-learn positions in the rewritten log.
+        self.rotations.fetch_add(1, Ordering::Relaxed);
         sync_dir(dir)?;
         Ok(())
     }
@@ -778,6 +976,12 @@ impl DurableStore {
     // ------------------------------------------------------------------
     // Observability
     // ------------------------------------------------------------------
+
+    /// Tail fetches served from the offset cache (seek instead of a whole
+    /// -file scan) since this store was opened.
+    pub fn tail_cache_hits(&self) -> u64 {
+        self.counters.tail_cache_hits.load(Ordering::Relaxed)
+    }
 
     /// [`Store::stats`] plus the WAL / checkpoint / recovery counters.
     pub fn stats(&self) -> StoreStats {

@@ -1,0 +1,172 @@
+//! The WAL tail offset cache: steady-state tailing must seek (O(slice))
+//! instead of re-scanning the whole log (O(file)), without ever shipping
+//! different bytes than a cold scan would — across appends, byte caps and
+//! checkpoint rotations.
+
+mod common;
+
+use common::TempDir;
+use cxpersist::{scan_batch, DurableStore, FsyncPolicy, Options, TailShipment};
+use cxstore::EditOp;
+
+fn open(dir: &TempDir) -> DurableStore {
+    DurableStore::open_with(dir.path(), Options { fsync: FsyncPolicy::Never }).unwrap()
+}
+
+/// Fetch everything past `after` in one uncapped call, returning
+/// `(last, bytes)`.
+fn fetch(store: &DurableStore, after: u64) -> (u64, Vec<u8>) {
+    match store.wal_tail(after, usize::MAX).unwrap() {
+        TailShipment::Records { first, last, bytes } => {
+            assert_eq!(first, after + 1);
+            (last, bytes)
+        }
+        other => panic!("expected records past {after}, got {other:?}"),
+    }
+}
+
+#[test]
+fn cached_fetches_are_byte_identical_to_cold_scans() {
+    let dir = TempDir::new("tail-cache-bytes");
+    let store = open(&dir);
+    let id = store.insert(corpus::figure1::goddag()).unwrap();
+    for i in 0..40 {
+        store.edit(id, EditOp::InsertText { offset: 0, text: format!("w{i} ") }).unwrap();
+    }
+    let head = store.last_lsn();
+
+    // Walk the log like a follower (small byte cap, many fetches). The
+    // first fetch at each position scans; repeating it hits the cache and
+    // must return the identical shipment.
+    let mut after = 0u64;
+    while after < head {
+        let cold = store.wal_tail(after, 256).unwrap();
+        let warm = store.wal_tail(after, 256).unwrap();
+        match (cold, warm) {
+            (
+                TailShipment::Records { first: f1, last: l1, bytes: b1 },
+                TailShipment::Records { first: f2, last: l2, bytes: b2 },
+            ) => {
+                assert_eq!((f1, l1), (f2, l2), "position {after}");
+                assert_eq!(b1, b2, "position {after}");
+                let scan = scan_batch(&b1, after);
+                assert!(!scan.torn);
+                assert_eq!(scan.records.first().unwrap().lsn, after + 1);
+                after = l1;
+            }
+            other => panic!("unexpected shipments at {after}: {other:?}"),
+        }
+    }
+    assert!(
+        store.tail_cache_hits() > 0,
+        "the repeat fetches must have been served from the offset cache"
+    );
+}
+
+#[test]
+fn sequential_tailing_seeks_after_the_first_scan() {
+    let dir = TempDir::new("tail-cache-seq");
+    let store = open(&dir);
+    let id = store.insert(corpus::figure1::goddag()).unwrap();
+
+    // A tailing follower: appends interleave with fetches; every fetch
+    // after the first starts exactly where the previous slice ended, so
+    // every one of them is a cache hit.
+    let mut applied = 0u64;
+    let mut lsns = Vec::new();
+    for round in 0..30 {
+        for i in 0..5 {
+            store
+                .edit(id, EditOp::InsertText { offset: 0, text: format!("r{round}.{i} ") })
+                .unwrap();
+        }
+        loop {
+            match store.wal_tail(applied, 512).unwrap() {
+                TailShipment::CaughtUp => break,
+                TailShipment::Records { first, last, bytes } => {
+                    assert_eq!(first, applied + 1);
+                    let scan = scan_batch(&bytes, applied);
+                    assert!(!scan.torn);
+                    lsns.extend(scan.records.iter().map(|r| r.lsn));
+                    applied = last;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    let head = store.last_lsn();
+    assert_eq!(lsns, (1..=head).collect::<Vec<_>>(), "no gaps, no duplicates");
+    // Only the very first fetch had no position to reuse.
+    assert!(
+        store.tail_cache_hits() >= 30,
+        "steady-state fetches must seek, got {} hits",
+        store.tail_cache_hits()
+    );
+}
+
+#[test]
+fn rotation_invalidates_the_cache_without_corrupting_fetches() {
+    let dir = TempDir::new("tail-cache-rotate");
+    let store = open(&dir);
+    let id = store.insert(corpus::figure1::goddag()).unwrap();
+    for i in 0..10 {
+        store.edit(id, EditOp::InsertText { offset: 0, text: format!("a{i} ") }).unwrap();
+    }
+    // Prime the cache at the head region.
+    let (last, _) = fetch(&store, 5);
+    assert_eq!(last, store.last_lsn());
+
+    // First checkpoint: no previous generation, so nothing is retired yet,
+    // but a second one rewrites the file and shifts every offset.
+    store.checkpoint().unwrap();
+    for i in 0..10 {
+        store.edit(id, EditOp::InsertText { offset: 0, text: format!("b{i} ") }).unwrap();
+    }
+    store.checkpoint().unwrap();
+    for i in 0..10 {
+        store.edit(id, EditOp::InsertText { offset: 0, text: format!("c{i} ") }).unwrap();
+    }
+
+    // A fetch at the pre-rotation position: the records were retired, and
+    // the stale cached offset must not fake them back into existence.
+    assert!(matches!(store.wal_tail(5, usize::MAX).unwrap(), TailShipment::SnapshotNeeded));
+
+    // A fetch within the retained tail is correct and re-primes the cache.
+    let floor = store.recovery().snapshot_lsn.unwrap_or(0);
+    let retained_from = 11; // first checkpoint's lsn: retained as fallback generation
+    assert!(retained_from > floor || floor == 0);
+    let (last, bytes) = fetch(&store, retained_from);
+    assert_eq!(last, store.last_lsn());
+    let scan = scan_batch(&bytes, retained_from);
+    assert!(!scan.torn);
+    assert_eq!(scan.records.last().unwrap().lsn, store.last_lsn());
+    let hits = store.tail_cache_hits();
+    let (last2, bytes2) = fetch(&store, retained_from);
+    assert_eq!((last, &bytes), (last2, &bytes2));
+    assert_eq!(store.tail_cache_hits(), hits + 1, "re-primed after rotation");
+}
+
+#[test]
+fn unbind_name_is_durable_and_replayable() {
+    // The new UnbindName record end-to-end: logged, recovered, and
+    // shippable through wal_tail like any other record.
+    let dir = TempDir::new("unbind");
+    {
+        let store = open(&dir);
+        let a = store.insert_named("ms", corpus::figure1::goddag()).unwrap();
+        store.bind_name("alias", a).unwrap();
+        assert_eq!(store.unbind_name("ms").unwrap(), Some(a));
+        assert_eq!(store.unbind_name("ms").unwrap(), None, "second unbind logs nothing");
+        store.sync().unwrap();
+    }
+    let store = open(&dir);
+    let a = store.store().id_by_name("alias").unwrap();
+    assert!(store.store().id_by_name("ms").is_err(), "unbind survived the restart");
+    assert!(store.store().contains(a), "the document itself survived");
+    // And across a checkpointed restart too.
+    store.checkpoint().unwrap();
+    drop(store);
+    let store = open(&dir);
+    assert!(store.store().id_by_name("ms").is_err());
+    assert_eq!(store.store().name_bindings().len(), 1);
+}

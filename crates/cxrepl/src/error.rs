@@ -33,6 +33,14 @@ pub enum ReplError {
         /// What disagreed.
         detail: String,
     },
+    /// A required payload cannot fit the transport's frame cap
+    /// ([`crate::MAX_FRAME`]) — a capacity condition no retry of the same
+    /// fetch can heal, so background followers park on it instead of
+    /// re-requesting (and re-capturing) the oversized artifact forever.
+    FrameTooLarge {
+        /// What was too big.
+        detail: String,
+    },
     /// A malformed frame, request or artifact on the wire.
     Protocol(String),
     /// The remote peer reported an error serving the request.
@@ -49,6 +57,7 @@ impl fmt::Display for ReplError {
                 write!(f, "shipped stream gap: expected LSN {expected}, got {got}")
             }
             ReplError::Diverged { detail } => write!(f, "replica diverged: {detail}"),
+            ReplError::FrameTooLarge { detail } => write!(f, "frame too large: {detail}"),
             ReplError::Protocol(detail) => write!(f, "protocol error: {detail}"),
             ReplError::Remote(detail) => write!(f, "remote error: {detail}"),
         }

@@ -109,8 +109,9 @@ impl<T: LogTransport> Follower<T> {
     /// primary, a torn connection) are absorbed and retried after `poll` —
     /// the replica keeps serving reads at its last applied state
     /// throughout, which is exactly the availability contract that makes
-    /// promotion possible. *Terminal* errors — [`ReplError::Diverged`] and
-    /// [`ReplError::Gap`], which no retry of the same stream can ever heal
+    /// promotion possible. *Terminal* errors — [`ReplError::Diverged`],
+    /// [`ReplError::Gap`] and [`ReplError::FrameTooLarge`], which no retry
+    /// of the same stream can ever heal
     /// — park the loop and surface through
     /// [`FollowerHandle::terminal_error`]: a diverged replica must read as
     /// *failed*, not as quietly stale.
@@ -132,7 +133,8 @@ impl<T: LogTransport> Follower<T> {
                     Ok(SyncProgress::CaughtUp) => std::thread::sleep(poll),
                     Err(
                         e @ (crate::error::ReplError::Diverged { .. }
-                        | crate::error::ReplError::Gap { .. }),
+                        | crate::error::ReplError::Gap { .. }
+                        | crate::error::ReplError::FrameTooLarge { .. }),
                     ) => {
                         *terminal2.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
                             Some(e);
@@ -165,7 +167,8 @@ impl FollowerHandle {
     }
 
     /// The terminal error that parked the tailing loop, if any
-    /// (divergence or a stream gap). `None` means the loop is live —
+    /// (divergence, a stream gap, or a payload beyond the frame cap).
+    /// `None` means the loop is live —
     /// healthy or merely retrying a transient failure. A parked replica
     /// still serves reads at its last applied state, but it will never
     /// advance; re-bootstrap or promote it.

@@ -60,5 +60,5 @@ pub use error::{ReplError, Result};
 pub use follower::{Follower, FollowerHandle, SyncProgress};
 pub use primary::Primary;
 pub use replica::{BatchApply, ReplicaStore};
-pub use tcp::{TcpReplServer, TcpTransport};
+pub use tcp::{TcpReplServer, TcpTransport, MAX_FRAME};
 pub use transport::{FetchResponse, InProcessTransport, LogTransport};

@@ -101,13 +101,24 @@ impl ReplicaStore {
 
     /// Replication lag in records: last observed primary head minus last
     /// applied LSN.
+    ///
+    /// The pair is read coherently: the apply path raises `last_head` to
+    /// at least the applied LSN (release) *before* publishing
+    /// `last_applied` (release), and this reads `last_applied` first
+    /// (acquire) — so the head read afterwards is from no earlier than the
+    /// moment that applied value was published, and `head ≥ applied` holds
+    /// for every observation. A sampler can never see a fresh applied LSN
+    /// against a stale head (phantom negative lag clamped to zero) or
+    /// tear the pair into a garbage spike; `applied + lag` is monotone.
     pub fn lag(&self) -> u64 {
-        self.last_head.load(Ordering::Relaxed).saturating_sub(self.last_applied())
+        let applied = self.last_applied.load(Ordering::Acquire);
+        let head = self.last_head.load(Ordering::Acquire);
+        head.saturating_sub(applied)
     }
 
     /// Record the primary's head LSN as seen in a fetch response.
     pub fn observe_head(&self, head: u64) {
-        self.last_head.fetch_max(head, Ordering::Relaxed);
+        self.last_head.fetch_max(head, Ordering::Release);
     }
 
     /// Apply one shipped batch: raw record bytes as produced by
@@ -128,6 +139,11 @@ impl ReplicaStore {
                 return Err(ReplError::Gap { expected, got: rec.lsn });
             }
             self.apply_record(&mut state, rec.lsn, rec.op, &mut out)?;
+            // Keep `head ≥ applied` invariant *before* publishing the new
+            // applied LSN, so `lag()` observes a coherent pair (see its
+            // docs). Normally a no-op: the fetch's `observe_head` already
+            // raised the head past the whole batch.
+            self.last_head.fetch_max(rec.lsn, Ordering::Release);
             self.last_applied.store(rec.lsn, Ordering::Release);
             self.counters.records_applied.fetch_add(1, Ordering::Relaxed);
             out.applied += 1;
@@ -188,6 +204,10 @@ impl ReplicaStore {
                     out.rejected += 1;
                     self.counters.records_rejected.fetch_add(1, Ordering::Relaxed);
                 }
+            }
+            WalOp::UnbindName { name } => {
+                // Unbinding an unbound name is a no-op, as in recovery.
+                self.store.unbind_name(&name);
             }
         }
         Ok(())

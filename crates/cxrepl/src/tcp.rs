@@ -8,6 +8,8 @@
 //! kind     := 0 caught-up | 1 records | 2 snapshot
 //!           | 3 error (utf-8 detail, transient — the follower retries)
 //!           | 4 diverged (utf-8 detail, terminal — the follower parks)
+//!           | 5 too-large (utf-8 detail, terminal — the payload cannot
+//!             fit the frame cap; retrying the same fetch cannot help)
 //! ```
 //!
 //! One [`TcpReplServer`] serves any number of followers, one handler
@@ -35,6 +37,11 @@ const KIND_ERROR: u8 = 3;
 /// Split history: preserved as [`ReplError::Diverged`] across the wire so
 /// the follower's loop parks instead of retrying an unhealable stream.
 const KIND_DIVERGED: u8 = 4;
+/// The response payload exceeds [`MAX_FRAME`]: preserved as
+/// [`ReplError::FrameTooLarge`] so the follower parks (a capacity
+/// condition; re-requesting would re-capture and re-discard the same
+/// oversized artifact forever, stalling the primary each time).
+const KIND_TOO_LARGE: u8 = 5;
 
 /// How long a peer that has started a frame may stall before the
 /// connection is declared dead. Bounds both the server handler (client
@@ -42,9 +49,17 @@ const KIND_DIVERGED: u8 = 4;
 /// a half-open connection must never hang a follower thread forever.
 const FRAME_STALL_LIMIT: Duration = Duration::from_secs(15);
 
-/// Hard ceiling on response payloads accepted by the client (a malformed
-/// length cannot force an absurd allocation).
-const MAX_FRAME: u32 = 1 << 30;
+/// Hard ceiling on frame payloads, enforced on **both** ends: the client
+/// refuses a response header whose declared length exceeds it (a corrupt
+/// or hostile frame cannot demand a multi-GB allocation before a single
+/// payload byte arrives), and the server clamps the requested `max_bytes`
+/// and refuses to emit an oversized payload (a snapshot bootstrap that
+/// cannot fit is reported as an error, never silently truncated — the
+/// record/snapshot codecs would read a cut as a torn artifact anyway).
+/// 64 MB comfortably holds any realistic record batch; deployments
+/// shipping larger snapshot bootstraps should checkpoint less state per
+/// store or raise the cap on both ends together.
+pub const MAX_FRAME: u32 = 64 << 20;
 
 // ---------------------------------------------------------------------
 // Server
@@ -137,13 +152,32 @@ fn serve_connection(
         }
         read_full(&mut stream, &mut req[1..])?;
         let after = u64::from_be_bytes(req[..8].try_into().unwrap());
-        let max_bytes = u32::from_be_bytes(req[8..12].try_into().unwrap()) as usize;
+        // The request's byte budget comes straight off the wire: clamp it
+        // to the frame cap rather than letting a corrupt or hostile value
+        // drive an arbitrarily large slice.
+        let max_bytes =
+            (u32::from_be_bytes(req[8..12].try_into().unwrap()).min(MAX_FRAME)) as usize;
         let (kind, head, payload) = match primary.handle_fetch(after, max_bytes) {
             Ok(FetchResponse::CaughtUp { head }) => (KIND_CAUGHT_UP, head, Vec::new()),
             Ok(FetchResponse::Records { head, bytes }) => (KIND_RECORDS, head, bytes),
             Ok(FetchResponse::Snapshot { head, bytes }) => (KIND_SNAPSHOT, head, bytes),
             Err(e @ ReplError::Diverged { .. }) => (KIND_DIVERGED, 0, e.to_string().into_bytes()),
             Err(e) => (KIND_ERROR, 0, e.to_string().into_bytes()),
+        };
+        // Never emit a frame the client is contractually bound to refuse
+        // (`wal_tail` overshoots `max_bytes` by at most one record, and a
+        // snapshot bootstrap can be arbitrarily large): fail the fetch
+        // loudly — and *terminally*, so the follower parks with the
+        // capacity problem surfaced instead of re-requesting (and
+        // re-capturing) the same oversized artifact forever.
+        let (kind, payload) = if payload.len() > MAX_FRAME as usize {
+            let detail = format!(
+                "response payload of {} bytes exceeds the {MAX_FRAME}-byte frame cap",
+                payload.len()
+            );
+            (KIND_TOO_LARGE, detail.into_bytes())
+        } else {
+            (kind, payload)
         };
         let mut header = [0u8; 13];
         header[0] = kind;
@@ -233,7 +267,7 @@ impl LogTransport for TcpTransport {
             let stream = self.ensure_connected()?;
             let mut req = [0u8; 12];
             req[..8].copy_from_slice(&after.to_be_bytes());
-            req[8..12].copy_from_slice(&(max_bytes.min(u32::MAX as usize) as u32).to_be_bytes());
+            req[8..12].copy_from_slice(&(max_bytes.min(MAX_FRAME as usize) as u32).to_be_bytes());
             stream.write_all(&req)?;
             stream.flush()?;
             let mut header = [0u8; 13];
@@ -267,6 +301,9 @@ impl LogTransport for TcpTransport {
             KIND_DIVERGED => {
                 Err(ReplError::Diverged { detail: String::from_utf8_lossy(&payload).into_owned() })
             }
+            KIND_TOO_LARGE => Err(ReplError::FrameTooLarge {
+                detail: String::from_utf8_lossy(&payload).into_owned(),
+            }),
             KIND_ERROR => Err(ReplError::Remote(String::from_utf8_lossy(&payload).into_owned())),
             other => {
                 self.conn = None;

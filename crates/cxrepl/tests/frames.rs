@@ -1,0 +1,151 @@
+//! Wire hardening: inbound frame lengths are bounded on both ends of the
+//! TCP transport, and a hostile or corrupt frame fails the fetch loudly
+//! instead of demanding an absurd allocation or hanging the peer.
+
+mod common;
+
+use common::TempDir;
+use cxpersist::{DurableStore, FsyncPolicy, Options};
+use cxrepl::{
+    FetchResponse, LogTransport, Primary, ReplError, TcpReplServer, TcpTransport, MAX_FRAME,
+};
+use cxstore::EditOp;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn serving_primary(dir: &TempDir, edits: usize) -> (Arc<Primary>, TcpReplServer) {
+    let durable = Arc::new(
+        DurableStore::open_with(dir.path(), Options { fsync: FsyncPolicy::Never }).unwrap(),
+    );
+    let id = durable.insert(corpus::figure1::goddag()).unwrap();
+    for i in 0..edits {
+        durable.edit(id, EditOp::InsertText { offset: 0, text: format!("x{i} ") }).unwrap();
+    }
+    let primary = Arc::new(Primary::new(durable));
+    let server = TcpReplServer::bind(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    (primary, server)
+}
+
+#[test]
+fn client_refuses_an_absurd_response_length_before_allocating() {
+    // A fake primary that answers any request with a header declaring a
+    // payload far beyond the frame cap (and never sends the payload).
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut req = [0u8; 12];
+        stream.read_exact(&mut req).unwrap();
+        let mut header = [0u8; 13];
+        header[0] = 1; // records
+        header[1..9].copy_from_slice(&u64::MAX.to_be_bytes());
+        header[9..13].copy_from_slice(&u32::MAX.to_be_bytes()); // 4 GB payload, allegedly
+        stream.write_all(&header).unwrap();
+        // Keep the socket open: a naive client would now try to read 4 GB.
+        let mut sink = [0u8; 1];
+        let _ = stream.read(&mut sink);
+    });
+
+    let mut transport = TcpTransport::connect(addr).unwrap();
+    match transport.fetch(0, 1 << 20) {
+        Err(ReplError::Io(e)) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "{e}");
+            assert!(e.to_string().contains("exceeds"), "{e}");
+        }
+        other => panic!("oversized frame must fail the fetch, got {other:?}"),
+    }
+    fake.join().unwrap();
+}
+
+#[test]
+fn server_clamps_a_hostile_max_bytes_request() {
+    let dir = TempDir::new("frames-clamp");
+    let (_primary, server) = serving_primary(&dir, 50);
+
+    // A raw client requesting u32::MAX bytes: the server must clamp the
+    // budget and answer a well-formed, cap-respecting frame (the real
+    // client never asks for more than MAX_FRAME, so this is exactly the
+    // corrupt/hostile-frame case).
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut req = [0u8; 12];
+    req[..8].copy_from_slice(&0u64.to_be_bytes());
+    req[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+    stream.write_all(&req).unwrap();
+    let mut header = [0u8; 13];
+    stream.read_exact(&mut header).unwrap();
+    assert_eq!(header[0], 1, "records response");
+    let len = u32::from_be_bytes(header[9..13].try_into().unwrap());
+    assert!(len <= MAX_FRAME, "payload {len} within the cap");
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload).unwrap();
+    let scan = cxpersist::scan_batch(&payload, 0);
+    assert!(!scan.torn);
+    assert_eq!(scan.records.first().unwrap().lsn, 1);
+
+    // And a garbage request (absurd `after`) still gets a frame back, not
+    // a hang: divergence travels as its dedicated kind.
+    let mut req = [0u8; 12];
+    req[..8].copy_from_slice(&u64::MAX.to_be_bytes());
+    req[8..12].copy_from_slice(&1024u32.to_be_bytes());
+    stream.write_all(&req).unwrap();
+    let mut header = [0u8; 13];
+    stream.read_exact(&mut header).unwrap();
+    assert_eq!(header[0], 4, "diverged response kind");
+    server.shutdown();
+}
+
+#[test]
+fn too_large_is_terminal_and_parks_a_background_follower() {
+    // A fake primary whose every answer is "your payload cannot fit the
+    // frame cap" — the server-side verdict for a >MAX_FRAME snapshot
+    // bootstrap. The follower must park (terminal), not spin re-requesting
+    // an artifact that will never fit.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut req = [0u8; 12];
+        while stream.read_exact(&mut req).is_ok() {
+            let detail = b"response payload of 99999999999 bytes exceeds the frame cap";
+            let mut header = [0u8; 13];
+            header[0] = 5; // too-large
+            header[9..13].copy_from_slice(&(detail.len() as u32).to_be_bytes());
+            stream.write_all(&header).unwrap();
+            stream.write_all(detail).unwrap();
+        }
+    });
+
+    let mut transport = TcpTransport::connect(addr).unwrap();
+    assert!(matches!(transport.fetch(0, 1 << 20), Err(ReplError::FrameTooLarge { .. })));
+
+    let replica = Arc::new(cxrepl::ReplicaStore::new());
+    let handle = cxrepl::Follower::new(Arc::clone(&replica), transport)
+        .spawn(std::time::Duration::from_millis(2));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while handle.terminal_error().is_none() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let err = handle.terminal_error().expect("the follower must park, not retry forever");
+    assert!(err.contains("frame too large"), "{err}");
+    handle.stop();
+    drop(fake); // the fake server thread exits when the connection drops
+}
+
+#[test]
+fn real_transport_roundtrip_stays_within_the_cap() {
+    let dir = TempDir::new("frames-roundtrip");
+    let (_primary, server) = serving_primary(&dir, 20);
+    let mut transport = TcpTransport::connect(server.addr()).unwrap();
+    // The client caps its own request at MAX_FRAME even when the follower
+    // asks for more.
+    match transport.fetch(0, usize::MAX).unwrap() {
+        FetchResponse::Records { bytes, .. } => {
+            assert!(bytes.len() <= MAX_FRAME as usize);
+            let scan = cxpersist::scan_batch(&bytes, 0);
+            assert_eq!(scan.records.last().unwrap().lsn, 21);
+        }
+        other => panic!("expected records, got {other:?}"),
+    }
+    server.shutdown();
+}

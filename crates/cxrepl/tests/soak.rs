@@ -166,6 +166,7 @@ fn soak(edits: usize, tcp: bool) {
             let stop = Arc::clone(&stop_readers);
             let reads = Arc::clone(&reads);
             std::thread::spawn(move || {
+                let (mut prev_applied, mut prev_head) = (0u64, 0u64);
                 while !stop.load(Ordering::Relaxed) {
                     // Queries and exports against whatever state the
                     // replica has applied so far — they must never error
@@ -173,6 +174,27 @@ fn soak(edits: usize, tcp: bool) {
                     let _ = replica.store().query_all("//w").unwrap();
                     for id in replica.store().doc_ids() {
                         let _ = replica.store().with_doc(id, sacx::export_standoff).unwrap();
+                    }
+                    // Lag is coherent under concurrent applies: sampled
+                    // mid-batch, `applied` and `applied + lag` (the
+                    // implied head) must both be monotone — a stale head
+                    // against fresh applies, or vice versa, would read as
+                    // a transient garbage spike here. `applied` and
+                    // `lag()` are two calls, so the pair is only judged
+                    // when `applied` was provably stable across the
+                    // sample (it is monotone, so equal bracketing reads
+                    // mean `lag()` saw the same value).
+                    let a1 = replica.last_applied();
+                    let lag = replica.lag();
+                    let a2 = replica.last_applied();
+                    assert!(a2 >= prev_applied, "applied went backwards");
+                    if a1 == a2 {
+                        let head = a1 + lag;
+                        assert!(
+                            head >= prev_head,
+                            "implied head went backwards: {prev_head} -> {head}"
+                        );
+                        (prev_applied, prev_head) = (a1, head);
                     }
                     reads.fetch_add(1, Ordering::Relaxed);
                 }

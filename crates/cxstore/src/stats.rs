@@ -87,9 +87,47 @@ pub struct StoreStats {
     /// Replication lag in records: the last known primary head LSN minus
     /// the last applied LSN (replicas; 0 elsewhere).
     pub repl_lag: u64,
+    /// Primaries behind this store-shaped façade (clusters; 0 for plain
+    /// stores).
+    pub cluster_shards: usize,
+    /// Documents migrated between primaries (clusters; 0 elsewhere).
+    pub docs_moved: u64,
 }
 
 impl StoreStats {
+    /// Fold another store's stats into this one — the aggregation a
+    /// cluster uses to present N primaries as one store-shaped summary.
+    /// Totals and counters sum; `repl_lag` takes the worst (max) lag.
+    pub fn absorb(&mut self, other: &StoreStats) {
+        self.docs += other.docs;
+        self.elements += other.elements;
+        self.leaves += other.leaves;
+        self.content_bytes += other.content_bytes;
+        self.estimated_bytes += other.estimated_bytes;
+        self.epochs += other.epochs;
+        self.warm_indexes += other.warm_indexes;
+        self.compiled_queries += other.compiled_queries;
+        self.queries += other.queries;
+        self.batch_queries += other.batch_queries;
+        self.index_hits += other.index_hits;
+        self.index_builds += other.index_builds;
+        self.query_cache_hits += other.query_cache_hits;
+        self.query_cache_misses += other.query_cache_misses;
+        self.edits += other.edits;
+        self.edits_rejected += other.edits_rejected;
+        self.wal_appends += other.wal_appends;
+        self.wal_bytes += other.wal_bytes;
+        self.wal_fsyncs += other.wal_fsyncs;
+        self.checkpoints += other.checkpoints;
+        self.replayed_ops += other.replayed_ops;
+        self.recovered_docs += other.recovered_docs;
+        self.repl_records_shipped += other.repl_records_shipped;
+        self.repl_records_applied += other.repl_records_applied;
+        self.repl_lag = self.repl_lag.max(other.repl_lag);
+        self.cluster_shards += other.cluster_shards;
+        self.docs_moved += other.docs_moved;
+    }
+
     /// Fraction of index lookups served from cache (0 when none yet).
     pub fn index_hit_rate(&self) -> f64 {
         let total = self.index_hits + self.index_builds;

@@ -234,6 +234,31 @@ impl Store {
         self.next_id.load(Ordering::Relaxed)
     }
 
+    /// Atomically allocate the next raw id congruent to
+    /// `residue (mod modulus)` — the id-range hook for write sharding,
+    /// where shard `i` of `n` mints only ids `≡ i (mod n)` so a
+    /// hash-partitioned router maps every unmoved document straight back
+    /// to the shard that created it. The allocator is advanced past the
+    /// returned id; the caller inserts with [`Store::insert_with_id`].
+    /// With `modulus <= 1` this is a plain allocation.
+    pub fn allocate_doc_raw_aligned(&self, modulus: u64, residue: u64) -> u64 {
+        if modulus <= 1 {
+            return self.next_id.fetch_add(1, Ordering::Relaxed);
+        }
+        debug_assert!(residue < modulus, "residue {residue} out of range for modulus {modulus}");
+        loop {
+            let cur = self.next_id.load(Ordering::Relaxed);
+            let candidate = cur + (modulus + residue - cur % modulus) % modulus;
+            if self
+                .next_id
+                .compare_exchange(cur, candidate + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return candidate;
+            }
+        }
+    }
+
     /// Add many documents.
     pub fn insert_all(&self, docs: impl IntoIterator<Item = Goddag>) -> Vec<DocId> {
         docs.into_iter().map(|g| self.insert(g)).collect()
@@ -256,6 +281,16 @@ impl Store {
         }
         names.insert(name.into(), id);
         Ok(())
+    }
+
+    /// Drop one `name → id` binding without touching the document it
+    /// points at — the inverse of [`Store::bind_name`], needed when a name
+    /// is rebound across stores (a cluster moving a name between shards
+    /// must be able to retire the old shard's binding explicitly; a plain
+    /// rebind only shadows within one store). Returns the id the name was
+    /// bound to, or `None` when it was unbound already.
+    pub fn unbind_name(&self, name: &str) -> Option<DocId> {
+        self.names_write().remove(name)
     }
 
     /// All current `name → id` bindings, sorted by name.
@@ -1084,6 +1119,75 @@ mod tests {
         assert_eq!(store.next_doc_raw(), 100);
         // Insertion order stays id order across shards.
         assert_eq!(store.doc_ids(), vec![id, revived, DocId::from_raw(18)]);
+    }
+
+    #[test]
+    fn aligned_allocation_stays_in_its_residue_class() {
+        let store = Store::new();
+        // Shard-style allocation: three residue classes mod 3.
+        for residue in [0u64, 1, 2] {
+            for _ in 0..4 {
+                let raw = store.allocate_doc_raw_aligned(3, residue);
+                assert_eq!(raw % 3, residue);
+                store.insert_with_id(DocId::from_raw(raw), corpus::figure1::goddag()).unwrap();
+            }
+        }
+        // Ids are unique and the allocator is past all of them.
+        let ids = store.doc_ids();
+        assert_eq!(ids.len(), 12);
+        assert!(store.next_doc_raw() > ids.last().unwrap().raw());
+        // Plain inserts interleave without colliding.
+        let plain = store.insert(corpus::figure1::goddag());
+        assert!(!ids.contains(&plain));
+        // modulus <= 1 degrades to plain allocation.
+        let a = store.allocate_doc_raw_aligned(1, 0);
+        let b = store.allocate_doc_raw_aligned(0, 0);
+        assert!(b > a);
+        // Aligned allocation under contention mints distinct ids.
+        let store = Arc::new(Store::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                (0..50).map(|_| store.allocate_doc_raw_aligned(4, t % 4)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 200, "no id minted twice");
+    }
+
+    #[test]
+    fn unbind_name_detaches_only_the_binding() {
+        let store = Store::new();
+        let id = store.insert_named("ms", corpus::figure1::goddag());
+        store.bind_name("alias", id).unwrap();
+        assert_eq!(store.unbind_name("ms"), Some(id));
+        assert_eq!(store.unbind_name("ms"), None, "already unbound");
+        assert_eq!(store.unbind_name("never-bound"), None);
+        // The document and its other bindings survive.
+        assert!(store.contains(id));
+        assert_eq!(store.id_by_name("alias").unwrap(), id);
+        assert!(store.id_by_name("ms").is_err());
+    }
+
+    #[test]
+    fn stats_absorb_sums_and_takes_worst_lag() {
+        let a = Store::new();
+        a.insert(corpus::figure1::goddag());
+        a.query_all("//w").unwrap();
+        let b = Store::new();
+        b.insert(corpus::figure1::goddag());
+        b.insert(corpus::figure1::goddag());
+        let mut total = a.stats();
+        let mut sb = b.stats();
+        sb.repl_lag = 7;
+        total.repl_lag = 3;
+        total.absorb(&sb);
+        assert_eq!(total.docs, 3);
+        assert_eq!(total.batch_queries, 1);
+        assert_eq!(total.repl_lag, 7, "lag aggregates as the worst shard");
     }
 
     #[test]

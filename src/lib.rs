@@ -18,6 +18,7 @@
 //! | [`cxstore`] | concurrent multi-document repository: cached overlap indexes, compiled-query cache, batch/parallel queries, gated edits |
 //! | [`cxpersist`] | durable stores: `EditOp` write-ahead log, stand-off snapshots, warm restart |
 //! | [`cxrepl`] | WAL log-shipping replication: read replicas, catch-up, follower promotion |
+//! | [`cxcluster`] | multi-primary write sharding: name routing, fan-out queries, live rebalancing |
 //! | [`corpus`] | synthetic manuscript workloads + the paper's Figure 1 reconstruction |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@
 //! ```
 
 pub use corpus;
+pub use cxcluster;
 pub use cxpersist;
 pub use cxrepl;
 pub use cxstore;
