@@ -2,6 +2,7 @@
 
 use crate::error::{ClusterError, Result};
 use crate::router::{Router, ShardId};
+use cxobs::{Exposition, Gauge, Histogram, Observable, Registry};
 use cxpersist::{CheckpointInfo, DocBlob, DurableStore, Options};
 use cxrepl::Primary;
 use cxstore::{DocId, EditOp, EditOutcome, StoreError, StoreStats};
@@ -54,6 +55,19 @@ pub struct Cluster {
     /// Round-robin cursor for placing new documents.
     next_insert: AtomicU64,
     docs_moved: AtomicU64,
+    /// Cluster-level metrics (the shards each have their own registry;
+    /// this one holds what only the cluster can see: queueing and
+    /// migration).
+    obs: Arc<Registry>,
+    /// Writes currently executing against shard `i` —
+    /// `cx_shard_writes_in_flight{shard="i"}`.
+    shard_inflight: Vec<Arc<Gauge>>,
+    /// Writers currently blocked on (or entering) the migration gate.
+    gate_waiters: Arc<Gauge>,
+    /// Live fan-out worker threads across batch queries.
+    fanout_threads: Arc<Gauge>,
+    /// One whole `move_doc` (capture → receive → swap → tombstone).
+    move_doc_ns: Arc<Histogram>,
 }
 
 /// One batch-query result set: per-document node hits, keyed by handle.
@@ -154,6 +168,13 @@ impl Cluster {
         }
 
         let primaries = shards.iter().map(|_| OnceLock::new()).collect();
+        let obs = Arc::new(Registry::new());
+        let shard_inflight = (0..shards.len())
+            .map(|i| obs.gauge_with("cx_shard_writes_in_flight", &[("shard", &i.to_string())]))
+            .collect();
+        let gate_waiters = obs.gauge("cx_gate_waiters");
+        let fanout_threads = obs.gauge("cx_fanout_threads");
+        let move_doc_ns = obs.histogram("cx_move_doc_ns");
         Ok(Cluster {
             shards,
             primaries,
@@ -162,6 +183,11 @@ impl Cluster {
             gate: RwLock::new(()),
             next_insert: AtomicU64::new(0),
             docs_moved: AtomicU64::new(0),
+            obs,
+            shard_inflight,
+            gate_waiters,
+            fanout_threads,
+            move_doc_ns,
         })
     }
 
@@ -230,8 +256,9 @@ impl Cluster {
     /// minted id is congruent to the owning shard's index, so routing it
     /// needs no table entry.
     pub fn insert(&self, g: Goddag) -> Result<DocId> {
-        let _shared = read_gate(&self.gate);
+        let _shared = self.shared_gate();
         let (shard, n, residue) = self.place();
+        let _inflight = self.shard_inflight[residue as usize].track();
         shard.insert_aligned(None, g, n, residue).map_err(ClusterError::from)
     }
 
@@ -240,10 +267,11 @@ impl Cluster {
     /// is unbound there first, so a crash mid-rebind leaves the name
     /// unbound, never split between shards).
     pub fn insert_named(&self, name: impl Into<String>, g: Goddag) -> Result<DocId> {
-        let _shared = read_gate(&self.gate);
+        let _shared = self.shared_gate();
         let name = name.into();
         let mut names = self.names_write();
         let (shard, n, residue) = self.place();
+        let _inflight = self.shard_inflight[residue as usize].track();
         let target = ShardId(residue as usize);
         let retired = self.retire_foreign_binding(&names, &name, target)?;
         match shard.insert_aligned(Some(name.clone()), g, n, residue) {
@@ -294,7 +322,7 @@ impl Cluster {
     /// Bind (or rebind) a name to a live document, durably on its owning
     /// shard.
     pub fn bind_name(&self, name: impl Into<String>, id: DocId) -> Result<()> {
-        let _shared = read_gate(&self.gate);
+        let _shared = self.shared_gate();
         let name = name.into();
         let mut names = self.names_write();
         let target = self.router.shard_of(id);
@@ -321,7 +349,7 @@ impl Cluster {
     /// Drop a name binding (the document stays). Returns what it was bound
     /// to.
     pub fn unbind_name(&self, name: &str) -> Result<Option<DocId>> {
-        let _shared = read_gate(&self.gate);
+        let _shared = self.shared_gate();
         let mut names = self.names_write();
         let Some(&id) = names.get(name) else { return Ok(None) };
         self.shards[self.router.shard_of(id).0].unbind_name(name)?;
@@ -348,9 +376,11 @@ impl Cluster {
     /// Drop a document (and all of its name bindings), durably, wherever
     /// it lives. Returns whether the handle was live.
     pub fn remove(&self, id: DocId) -> Result<bool> {
-        let _shared = read_gate(&self.gate);
+        let _shared = self.shared_gate();
         let mut names = self.names_write();
-        let removed = self.shards[self.router.shard_of(id).0].remove(id)?;
+        let s = self.router.shard_of(id).0;
+        let _inflight = self.shard_inflight[s].track();
+        let removed = self.shards[s].remove(id)?;
         if removed {
             names.retain(|_, v| *v != id);
             self.router.forget(id);
@@ -360,10 +390,12 @@ impl Cluster {
 
     /// Resolve a name and drop that document.
     pub fn remove_named(&self, name: &str) -> Result<DocId> {
-        let _shared = read_gate(&self.gate);
+        let _shared = self.shared_gate();
         let mut names = self.names_write();
         let id = *names.get(name).ok_or_else(|| StoreError::NoSuchName(name.into()))?;
-        self.shards[self.router.shard_of(id).0].remove(id)?;
+        let s = self.router.shard_of(id).0;
+        let _inflight = self.shard_inflight[s].track();
+        self.shards[s].remove(id)?;
         names.retain(|_, v| *v != id);
         self.router.forget(id);
         Ok(id)
@@ -465,6 +497,7 @@ impl Cluster {
     /// reads stay concurrent).
     pub fn query_all(&self, expr: &str) -> Result<Vec<(DocId, Vec<goddag::NodeId>)>> {
         let _shared = read_gate(&self.gate);
+        let _fanout = self.fanout_threads.track_n(self.shards.len() as i64);
         let results: Vec<cxstore::Result<BatchHits>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
@@ -488,9 +521,11 @@ impl Cluster {
     /// Apply one gated [`EditOp`] on the owning shard — logged to that
     /// shard's WAL, prevalidated exactly as on a single primary.
     pub fn edit(&self, id: DocId, op: EditOp) -> Result<EditOutcome> {
-        let _shared = read_gate(&self.gate);
+        let _shared = self.shared_gate();
         // Under the shared gate the route cannot change mid-edit.
-        self.shards[self.router.shard_of(id).0].edit(id, op).map_err(ClusterError::from)
+        let s = self.router.shard_of(id).0;
+        let _inflight = self.shard_inflight[s].track();
+        self.shards[s].edit(id, op).map_err(ClusterError::from)
     }
 
     // ------------------------------------------------------------------
@@ -520,6 +555,9 @@ impl Cluster {
         if to.0 >= self.shards.len() {
             return Err(ClusterError::NoSuchShard(to.0));
         }
+        // The span covers the gate drain too: that wait *is* migration
+        // latency as writers experience it.
+        let _span = self.move_doc_ns.span();
         let _exclusive = write_gate(&self.gate);
         let from = self.router.shard_of(id);
         if from == to {
@@ -532,6 +570,7 @@ impl Cluster {
         self.router.route(id, to);
         source.remove(id)?;
         self.docs_moved.fetch_add(1, Ordering::Relaxed);
+        self.obs.event("migrate", format!("{id}: shard {} -> shard {}", from.0, to.0));
         Ok(from)
     }
 
@@ -554,6 +593,7 @@ impl Cluster {
             self.move_doc(id, ShardId(targets[k % targets.len()]))?;
             moved.push(id);
         }
+        self.obs.event("drain", format!("shard {}: {} documents moved off", from.0, moved.len()));
         Ok(moved)
     }
 
@@ -594,12 +634,29 @@ impl Cluster {
         }
         out.cluster_shards = self.shards.len();
         out.docs_moved = self.docs_moved.load(Ordering::Relaxed);
+        out.writes_in_flight = self.shard_inflight.iter().map(|g| g.get()).sum();
+        out.writers_waiting = self.gate_waiters.get();
         out
+    }
+
+    /// The cluster-level metrics registry (`cx_gate_waiters`,
+    /// `cx_fanout_threads`, per-shard in-flight gauges, `cx_move_doc_ns`,
+    /// migration events). Each shard's own registry hangs off its
+    /// [`DurableStore::registry`].
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Acquire the migration gate shared, counting this writer in
+    /// `cx_gate_waiters` while it blocks on (or enters) the gate.
+    fn shared_gate(&self) -> std::sync::RwLockReadGuard<'_, ()> {
+        let _waiting = self.gate_waiters.track();
+        read_gate(&self.gate)
+    }
 
     fn names_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, DocId>> {
         self.names.read().unwrap_or_else(PoisonError::into_inner)
@@ -607,6 +664,22 @@ impl Cluster {
 
     fn names_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, DocId>> {
         self.names.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Observable for Cluster {
+    /// The whole cluster as one page: every shard's full stack (store,
+    /// durability, replication) wrapped in a `shard="i"` label, followed
+    /// by the aggregated cluster stats and the cluster-level metrics
+    /// (gate queueing, fan-out, migration latency).
+    fn expose_into(&self, out: &mut Exposition) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            out.push_label("shard", i);
+            shard.expose_into(out);
+            out.pop_label();
+        }
+        self.stats().expose_into(out);
+        self.obs.expose_into(out);
     }
 }
 

@@ -1,0 +1,139 @@
+//! The bounded recent-events ring: a structured log for post-mortems.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// One structured event: what happened (`kind` is a stable machine-
+/// readable tag, `detail` the human-readable specifics) and when
+/// (monotonic microseconds since the ring was created — wall-clock-free,
+/// so replaying a transcript of events stays meaningful across clock
+/// adjustments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number (1-based; gaps never occur — overflow
+    /// drops the *oldest* entries, not numbers).
+    pub seq: u64,
+    /// Microseconds since the ring was created.
+    pub at_micros: u64,
+    /// Stable tag, e.g. `"checkpoint"`, `"gate.reject"`,
+    /// `"follower.parked"`.
+    pub kind: &'static str,
+    /// Free-form specifics.
+    pub detail: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    next_seq: u64,
+    dropped: u64,
+    buf: VecDeque<Event>,
+}
+
+/// A bounded ring of recent [`Event`]s. Recording takes one short mutex
+/// (events are rare — state transitions, errors, generations — never
+/// per-operation); overflow drops the oldest entry and counts it, so
+/// the ring can never grow without bound and loss is always visible.
+pub struct EventRing {
+    on: bool,
+    cap: usize,
+    start: Instant,
+    inner: Mutex<Inner>,
+}
+
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl EventRing {
+    /// A ring keeping at most `cap` events (`cap` 0 records nothing).
+    pub fn new(cap: usize) -> EventRing {
+        EventRing { on: cap > 0, cap, start: Instant::now(), inner: Mutex::default() }
+    }
+
+    /// Append an event, evicting (and counting) the oldest on overflow.
+    pub fn record(&self, kind: &'static str, detail: impl Into<String>) {
+        if !self.on {
+            return;
+        }
+        let at_micros = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let mut inner = lock(&self.inner);
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        if inner.buf.len() >= self.cap {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(Event { seq, at_micros, kind, detail: detail.into() });
+    }
+
+    /// The retained events, oldest first (a copy — the ring keeps them).
+    pub fn recent(&self) -> Vec<Event> {
+        lock(&self.inner).buf.iter().cloned().collect()
+    }
+
+    /// Take all retained events out of the ring, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        lock(&self.inner).buf.drain(..).collect()
+    }
+
+    /// Events evicted by overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        lock(&self.inner).dropped
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).buf.len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.record("tick", format!("event {i}"));
+        }
+        let kept = ring.recent();
+        assert_eq!(kept.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        // The newest four survive, sequence numbers intact and ordered.
+        assert_eq!(kept.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![7, 8, 9, 10]);
+        assert_eq!(kept.last().unwrap().detail, "event 9");
+        // Timestamps are monotone.
+        assert!(kept.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_numbering() {
+        let ring = EventRing::new(8);
+        ring.record("a", "1");
+        ring.record("b", "2");
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.is_empty());
+        ring.record("c", "3");
+        assert_eq!(ring.recent()[0].seq, 3, "sequence numbers continue across drains");
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let ring = EventRing::new(0);
+        ring.record("x", "y");
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+}

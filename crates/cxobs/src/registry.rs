@@ -1,0 +1,274 @@
+//! The metric registry: named handles, idempotent registration, render.
+
+use crate::events::EventRing;
+use crate::expose::Exposition;
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// How many events the registry's ring retains by default.
+const EVENT_CAP: usize = 256;
+
+/// `(name, static labels)` — the registry key. Two registrations with
+/// the same name but different labels are distinct series (the per-shard
+/// gauge pattern).
+type Key = (String, Vec<(String, String)>);
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named metrics plus one [`EventRing`]. One registry
+/// backs one store stack: the layers (`Store`, `DurableStore`,
+/// replication, cluster) register their handles here once and bump them
+/// lock-free; [`Registry::expose_into`] renders everything as
+/// `name{label="v"} value` lines, sorted by name for deterministic
+/// output.
+///
+/// Registration is idempotent — asking for an existing `(name, labels)`
+/// pair returns the same handle — and kind-checked: re-registering a
+/// name as a different metric kind panics (it is a programming error,
+/// not a runtime condition).
+pub struct Registry {
+    on: bool,
+    metrics: RwLock<BTreeMap<Key, Metric>>,
+    events: EventRing,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A live registry.
+    pub fn new() -> Registry {
+        Registry { on: true, metrics: RwLock::default(), events: EventRing::new(EVENT_CAP) }
+    }
+
+    /// A no-op registry: handles exist and render (as zeroes), but
+    /// recording is a branch and span timers skip the clock entirely —
+    /// the baseline the instrumentation-overhead guard compares against.
+    pub fn disabled() -> Registry {
+        Registry { on: false, metrics: RwLock::default(), events: EventRing::new(0) }
+    }
+
+    /// Whether metrics recorded through this registry are kept.
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// The named counter (registered on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// A counter carrying static labels, e.g. `("shard", "2")`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register(
+            name,
+            labels,
+            || Metric::Counter(Arc::new(Counter::new(self.on))),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The named gauge (registered on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// A gauge carrying static labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.register(
+            name,
+            labels,
+            || Metric::Gauge(Arc::new(Gauge::new(self.on))),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The named histogram (registered on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// A histogram carrying static labels.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.register(
+            name,
+            labels,
+            || Metric::Histogram(Arc::new(Histogram::new(self.on))),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Time a closure into the named histogram — the string-addressed
+    /// span timer (`obs.time("wal.append", || …)`). Hot paths should
+    /// hold the [`Registry::histogram`] handle instead and call
+    /// [`Histogram::time`] directly; this pays one map lookup.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        if !self.on {
+            return f();
+        }
+        self.histogram(name).time(f)
+    }
+
+    /// Record an event into the ring.
+    pub fn event(&self, kind: &'static str, detail: impl Into<String>) {
+        self.events.record(kind, detail);
+    }
+
+    /// The recent-events ring.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+        get: impl Fn(&Metric) -> Option<T>,
+    ) -> T {
+        let key = || {
+            (
+                name.to_string(),
+                labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect(),
+            )
+        };
+        let lookup = key();
+        if let Some(m) = self.metrics.read().unwrap_or_else(PoisonError::into_inner).get(&lookup) {
+            return get(m).unwrap_or_else(|| {
+                panic!("metric {name:?} is already registered as a {}", m.kind())
+            });
+        }
+        let mut map = self.metrics.write().unwrap_or_else(PoisonError::into_inner);
+        let m = map.entry(lookup).or_insert_with(make);
+        get(m).unwrap_or_else(|| panic!("metric {name:?} is already registered as a {}", m.kind()))
+    }
+
+    /// Append every registered metric as exposition lines (sorted by
+    /// name, then labels): counters and gauges one line each, histograms
+    /// as `{name}_count`, `{name}_sum` and `quantile="0.5|0.9|0.99"`
+    /// series (all values in nanoseconds for `_ns`-suffixed names).
+    pub fn expose_into(&self, out: &mut Exposition) {
+        let map = self.metrics.read().unwrap_or_else(PoisonError::into_inner);
+        for ((name, labels), metric) in map.iter() {
+            let labels: Vec<(&str, &str)> =
+                labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            match metric {
+                Metric::Counter(c) => out.write_with(name, &labels, c.get()),
+                Metric::Gauge(g) => out.write_with(name, &labels, g.get()),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.write_with(&format!("{name}_count"), &labels, s.count);
+                    out.write_with(&format!("{name}_sum"), &labels, s.sum_ns);
+                    for (q, v) in [("0.5", s.p50()), ("0.9", s.p90()), ("0.99", s.p99())] {
+                        let mut with_q = labels.clone();
+                        with_q.push(("quantile", q));
+                        out.write_with(name, &with_q, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render this registry alone as exposition text.
+    pub fn render(&self) -> String {
+        let mut out = Exposition::new();
+        self.expose_into(&mut out);
+        out.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("cx_things_total");
+        let b = r.counter("cx_things_total");
+        a.bump();
+        b.bump();
+        assert_eq!(a.get(), 2, "both handles name the same counter");
+        // Distinct labels are distinct series.
+        let s0 = r.gauge_with("cx_depth", &[("shard", "0")]);
+        let s1 = r.gauge_with("cx_depth", &[("shard", "1")]);
+        s0.set(4);
+        assert_eq!(s1.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("cx_x");
+        r.gauge("cx_x");
+    }
+
+    #[test]
+    fn render_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("cx_b_total").add(2);
+        r.gauge("cx_a").set(-3);
+        r.histogram("cx_lat_ns").record_ns(1000);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "cx_a -3",
+                "cx_b_total 2",
+                "cx_lat_ns_count 1",
+                "cx_lat_ns_sum 1000",
+                "cx_lat_ns{quantile=\"0.5\"} 1023",
+                "cx_lat_ns{quantile=\"0.9\"} 1023",
+                "cx_lat_ns{quantile=\"0.99\"} 1023",
+            ]
+        );
+    }
+
+    #[test]
+    fn string_addressed_timer_registers_and_records() {
+        let r = Registry::new();
+        assert_eq!(r.time("cx_step_ns", || 7), 7);
+        assert_eq!(r.histogram("cx_step_ns").snapshot().count, 1);
+        // Disabled registries run the closure bare and keep nothing.
+        let off = Registry::disabled();
+        assert_eq!(off.time("cx_step_ns", || 7), 7);
+        assert_eq!(off.histogram("cx_step_ns").snapshot().count, 0);
+        off.event("x", "dropped");
+        assert!(off.events().is_empty());
+    }
+
+    #[test]
+    fn registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Registry>();
+    }
+}

@@ -25,12 +25,14 @@ use crate::snapshot::{
     list_snapshots, load_snapshot, prune_snapshots, sync_dir, validated_manifest, write_snapshot,
     StoreSnapshot,
 };
+use cxobs::{Exposition, Histogram, Observable, Registry};
 use cxstore::{DocId, EditOp, EditOutcome, Store, StoreStats};
 use goddag::Goddag;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
@@ -150,6 +152,31 @@ struct PersistCounters {
     wal_fsyncs: AtomicU64,
     checkpoints: AtomicU64,
     tail_cache_hits: AtomicU64,
+    tail_cache_misses: AtomicU64,
+}
+
+/// The durability layer's latency histograms, registered on the wrapped
+/// store's [`Registry`] so one exposition covers both layers.
+struct PersistMetrics {
+    /// One WAL append (encode + write + any policy-due fsync).
+    wal_append_ns: Arc<Histogram>,
+    /// One `fdatasync` of the log.
+    wal_fsync_ns: Arc<Histogram>,
+    /// A whole checkpoint (snapshot + rotation + pruning).
+    checkpoint_ns: Arc<Histogram>,
+    /// The WAL replay phase of [`DurableStore::open`].
+    recovery_replay_ns: Arc<Histogram>,
+}
+
+impl PersistMetrics {
+    fn new(r: &Registry) -> PersistMetrics {
+        PersistMetrics {
+            wal_append_ns: r.histogram("cx_wal_append_ns"),
+            wal_fsync_ns: r.histogram("cx_wal_fsync_ns"),
+            checkpoint_ns: r.histogram("cx_checkpoint_ns"),
+            recovery_replay_ns: r.histogram("cx_recovery_replay_ns"),
+        }
+    }
 }
 
 /// Cap on remembered tail positions. Each tailing follower occupies one
@@ -186,6 +213,7 @@ pub struct DurableStore {
     wal: Mutex<WalState>,
     policy: FsyncPolicy,
     counters: PersistCounters,
+    metrics: PersistMetrics,
     recovery: RecoveryReport,
     /// Bumped (under the WAL mutex) whenever the log file is rewritten —
     /// the [`TailCache`] invalidation signal.
@@ -237,8 +265,10 @@ impl DurableStore {
             }
         }
         let store = store.unwrap_or_default();
+        let metrics = PersistMetrics::new(store.registry());
 
         // 2. Scan the log and replay the tail past the snapshot.
+        let replay_start = Instant::now();
         let wal_path = dir.join("wal.log");
         let mut lsn = snap_lsn;
         let mut valid_len = WAL_HEADER.len() as u64;
@@ -268,6 +298,20 @@ impl DurableStore {
                     Self::replay(&store, &wal_path, rec.lsn, rec.op, &mut removed, &mut report)?;
                 }
             }
+        }
+
+        if !fresh {
+            metrics.recovery_replay_ns.record(replay_start.elapsed());
+            store.registry().event(
+                "recovery",
+                format!(
+                    "snapshot {:?}: {} docs, {} ops replayed, {} torn bytes dropped",
+                    report.snapshot_lsn,
+                    report.recovered_docs,
+                    report.replayed_ops,
+                    report.torn_bytes_dropped
+                ),
+            );
         }
 
         // 3. Re-open the log for appending, with the torn tail cut off.
@@ -303,6 +347,7 @@ impl DurableStore {
             }),
             policy: options.fsync,
             counters: PersistCounters::default(),
+            metrics,
             recovery: report,
             rotations: AtomicU64::new(0),
             tail_cache: Mutex::default(),
@@ -437,7 +482,7 @@ impl DurableStore {
                     ),
                 });
             }
-            Self::sync_locked(&mut w, &self.counters)?;
+            Self::sync_locked(&mut w, &self.counters, &self.metrics)?;
             (w.lsn, self.rotations.load(Ordering::Relaxed))
         };
         // All file reads run *outside* the mutex so shipping never stalls
@@ -489,6 +534,7 @@ impl DurableStore {
         // Slow path (a follower's first fetch; any cache anomaly): read
         // the whole file and frame-skip the records the follower already
         // holds.
+        self.counters.tail_cache_misses.fetch_add(1, Ordering::Relaxed);
         let bytes = fs::read(&wal_path)?;
         let mut pos = if bytes.starts_with(WAL_HEADER.as_bytes()) { WAL_HEADER.len() } else { 0 };
         let mut first = None;
@@ -581,7 +627,7 @@ impl DurableStore {
         let _exclusive = write_gate(&self.gate);
         let lsn = {
             let mut w = lock(&self.wal);
-            Self::sync_locked(&mut w, &self.counters)?;
+            Self::sync_locked(&mut w, &self.counters, &self.metrics)?;
             w.lsn
         };
         StoreSnapshot::capture(&self.store, lsn)
@@ -617,6 +663,7 @@ impl DurableStore {
         file.write_all(WAL_HEADER.as_bytes())?;
         file.sync_all()?;
         sync_dir(&dir)?;
+        let metrics = PersistMetrics::new(store.registry());
         Ok(DurableStore {
             store,
             dir,
@@ -630,6 +677,7 @@ impl DurableStore {
             }),
             policy: options.fsync,
             counters: PersistCounters::default(),
+            metrics,
             recovery: RecoveryReport {
                 snapshot_lsn: Some(lsn),
                 recovered_docs: write.docs,
@@ -712,6 +760,7 @@ impl DurableStore {
         Self::append_locked(
             &mut w,
             &self.counters,
+            &self.metrics,
             self.policy,
             WalOp::DocInsert { doc: id, name: name.clone(), blob },
         )?;
@@ -746,6 +795,7 @@ impl DurableStore {
             Self::append_locked(
                 &mut w,
                 &self.counters,
+                &self.metrics,
                 self.policy,
                 WalOp::DocInsert { doc: id, name: None, blob: blob.clone() },
             )?;
@@ -804,15 +854,17 @@ impl DurableStore {
 
     fn append(&self, op: WalOp) -> Result<()> {
         let mut w = lock(&self.wal);
-        Self::append_locked(&mut w, &self.counters, self.policy, op)
+        Self::append_locked(&mut w, &self.counters, &self.metrics, self.policy, op)
     }
 
     fn append_locked(
         w: &mut WalState,
         counters: &PersistCounters,
+        metrics: &PersistMetrics,
         policy: FsyncPolicy,
         op: WalOp,
     ) -> Result<()> {
+        let _span = metrics.wal_append_ns.span();
         let pre_len = w.len;
         let line = encode_record(w.lsn + 1, &op);
         if let Err(e) = w.file.write_all(line.as_bytes()) {
@@ -834,7 +886,7 @@ impl DurableStore {
             FsyncPolicy::Never => false,
         };
         if due {
-            if let Err(e) = Self::sync_locked(w, counters) {
+            if let Err(e) = Self::sync_locked(w, counters, metrics) {
                 // The append error aborts the caller's operation before it
                 // is applied in memory, so the record must not survive
                 // either — a phantom record would poison a later replay
@@ -851,9 +903,13 @@ impl DurableStore {
         Ok(())
     }
 
-    fn sync_locked(w: &mut WalState, counters: &PersistCounters) -> Result<()> {
+    fn sync_locked(
+        w: &mut WalState,
+        counters: &PersistCounters,
+        metrics: &PersistMetrics,
+    ) -> Result<()> {
         if w.dirty > 0 {
-            w.file.sync_data()?;
+            metrics.wal_fsync_ns.time(|| w.file.sync_data())?;
             counters.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
             w.dirty = 0;
         }
@@ -865,7 +921,7 @@ impl DurableStore {
     /// under the lazier policies).
     pub fn sync(&self) -> Result<()> {
         let mut w = lock(&self.wal);
-        Self::sync_locked(&mut w, &self.counters)
+        Self::sync_locked(&mut w, &self.counters, &self.metrics)
     }
 
     // ------------------------------------------------------------------
@@ -894,11 +950,12 @@ impl DurableStore {
     /// than serving partial state (reuse sources are CRC-validated
     /// end-to-end at checkpoint time, so rot never launders forward).
     pub fn checkpoint(&self) -> Result<CheckpointInfo> {
+        let _span = self.metrics.checkpoint_ns.span();
         let _exclusive = write_gate(&self.gate);
         let mut w = lock(&self.wal);
         // Everything up to w.lsn is in memory (mutators are drained); the
         // snapshot captures exactly that state.
-        Self::sync_locked(&mut w, &self.counters)?;
+        Self::sync_locked(&mut w, &self.counters, &self.metrics)?;
         let lsn = w.lsn;
         // The newest *older* snapshot that validates end-to-end (manifest
         // + blob CRCs + epochs) serves two roles: its blobs are reused for
@@ -920,6 +977,13 @@ impl DurableStore {
         self.drop_wal_prefix(&mut w, floor)?;
         prune_snapshots(&self.dir, floor);
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.store.registry().event(
+            "checkpoint",
+            format!(
+                "lsn {lsn}: {} docs ({} fresh, {} reused), {} bytes",
+                write.docs, write.fresh_docs, write.reused_docs, write.bytes
+            ),
+        );
         Ok(CheckpointInfo {
             lsn,
             docs: write.docs,
@@ -969,6 +1033,7 @@ impl DurableStore {
         // file; bump the epoch (still under the WAL mutex) so tailers
         // re-scan once and re-learn positions in the rewritten log.
         self.rotations.fetch_add(1, Ordering::Relaxed);
+        self.store.registry().event("wal.rotate", format!("retired through lsn {keep_after}"));
         sync_dir(dir)?;
         Ok(())
     }
@@ -983,6 +1048,12 @@ impl DurableStore {
         self.counters.tail_cache_hits.load(Ordering::Relaxed)
     }
 
+    /// Tail fetches that fell back to a whole-file scan (first fetch per
+    /// follower; any cache anomaly or rotation).
+    pub fn tail_cache_misses(&self) -> u64 {
+        self.counters.tail_cache_misses.load(Ordering::Relaxed)
+    }
+
     /// [`Store::stats`] plus the WAL / checkpoint / recovery counters.
     pub fn stats(&self) -> StoreStats {
         let mut s = self.store.stats();
@@ -992,7 +1063,24 @@ impl DurableStore {
         s.checkpoints = self.counters.checkpoints.load(Ordering::Relaxed);
         s.replayed_ops = self.recovery.replayed_ops;
         s.recovered_docs = self.recovery.recovered_docs as u64;
+        s.tail_cache_hits = self.counters.tail_cache_hits.load(Ordering::Relaxed);
+        s.tail_cache_misses = self.counters.tail_cache_misses.load(Ordering::Relaxed);
         s
+    }
+
+    /// The metric registry shared with the wrapped store (the layers
+    /// above — replication, clustering — hang their metrics here too).
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.store.registry()
+    }
+}
+
+impl Observable for DurableStore {
+    /// The durable stats snapshot (WAL, checkpoint, recovery, and tail
+    /// -cache counters included) plus every registry metric.
+    fn expose_into(&self, out: &mut Exposition) {
+        self.stats().expose_into(out);
+        self.store.registry().expose_into(out);
     }
 }
 
@@ -1000,7 +1088,7 @@ impl Drop for DurableStore {
     fn drop(&mut self) {
         // Best-effort flush of anything a lazy policy left unsynced.
         let mut w = lock(&self.wal);
-        let _ = Self::sync_locked(&mut w, &self.counters);
+        let _ = Self::sync_locked(&mut w, &self.counters, &self.metrics);
     }
 }
 

@@ -136,6 +136,7 @@ impl<T: LogTransport> Follower<T> {
                         | crate::error::ReplError::Gap { .. }
                         | crate::error::ReplError::FrameTooLarge { .. }),
                     ) => {
+                        f.replica.store().registry().event("follower.parked", e.to_string());
                         *terminal2.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
                             Some(e);
                         return;

@@ -2,6 +2,7 @@
 
 use crate::error::{ReplError, Result};
 use crate::transport::FetchResponse;
+use cxobs::{Exposition, Histogram, Observable};
 use cxpersist::{DurableStore, TailShipment};
 use cxstore::StoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,16 +21,21 @@ pub struct Primary {
     records_shipped: AtomicU64,
     batches_shipped: AtomicU64,
     snapshots_shipped: AtomicU64,
+    /// One `handle_fetch` round trip (registered on the durable store's
+    /// registry, so the whole shard exposes as one page).
+    ship_ns: Arc<Histogram>,
 }
 
 impl Primary {
     /// Serve `durable`'s log.
     pub fn new(durable: Arc<DurableStore>) -> Primary {
+        let ship_ns = durable.registry().histogram("cx_repl_ship_ns");
         Primary {
             durable,
             records_shipped: AtomicU64::new(0),
             batches_shipped: AtomicU64::new(0),
             snapshots_shipped: AtomicU64::new(0),
+            ship_ns,
         }
     }
 
@@ -48,14 +54,15 @@ impl Primary {
     /// transports preserve so the follower's loop parks instead of
     /// retrying an unhealable stream.
     pub fn handle_fetch(&self, after: u64, max_bytes: usize) -> Result<FetchResponse> {
+        let _span = self.ship_ns.span();
         let head = self.durable.wal_position().lsn;
         if after > head {
-            return Err(ReplError::Diverged {
-                detail: format!(
-                    "follower claims LSN {after}, but this primary's log ends at {head} — \
-                     split history; re-bootstrap the follower"
-                ),
-            });
+            let detail = format!(
+                "follower claims LSN {after}, but this primary's log ends at {head} — \
+                 split history; re-bootstrap the follower"
+            );
+            self.durable.registry().event("repl.error", detail.clone());
+            return Err(ReplError::Diverged { detail });
         }
         match self.durable.wal_tail(after, max_bytes)? {
             TailShipment::CaughtUp => Ok(FetchResponse::CaughtUp { head: after }),
@@ -67,6 +74,10 @@ impl Primary {
             TailShipment::SnapshotNeeded => {
                 let snap = self.durable.capture_snapshot()?;
                 self.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+                self.durable.registry().event(
+                    "snapshot.ship",
+                    format!("bootstrap at lsn {} (after {after})", snap.lsn),
+                );
                 Ok(FetchResponse::Snapshot { head: snap.lsn, bytes: snap.to_text().into_bytes() })
             }
         }
@@ -87,5 +98,14 @@ impl Primary {
         let mut s = self.durable.stats();
         s.repl_records_shipped = self.records_shipped.load(Ordering::Relaxed);
         s
+    }
+}
+
+impl Observable for Primary {
+    /// The shard's whole stack — store, durability, and shipping — as one
+    /// exposition page.
+    fn expose_into(&self, out: &mut Exposition) {
+        self.stats().expose_into(out);
+        self.durable.registry().expose_into(out);
     }
 }

@@ -1,6 +1,7 @@
 //! The applying side: a live read-only store that follows a shipped log.
 
 use crate::error::{ReplError, Result};
+use cxobs::{Exposition, Histogram, Observable};
 use cxpersist::{scan_batch, DurableStore, Options, StoreSnapshot, WalOp};
 use cxstore::{Store, StoreStats};
 use std::collections::HashSet;
@@ -65,6 +66,8 @@ pub struct ReplicaStore {
     last_applied: AtomicU64,
     last_head: AtomicU64,
     counters: ReplicaCounters,
+    /// One `apply_batch` round (on the replica store's registry).
+    apply_ns: Arc<Histogram>,
 }
 
 impl Default for ReplicaStore {
@@ -78,12 +81,15 @@ impl ReplicaStore {
     /// records if the primary's log still starts at 1, via snapshot
     /// otherwise).
     pub fn new() -> ReplicaStore {
+        let store = Store::new();
+        let apply_ns = store.registry().histogram("cx_repl_apply_ns");
         ReplicaStore {
-            store: Store::new(),
+            store,
             apply: Mutex::default(),
             last_applied: AtomicU64::new(0),
             last_head: AtomicU64::new(0),
             counters: ReplicaCounters::default(),
+            apply_ns,
         }
     }
 
@@ -126,6 +132,7 @@ impl ReplicaStore {
     /// valid prefix applies, the tail is dropped and reported); refuses
     /// gaps and divergence. Concurrent readers keep working throughout.
     pub fn apply_batch(&self, bytes: &[u8]) -> Result<BatchApply> {
+        let _span = self.apply_ns.span();
         let mut state = lock(&self.apply);
         let scan = scan_batch(bytes, self.last_applied());
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -136,9 +143,14 @@ impl ReplicaStore {
         for rec in scan.records {
             let expected = self.last_applied() + 1;
             if rec.lsn != expected {
-                return Err(ReplError::Gap { expected, got: rec.lsn });
+                let err = ReplError::Gap { expected, got: rec.lsn };
+                self.store.registry().event("repl.error", err.to_string());
+                return Err(err);
             }
-            self.apply_record(&mut state, rec.lsn, rec.op, &mut out)?;
+            if let Err(e) = self.apply_record(&mut state, rec.lsn, rec.op, &mut out) {
+                self.store.registry().event("repl.error", e.to_string());
+                return Err(e);
+            }
             // Keep `head ≥ applied` invariant *before* publishing the new
             // applied LSN, so `lag()` observes a coherent pair (see its
             // docs). Normally a no-op: the fetch's `observe_head` already
@@ -227,6 +239,7 @@ impl ReplicaStore {
         self.last_applied.store(snap.lsn, Ordering::Release);
         self.observe_head(snap.lsn);
         self.counters.snapshots_installed.fetch_add(1, Ordering::Relaxed);
+        self.store.registry().event("snapshot.install", format!("bootstrap at lsn {}", snap.lsn));
         Ok(())
     }
 
@@ -250,6 +263,7 @@ impl ReplicaStore {
             )
         })?;
         let lsn = replica.last_applied.load(Ordering::Acquire);
+        replica.store.registry().event("follower.promoted", format!("writable at lsn {lsn}"));
         DurableStore::adopt(dir, replica.store, lsn, options).map_err(ReplError::Persist)
     }
 
@@ -270,5 +284,13 @@ impl ReplicaStore {
     /// Torn batches observed (each one re-requested).
     pub fn torn_batches(&self) -> u64 {
         self.counters.torn_batches.load(Ordering::Relaxed)
+    }
+}
+
+impl Observable for ReplicaStore {
+    /// The replica's stats (lag included) plus its registry metrics.
+    fn expose_into(&self, out: &mut Exposition) {
+        self.stats().expose_into(out);
+        self.store.registry().expose_into(out);
     }
 }

@@ -24,7 +24,10 @@
 //!   documents stays potentially valid.
 //! * **Observability** — [`Store::stats`] aggregates `goddag::GoddagStats`
 //!   over the collection plus store-level counters (cache hits/misses,
-//!   edits, epochs).
+//!   edits, epochs); every store also owns a [`cxobs::Registry`] recording
+//!   latency histograms for the query, batch, and gated-edit paths, and
+//!   implements [`cxobs::Observable`] so the whole stack renders as one
+//!   Prometheus-style text exposition.
 //!
 //! ```
 //! use cxstore::Store;

@@ -1,7 +1,9 @@
 //! Store-level observability: lock-free counters plus an aggregated
 //! snapshot building on `goddag::GoddagStats`.
 
+use cxobs::{Exposition, Histogram, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Monotone event counters, updated with relaxed atomics on every hot path.
 #[derive(Debug, Default)]
@@ -27,6 +29,30 @@ pub(crate) struct Counters {
 impl Counters {
     pub(crate) fn bump(c: &AtomicU64) {
         c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The store's latency histograms, registered once on the store's
+/// [`Registry`] and bumped lock-free on the hot paths.
+pub(crate) struct StoreMetrics {
+    /// Whole gated-edit latency ([`crate::Store::edit_with_log`]).
+    pub edit_ns: Arc<Histogram>,
+    /// Prevalidation-gate latency inside an edit.
+    pub gate_ns: Arc<Histogram>,
+    /// Single-document query latency.
+    pub query_ns: Arc<Histogram>,
+    /// Batch (`query_all*`) fan-out latency.
+    pub query_all_ns: Arc<Histogram>,
+}
+
+impl StoreMetrics {
+    pub(crate) fn new(r: &Registry) -> StoreMetrics {
+        StoreMetrics {
+            edit_ns: r.histogram("cx_edit_ns"),
+            gate_ns: r.histogram("cx_gate_ns"),
+            query_ns: r.histogram("cx_query_ns"),
+            query_all_ns: r.histogram("cx_query_all_ns"),
+        }
     }
 }
 
@@ -92,6 +118,17 @@ pub struct StoreStats {
     pub cluster_shards: usize,
     /// Documents migrated between primaries (clusters; 0 elsewhere).
     pub docs_moved: u64,
+    /// `wal_tail` calls served from the cached tail offset (durable
+    /// stores; 0 elsewhere).
+    pub tail_cache_hits: u64,
+    /// `wal_tail` calls that fell back to a full log scan.
+    pub tail_cache_misses: u64,
+    /// Writes currently executing against a shard (clusters; 0
+    /// elsewhere — a gauge, so it can read 0 between writes).
+    pub writes_in_flight: i64,
+    /// Writers currently waiting on the migration gate (clusters; 0
+    /// elsewhere).
+    pub writers_waiting: i64,
 }
 
 impl StoreStats {
@@ -126,6 +163,47 @@ impl StoreStats {
         self.repl_lag = self.repl_lag.max(other.repl_lag);
         self.cluster_shards += other.cluster_shards;
         self.docs_moved += other.docs_moved;
+        self.tail_cache_hits += other.tail_cache_hits;
+        self.tail_cache_misses += other.tail_cache_misses;
+        self.writes_in_flight += other.writes_in_flight;
+        self.writers_waiting += other.writers_waiting;
+    }
+
+    /// Append every stat as one `cx_*` exposition line — the
+    /// snapshot-shaped half of a store's [`cxobs::Observable`] output
+    /// (its registry's histograms and gauges are the other half).
+    pub fn expose_into(&self, out: &mut Exposition) {
+        out.write("cx_docs", self.docs);
+        out.write("cx_elements", self.elements);
+        out.write("cx_leaves", self.leaves);
+        out.write("cx_content_bytes", self.content_bytes);
+        out.write("cx_estimated_bytes", self.estimated_bytes);
+        out.write("cx_epochs_total", self.epochs);
+        out.write("cx_warm_indexes", self.warm_indexes);
+        out.write("cx_compiled_queries", self.compiled_queries);
+        out.write("cx_queries_total", self.queries);
+        out.write("cx_batch_queries_total", self.batch_queries);
+        out.write("cx_index_hits_total", self.index_hits);
+        out.write("cx_index_builds_total", self.index_builds);
+        out.write("cx_query_cache_hits_total", self.query_cache_hits);
+        out.write("cx_query_cache_misses_total", self.query_cache_misses);
+        out.write("cx_edits_total", self.edits);
+        out.write("cx_edits_rejected_total", self.edits_rejected);
+        out.write("cx_wal_appends_total", self.wal_appends);
+        out.write("cx_wal_bytes_total", self.wal_bytes);
+        out.write("cx_wal_fsyncs_total", self.wal_fsyncs);
+        out.write("cx_checkpoints_total", self.checkpoints);
+        out.write("cx_replayed_ops_total", self.replayed_ops);
+        out.write("cx_recovered_docs_total", self.recovered_docs);
+        out.write("cx_repl_records_shipped_total", self.repl_records_shipped);
+        out.write("cx_repl_records_applied_total", self.repl_records_applied);
+        out.write("cx_repl_lag", self.repl_lag);
+        out.write("cx_cluster_shards", self.cluster_shards);
+        out.write("cx_docs_moved_total", self.docs_moved);
+        out.write("cx_tail_cache_hits_total", self.tail_cache_hits);
+        out.write("cx_tail_cache_misses_total", self.tail_cache_misses);
+        out.write("cx_writes_in_flight", self.writes_in_flight);
+        out.write("cx_writers_waiting", self.writers_waiting);
     }
 
     /// Fraction of index lookups served from cache (0 when none yet).

@@ -4,7 +4,8 @@
 use crate::edit::{EditOp, EditOutcome};
 use crate::entry::DocEntry;
 use crate::error::{Result, StoreError};
-use crate::stats::{Counters, StoreStats};
+use crate::stats::{Counters, StoreMetrics, StoreStats};
+use cxobs::{Exposition, Observable, Registry};
 use expath::{parse, Evaluator, Expr, Value};
 use goddag::Goddag;
 use prevalid::InsertionContext;
@@ -153,6 +154,8 @@ pub struct Store {
     query_tick: AtomicU64,
     query_cache_cap: usize,
     counters: Counters,
+    obs: Arc<Registry>,
+    metrics: StoreMetrics,
 }
 
 impl Default for Store {
@@ -170,6 +173,21 @@ impl Store {
     /// An empty store whose compiled-query cache holds at most `cap`
     /// expressions (minimum 1), evicting least-recently-used beyond that.
     pub fn with_query_cache_capacity(cap: usize) -> Store {
+        Store::with_config(cap, Arc::new(Registry::new()))
+    }
+
+    /// An empty store recording its metrics into `obs` — how a stack
+    /// (durable store, primary, cluster shard) shares one registry so a
+    /// single exposition covers every layer. Pass
+    /// [`Registry::disabled`] to run uninstrumented.
+    pub fn with_registry(obs: Arc<Registry>) -> Store {
+        Store::with_config(QUERY_CACHE_CAP, obs)
+    }
+
+    /// The fully explicit constructor: query-cache capacity plus metric
+    /// registry.
+    pub fn with_config(cap: usize, obs: Arc<Registry>) -> Store {
+        let metrics = StoreMetrics::new(&obs);
         Store {
             docs: DocTable::new(),
             names: RwLock::default(),
@@ -178,7 +196,17 @@ impl Store {
             query_tick: AtomicU64::new(0),
             query_cache_cap: cap.max(1),
             counters: Counters::default(),
+            obs,
+            metrics,
         }
+    }
+
+    /// The metric registry this store records into. Layers stacked on
+    /// top (durability, replication, clustering) hang their own
+    /// histograms and events here, so [`Store::exposition`] renders the
+    /// whole stack.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     // ------------------------------------------------------------------
@@ -423,6 +451,7 @@ impl Store {
     /// Evaluate a node-set expression against one document, using the
     /// cached overlap index (built now if stale or missing).
     pub fn query(&self, id: DocId, expr: &str) -> Result<Vec<goddag::NodeId>> {
+        let _span = self.metrics.query_ns.span();
         let ast = self.compile(expr)?;
         let entry = self.entry(id)?;
         Counters::bump(&self.counters.queries);
@@ -431,6 +460,7 @@ impl Store {
 
     /// Evaluate an expression of any result type against one document.
     pub fn query_value(&self, id: DocId, expr: &str) -> Result<OwnedValue> {
+        let _span = self.metrics.query_ns.span();
         let ast = self.compile(expr)?;
         let entry = self.entry(id)?;
         Counters::bump(&self.counters.queries);
@@ -447,6 +477,7 @@ impl Store {
     /// [`Store::query_all_serial`] by construction, which the conformance
     /// test pins down.
     pub fn query_all(&self, expr: &str) -> Result<Vec<(DocId, Vec<goddag::NodeId>)>> {
+        let _span = self.metrics.query_all_ns.span();
         let ast = self.compile(expr)?;
         let entries = self.entries();
         Counters::bump(&self.counters.batch_queries);
@@ -474,6 +505,7 @@ impl Store {
     /// [`Store::query_all`], used as its reference and as the serial
     /// baseline in benches.
     pub fn query_all_serial(&self, expr: &str) -> Result<Vec<(DocId, Vec<goddag::NodeId>)>> {
+        let _span = self.metrics.query_all_ns.span();
         let ast = self.compile(expr)?;
         let entries = self.entries();
         Counters::bump(&self.counters.batch_queries);
@@ -541,15 +573,17 @@ impl Store {
         op: EditOp,
         log: impl FnOnce(&EditOp, u64) -> std::result::Result<(), E>,
     ) -> std::result::Result<Result<EditOutcome>, E> {
+        let _span = self.metrics.edit_ns.span();
         let entry = match self.entry(id) {
             Ok(e) => e,
             Err(err) => return Ok(Err(err)),
         };
         let mut g = entry.write();
-        let resolved = match self.gate(&entry, &g, &op) {
+        let resolved = match self.metrics.gate_ns.time(|| self.gate(&entry, &g, &op)) {
             Ok(resolved) => resolved,
             Err(err) => {
                 Counters::bump(&self.counters.edits_rejected);
+                self.obs.event("gate.reject", format!("{id}: {err}"));
                 return Ok(Err(err));
             }
         };
@@ -768,6 +802,16 @@ impl Store {
 
     fn queries_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, CachedQuery>> {
         crate::entry::write_lock(&self.queries)
+    }
+}
+
+impl Observable for Store {
+    /// The stats snapshot as `cx_*` lines, then every metric the stack
+    /// registered on this store's registry (latency histograms, layer
+    /// gauges).
+    fn expose_into(&self, out: &mut Exposition) {
+        self.stats().expose_into(out);
+        self.obs.expose_into(out);
     }
 }
 
@@ -1290,6 +1334,45 @@ mod tests {
             assert!(res.is_err());
             assert_eq!(logged, 0);
         }
+    }
+
+    #[test]
+    fn exposition_covers_stats_histograms_and_events() {
+        let store = Store::new();
+        let mut g = corpus::figure1::goddag();
+        corpus::dtds::attach_standard(&mut g);
+        let id = store.insert(g);
+        store.query(id, "//ling:w").unwrap();
+        store.query_all("//ling:w").unwrap();
+        store.edit(id, EditOp::InsertText { offset: 0, text: "X".into() }).unwrap();
+        let rejected = store.edit(
+            id,
+            EditOp::InsertElement {
+                hierarchy: "ling".into(),
+                tag: "nonsense".into(),
+                attrs: vec![],
+                start: 0,
+                end: 3,
+            },
+        );
+        assert!(rejected.is_err());
+        let text = store.exposition();
+        for line in ["cx_docs 1", "cx_edits_total 1", "cx_edits_rejected_total 1"] {
+            assert!(text.contains(&format!("{line}\n")), "missing {line:?} in:\n{text}");
+        }
+        for hist in ["cx_edit_ns", "cx_gate_ns", "cx_query_ns", "cx_query_all_ns"] {
+            assert!(text.contains(&format!("{hist}_count ")), "missing {hist} in:\n{text}");
+            assert!(store.registry().histogram(hist).count() > 0, "{hist} never recorded");
+        }
+        // The gate rejection left a post-mortem event behind.
+        let events = store.registry().events().recent();
+        assert!(events.iter().any(|e| e.kind == "gate.reject"), "{events:?}");
+        // A disabled registry records nothing but still renders.
+        let off = Store::with_registry(Arc::new(cxobs::Registry::disabled()));
+        let id = off.insert(corpus::figure1::goddag());
+        off.query(id, "//w").unwrap();
+        assert_eq!(off.registry().histogram("cx_query_ns").count(), 0);
+        assert!(off.exposition().contains("cx_query_ns_count 0\n"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`expath`] | Extended XPath with the `overlapping`, `containing`, `contained`, `co-extensive` axes |
 //! | [`prevalid`] | potential-validity checking (prevalidation) |
 //! | [`xtagger`] | editing sessions: suggestions, prevalidation gate, undo/redo, filtering |
+//! | [`cxobs`] | dependency-free observability: lock-free counters/gauges/latency histograms, event rings, Prometheus-style text exposition |
 //! | [`cxstore`] | concurrent multi-document repository: cached overlap indexes, compiled-query cache, batch/parallel queries, gated edits |
 //! | [`cxpersist`] | durable stores: `EditOp` write-ahead log, stand-off snapshots, warm restart |
 //! | [`cxrepl`] | WAL log-shipping replication: read replicas, catch-up, follower promotion |
@@ -48,6 +49,7 @@
 
 pub use corpus;
 pub use cxcluster;
+pub use cxobs;
 pub use cxpersist;
 pub use cxrepl;
 pub use cxstore;

@@ -12,7 +12,10 @@
 //! took ~387 s in release; the budget here is 1 s — generous enough for
 //! slow runners, and still ~400× under the old cost.
 
+use cxobs::Registry;
+use cxstore::{EditOp, Store};
 use prevalid::{check_insertion, suggest_tags, PrevalidEngine};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A 200-word mixed-content host (399 child items) with a two-word range
@@ -41,6 +44,47 @@ fn check_insertion_200_words_stays_interactive() {
     assert!(
         elapsed < Duration::from_secs(1),
         "check_insertion on a 200-word host took {elapsed:?} (budget 1s)"
+    );
+}
+
+/// Guards the cxobs instrumentation cost on the gated-edit path: a live
+/// [`Registry`] (span timers + relaxed counter bumps) must stay within
+/// 5% of a no-op [`Registry::disabled`] baseline, which skips the clock
+/// reads entirely. Rounds are interleaved and each mode keeps its best
+/// round, so a scheduler hiccup hits one round, not one mode.
+#[test]
+#[ignore = "release-mode perf budget; run with: cargo test --release --test perf_smoke -- --ignored"]
+fn instrumented_gated_edits_stay_within_5_percent_of_noop_registry() {
+    const EDITS: usize = 400;
+    const ROUNDS: usize = 5;
+
+    let run = |registry: Arc<Registry>| -> Duration {
+        let store = Store::with_registry(registry);
+        let mut ms =
+            corpus::generate(&corpus::Params { words: 300, seed: 42, ..corpus::Params::default() });
+        corpus::dtds::attach_standard(&mut ms.goddag);
+        let id = store.insert(ms.goddag);
+        let t = Instant::now();
+        for k in 0..EDITS {
+            store.edit(id, EditOp::InsertText { offset: 0, text: format!("x{k} ") }).unwrap();
+        }
+        t.elapsed()
+    };
+
+    // Warm-up (page in code, fault in the allocator).
+    run(Arc::new(Registry::disabled()));
+
+    let (mut bare, mut instrumented) = (Duration::MAX, Duration::MAX);
+    for _ in 0..ROUNDS {
+        bare = bare.min(run(Arc::new(Registry::disabled())));
+        instrumented = instrumented.min(run(Arc::new(Registry::new())));
+    }
+    // A small absolute epsilon keeps the 5% relative bound meaningful
+    // when both runs are only a few milliseconds.
+    let budget = bare.mul_f64(1.05) + Duration::from_millis(2);
+    assert!(
+        instrumented <= budget,
+        "instrumented gated edits took {instrumented:?} vs {bare:?} bare (budget {budget:?})"
     );
 }
 
