@@ -1,0 +1,66 @@
+//! `cxfault` benchmarks: what a failpoint costs when nothing is wrong.
+//!
+//! Series:
+//! * `fault/fire/unarmed` — the production fast path: one relaxed atomic
+//!   load when no site is armed anywhere. This is the cost every WAL
+//!   append, fsync, and fetch pays all the time; it must be nanoseconds.
+//! * `fault/fire/armed_other_site` — the slow path on a miss: some
+//!   unrelated site is armed, so the call takes the registry lock and
+//!   looks itself up. The price of running tests with faults armed, not
+//!   of production.
+//! * `fault/io_check/unarmed` — the `Result`-shaped wrapper on the same
+//!   fast path.
+//! * `fault/edit/unarmed_failpoints` — the end-to-end durable gated edit
+//!   with all its failpoints compiled in and none armed, the integration
+//!   cost the `perf_smoke` guard pins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxml_bench::workload;
+use cxpersist::{DurableStore, FsyncPolicy, Options};
+use cxstore::EditOp;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fault(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault");
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // The fast path: registry empty, one relaxed load.
+    cxfault::clear();
+    group.bench_function("fire/unarmed", |b| {
+        b.iter(|| black_box(cxfault::fire(black_box("wal.append"))))
+    });
+    group.bench_function("io_check/unarmed", |b| {
+        b.iter(|| black_box(cxfault::io_check(black_box("wal.fsync"))))
+    });
+
+    // The miss path: an unrelated site armed forces the lock + lookup.
+    cxfault::configure("bench.unrelated", cxfault::Trigger::Nth(u64::MAX), cxfault::Fault::Io);
+    group.bench_function("fire/armed_other_site", |b| {
+        b.iter(|| black_box(cxfault::fire(black_box("wal.append"))))
+    });
+    cxfault::clear();
+
+    // End to end: a durable gated edit crossing the wal.append and
+    // wal.fsync failpoints, none armed.
+    let dir = std::env::temp_dir().join(format!("cxfault-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DurableStore::open_with(&dir, Options { fsync: FsyncPolicy::Never }).unwrap();
+    let id = store.insert(workload(300).ms.goddag).unwrap();
+    let mut k = 0usize;
+    group.bench_function("edit/unarmed_failpoints", |b| {
+        b.iter(|| {
+            k += 1;
+            store.edit(id, EditOp::InsertText { offset: 0, text: format!("x{k} ") }).unwrap()
+        });
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault);
+criterion_main!(benches);

@@ -3,15 +3,75 @@
 use crate::error::{ClusterError, Result};
 use crate::router::{Router, ShardId};
 use cxobs::{Exposition, Gauge, Histogram, Observable, Registry};
-use cxpersist::{CheckpointInfo, DocBlob, DurableStore, Options};
+use cxpersist::{CheckpointInfo, DocBlob, DurableStore, Options, StoreHealth};
 use cxrepl::Primary;
 use cxstore::{DocId, EditOp, EditOutcome, StoreError, StoreStats};
 use goddag::Goddag;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, OnceLock, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// Failpoint consulted inside every per-shard fan-out worker of
+/// [`Cluster::query_all_partial`] — arm it (with a [`cxfault::Trigger`]
+/// of your choosing) to make individual shards slow
+/// ([`cxfault::Fault::Delay`]) or unavailable ([`cxfault::Fault::Io`])
+/// without touching their stores.
+pub const SHARD_QUERY_SITE: &str = "cluster.shard_query";
+
+/// One shard's health as the cluster sees it.
+///
+/// `Healthy` and `Degraded` are *derived* — they mirror the shard's own
+/// [`StoreHealth`] (a degraded store still serves reads, so the cluster
+/// keeps fanning out to it). `Down` is an *explicit mark* set by
+/// [`Cluster::mark_shard_down`]: the operator (or an external health
+/// check) has declared the shard unreachable, and the cluster fails
+/// writes to it fast and skips it during fan-out instead of discovering
+/// the outage one timeout at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving reads and writes.
+    Healthy,
+    /// The shard's store is read-only ([`StoreHealth::Degraded`]): reads
+    /// and fan-out queries still run, writes are refused by the store.
+    Degraded,
+    /// Marked unreachable: writes fail fast with
+    /// [`ClusterError::ShardDown`], fan-out skips it.
+    Down,
+}
+
+/// One shard's failure inside a partial fan-out: which shard, and why
+/// its documents are missing from [`PartialResults::hits`].
+#[derive(Debug)]
+pub struct ShardError {
+    /// The shard that failed to answer.
+    pub shard: usize,
+    /// Why ([`ClusterError::ShardDown`], [`ClusterError::Timeout`],
+    /// [`ClusterError::ShardUnavailable`], or a store error).
+    pub error: ClusterError,
+}
+
+/// What [`Cluster::query_all_partial`] returns: every hit from every
+/// shard that answered in time, plus an explicit error per shard that
+/// did not — the caller always learns *which* documents it might be
+/// missing, never silently.
+#[derive(Debug)]
+pub struct PartialResults {
+    /// Merged, id-sorted hits from the shards that answered.
+    pub hits: Vec<(DocId, Vec<goddag::NodeId>)>,
+    /// One entry per shard that was down, errored, or timed out.
+    pub errors: Vec<ShardError>,
+}
+
+impl PartialResults {
+    /// True when every shard answered — the hits are the complete
+    /// cluster-wide result set.
+    pub fn is_complete(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
 
 /// A write-sharded cluster of [`DurableStore`] primaries.
 ///
@@ -55,6 +115,10 @@ pub struct Cluster {
     /// Round-robin cursor for placing new documents.
     next_insert: AtomicU64,
     docs_moved: AtomicU64,
+    /// Explicit per-shard down marks (see [`ShardHealth::Down`]). A set
+    /// flag makes writes to that shard fail fast and fan-out skip it;
+    /// reads that route there still try (the store may well answer).
+    down: Vec<AtomicBool>,
     /// Cluster-level metrics (the shards each have their own registry;
     /// this one holds what only the cluster can see: queueing and
     /// migration).
@@ -68,11 +132,18 @@ pub struct Cluster {
     fanout_threads: Arc<Gauge>,
     /// One whole `move_doc` (capture → receive → swap → tombstone).
     move_doc_ns: Arc<Histogram>,
+    /// `cx_shard_health{shard="i"}`: 0 healthy, 1 degraded, 2 down —
+    /// refreshed on every health transition and on exposition.
+    health_gauges: Vec<Arc<Gauge>>,
 }
 
 /// One batch-query result set: per-document node hits, keyed by handle.
 type BatchHits = Vec<(DocId, Vec<goddag::NodeId>)>;
 
+// Poison-tolerant: the migration gate guards `()` (pure ordering, no
+// data to corrupt), so a panicked holder — e.g. an injected
+// `cxfault::Fault::Panic` inside a gated write — must not wedge every
+// later writer and `move_doc` behind a poisoned lock.
 fn read_gate(gate: &RwLock<()>) -> std::sync::RwLockReadGuard<'_, ()> {
     gate.read().unwrap_or_else(PoisonError::into_inner)
 }
@@ -175,6 +246,10 @@ impl Cluster {
         let gate_waiters = obs.gauge("cx_gate_waiters");
         let fanout_threads = obs.gauge("cx_fanout_threads");
         let move_doc_ns = obs.histogram("cx_move_doc_ns");
+        let down = (0..shards.len()).map(|_| AtomicBool::new(false)).collect();
+        let health_gauges = (0..shards.len())
+            .map(|i| obs.gauge_with("cx_shard_health", &[("shard", &i.to_string())]))
+            .collect();
         Ok(Cluster {
             shards,
             primaries,
@@ -183,11 +258,13 @@ impl Cluster {
             gate: RwLock::new(()),
             next_insert: AtomicU64::new(0),
             docs_moved: AtomicU64::new(0),
+            down,
             obs,
             shard_inflight,
             gate_waiters,
             fanout_threads,
             move_doc_ns,
+            health_gauges,
         })
     }
 
@@ -249,6 +326,89 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Health
+    // ------------------------------------------------------------------
+
+    /// One shard's health: the explicit down mark if set, otherwise the
+    /// shard's own [`StoreHealth`].
+    pub fn shard_health(&self, shard: ShardId) -> Result<ShardHealth> {
+        let store = self.shard(shard)?;
+        Ok(if self.down[shard.0].load(Ordering::Acquire) {
+            ShardHealth::Down
+        } else {
+            match store.health() {
+                StoreHealth::Healthy => ShardHealth::Healthy,
+                StoreHealth::Degraded => ShardHealth::Degraded,
+            }
+        })
+    }
+
+    /// Every shard's health, by index.
+    pub fn shard_healths(&self) -> Vec<ShardHealth> {
+        (0..self.shards.len())
+            .map(|i| self.shard_health(ShardId(i)).expect("valid index"))
+            .collect()
+    }
+
+    /// Mark a shard **down**: writes routed to it fail fast with
+    /// [`ClusterError::ShardDown`] (nothing reaches its WAL), new
+    /// documents place elsewhere, and partial fan-out skips it with an
+    /// explicit error entry. Reads that route there still try — an
+    /// operator marking a flaky shard down should not black-hole
+    /// documents that are, in fact, still readable. Idempotent.
+    pub fn mark_shard_down(&self, shard: ShardId) -> Result<()> {
+        self.shard(shard)?;
+        if !self.down[shard.0].swap(true, Ordering::AcqRel) {
+            self.obs.event("shard.down", format!("shard {} marked down", shard.0));
+        }
+        self.refresh_health_gauge(shard.0);
+        Ok(())
+    }
+
+    /// Bring a shard back: clear its down mark and, if its store
+    /// degraded (WAL append/fsync failure), re-probe the disk via
+    /// [`DurableStore::heal`]. Returns the shard's health afterwards —
+    /// [`ShardHealth::Healthy`] on success; an `Err` means the re-probe
+    /// failed and the shard stays degraded (the down mark is still
+    /// cleared: reads are fine, and the caller can retry the heal).
+    pub fn heal_shard(&self, shard: ShardId) -> Result<ShardHealth> {
+        let store = Arc::clone(self.shard(shard)?);
+        if self.down[shard.0].swap(false, Ordering::AcqRel) {
+            self.obs.event("shard.up", format!("shard {} down mark cleared", shard.0));
+        }
+        let healed = store.heal();
+        self.refresh_health_gauge(shard.0);
+        match healed {
+            Ok(_) => {
+                self.obs.event("shard.healed", format!("shard {} healthy", shard.0));
+                Ok(ShardHealth::Healthy)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Fail fast when the shard a write routed to is marked down.
+    fn ensure_shard_up(&self, s: usize) -> Result<()> {
+        if self.down[s].load(Ordering::Acquire) {
+            return Err(ClusterError::ShardDown(s));
+        }
+        Ok(())
+    }
+
+    /// Re-derive `cx_shard_health{shard=s}` from the current state.
+    fn refresh_health_gauge(&self, s: usize) {
+        let v = if self.down[s].load(Ordering::Acquire) {
+            2
+        } else {
+            match self.shards[s].health() {
+                StoreHealth::Healthy => 0,
+                StoreHealth::Degraded => 1,
+            }
+        };
+        self.health_gauges[s].set(v);
+    }
+
+    // ------------------------------------------------------------------
     // Registry
     // ------------------------------------------------------------------
 
@@ -257,7 +417,7 @@ impl Cluster {
     /// needs no table entry.
     pub fn insert(&self, g: Goddag) -> Result<DocId> {
         let _shared = self.shared_gate();
-        let (shard, n, residue) = self.place();
+        let (shard, n, residue) = self.place()?;
         let _inflight = self.shard_inflight[residue as usize].track();
         shard.insert_aligned(None, g, n, residue).map_err(ClusterError::from)
     }
@@ -270,7 +430,7 @@ impl Cluster {
         let _shared = self.shared_gate();
         let name = name.into();
         let mut names = self.names_write();
-        let (shard, n, residue) = self.place();
+        let (shard, n, residue) = self.place()?;
         let _inflight = self.shard_inflight[residue as usize].track();
         let target = ShardId(residue as usize);
         let retired = self.retire_foreign_binding(&names, &name, target)?;
@@ -292,10 +452,25 @@ impl Cluster {
     }
 
     /// Pick the next insert's shard: `(store, modulus, residue)`.
-    fn place(&self) -> (&Arc<DurableStore>, u64, u64) {
+    ///
+    /// Round-robin over the **healthy** shards: a shard that is marked
+    /// down or whose store degraded is skipped — the minted id keeps its
+    /// chosen shard's residue, so a document placed "out of turn" still
+    /// routes with no table entry. Errors only when no shard can take a
+    /// write at all.
+    fn place(&self) -> Result<(&Arc<DurableStore>, u64, u64)> {
         let n = self.shards.len() as u64;
-        let s = self.next_insert.fetch_add(1, Ordering::Relaxed) % n;
-        (&self.shards[s as usize], n, s)
+        for _ in 0..self.shards.len() {
+            let s = self.next_insert.fetch_add(1, Ordering::Relaxed) % n;
+            let i = s as usize;
+            if self.down[i].load(Ordering::Acquire)
+                || self.shards[i].health() == StoreHealth::Degraded
+            {
+                continue;
+            }
+            return Ok((&self.shards[i], n, s));
+        }
+        Err(ClusterError::Config("no healthy shard can accept new documents".into()))
     }
 
     /// Unbind `name` on whatever shard currently holds it, unless that is
@@ -326,6 +501,7 @@ impl Cluster {
         let name = name.into();
         let mut names = self.names_write();
         let target = self.router.shard_of(id);
+        self.ensure_shard_up(target.0)?;
         if !self.shards[target.0].store().contains(id) {
             return Err(ClusterError::Store(StoreError::NoSuchDoc(id)));
         }
@@ -352,7 +528,9 @@ impl Cluster {
         let _shared = self.shared_gate();
         let mut names = self.names_write();
         let Some(&id) = names.get(name) else { return Ok(None) };
-        self.shards[self.router.shard_of(id).0].unbind_name(name)?;
+        let s = self.router.shard_of(id).0;
+        self.ensure_shard_up(s)?;
+        self.shards[s].unbind_name(name)?;
         names.remove(name);
         Ok(Some(id))
     }
@@ -379,6 +557,7 @@ impl Cluster {
         let _shared = self.shared_gate();
         let mut names = self.names_write();
         let s = self.router.shard_of(id).0;
+        self.ensure_shard_up(s)?;
         let _inflight = self.shard_inflight[s].track();
         let removed = self.shards[s].remove(id)?;
         if removed {
@@ -394,6 +573,7 @@ impl Cluster {
         let mut names = self.names_write();
         let id = *names.get(name).ok_or_else(|| StoreError::NoSuchName(name.into()))?;
         let s = self.router.shard_of(id).0;
+        self.ensure_shard_up(s)?;
         let _inflight = self.shard_inflight[s].track();
         self.shards[s].remove(id)?;
         names.retain(|_, v| *v != id);
@@ -514,6 +694,85 @@ impl Cluster {
         Ok(out)
     }
 
+    /// [`Cluster::query_all`] for a cluster that may be partly sick:
+    /// fan out to every shard that is not marked down, give each shard
+    /// `per_shard_timeout` to answer, and return whatever arrived —
+    /// merged id-sorted hits plus one explicit [`ShardError`] per shard
+    /// that was down, errored, or ran out its budget. Never errors as a
+    /// whole and never blocks (much) past the budget: a partial answer
+    /// with a precise account of what is missing beats both a hang and
+    /// an all-or-nothing failure.
+    ///
+    /// Workers are detached threads (a scoped thread could not be
+    /// abandoned at the deadline); a late worker finishes against its
+    /// own `Arc` of the shard and its result is discarded.
+    pub fn query_all_partial(&self, expr: &str, per_shard_timeout: Duration) -> PartialResults {
+        let _shared = read_gate(&self.gate);
+        let (tx, rx) = mpsc::channel::<(usize, Result<BatchHits>)>();
+        let mut errors = Vec::new();
+        let mut pending = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            if self.down[i].load(Ordering::Acquire) {
+                errors.push(ShardError { shard: i, error: ClusterError::ShardDown(i) });
+                continue;
+            }
+            pending.push(i);
+            let tx = tx.clone();
+            let shard = Arc::clone(shard);
+            let expr = expr.to_string();
+            let fanout = Arc::clone(&self.fanout_threads);
+            std::thread::spawn(move || {
+                fanout.inc();
+                // The failpoint lets tests make *this* shard slow
+                // (`Delay` runs inside `fire`) or unreachable without
+                // touching its store.
+                let r = if cxfault::fire(SHARD_QUERY_SITE).is_some() {
+                    Err(ClusterError::ShardUnavailable {
+                        shard: i,
+                        detail: cxfault::io_error(SHARD_QUERY_SITE).to_string(),
+                    })
+                } else {
+                    shard.store().query_all(&expr).map_err(ClusterError::Store)
+                };
+                let _ = tx.send((i, r));
+                fanout.dec();
+            });
+        }
+        drop(tx);
+
+        let ms = per_shard_timeout.as_millis() as u64;
+        let deadline = Instant::now() + per_shard_timeout;
+        let mut hits: BatchHits = Vec::new();
+        let mut answered = vec![false; self.shards.len()];
+        let mut outstanding = pending.len();
+        while outstanding > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok((i, Ok(batch))) => {
+                    answered[i] = true;
+                    hits.extend(batch);
+                    outstanding -= 1;
+                }
+                Ok((i, Err(e))) => {
+                    answered[i] = true;
+                    errors.push(ShardError { shard: i, error: e });
+                    outstanding -= 1;
+                }
+                Err(_) => break, // deadline passed (or every worker died)
+            }
+        }
+        for i in pending {
+            if !answered[i] {
+                self.obs
+                    .event("shard.timeout", format!("shard {i} missed the {ms} ms fan-out budget"));
+                errors.push(ShardError { shard: i, error: ClusterError::Timeout { shard: i, ms } });
+            }
+        }
+        hits.sort_unstable_by_key(|(id, _)| *id);
+        errors.sort_by_key(|e| e.shard);
+        PartialResults { hits, errors }
+    }
+
     // ------------------------------------------------------------------
     // Writes
     // ------------------------------------------------------------------
@@ -524,6 +783,7 @@ impl Cluster {
         let _shared = self.shared_gate();
         // Under the shared gate the route cannot change mid-edit.
         let s = self.router.shard_of(id).0;
+        self.ensure_shard_up(s)?;
         let _inflight = self.shard_inflight[s].track();
         self.shards[s].edit(id, op).map_err(ClusterError::from)
     }
@@ -563,6 +823,10 @@ impl Cluster {
         if from == to {
             return Ok(from);
         }
+        // A migration writes on both sides (receive on the target, the
+        // tombstone on the source) — both must be reachable.
+        self.ensure_shard_up(from.0)?;
+        self.ensure_shard_up(to.0)?;
         let source = &self.shards[from.0];
         let blob = source.store().with_doc(id, DocBlob::capture).map_err(ClusterError::Store)?;
         let names = doc_names(source, id);
@@ -658,6 +922,11 @@ impl Cluster {
         read_gate(&self.gate)
     }
 
+    // Poison-tolerant: the name directory is a derived cache of the
+    // shards' durable bindings — every mutation is a single HashMap
+    // insert/remove (no multi-step invariant a panicked holder could
+    // tear), and assembly rebuilds the whole map from the shards on
+    // reopen, so serving a recovered guard can never invent state.
     fn names_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, DocId>> {
         self.names.read().unwrap_or_else(PoisonError::into_inner)
     }
@@ -670,16 +939,24 @@ impl Cluster {
 impl Observable for Cluster {
     /// The whole cluster as one page: every shard's full stack (store,
     /// durability, replication) wrapped in a `shard="i"` label, followed
-    /// by the aggregated cluster stats and the cluster-level metrics
-    /// (gate queueing, fan-out, migration latency).
+    /// by the aggregated cluster stats, the cluster-level metrics (gate
+    /// queueing, fan-out, migration latency, per-shard health), and the
+    /// process-wide failpoint counters (`cx_fault_*`).
     fn expose_into(&self, out: &mut Exposition) {
         for (i, shard) in self.shards.iter().enumerate() {
             out.push_label("shard", i);
             shard.expose_into(out);
             out.pop_label();
         }
+        // Health gauges are derived state — re-read them at scrape time
+        // so a store that degraded on its own (no cluster call involved)
+        // still shows up.
+        for i in 0..self.shards.len() {
+            self.refresh_health_gauge(i);
+        }
         self.stats().expose_into(out);
         self.obs.expose_into(out);
+        cxpersist::expose_faults(out);
     }
 }
 

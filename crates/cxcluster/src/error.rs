@@ -22,6 +22,27 @@ pub enum ClusterError {
     /// The cluster's shards are inconsistent with each other in a way
     /// assembly cannot heal, or the topology request makes no sense.
     Config(String),
+    /// The operation routed to a shard an operator (or the health check)
+    /// has marked **down**: the write was refused before touching the
+    /// shard, so nothing was logged and nothing needs undoing.
+    ShardDown(usize),
+    /// A shard failed to answer a fan-out request for a reason that is
+    /// not a per-document store error — an injected outage, a worker
+    /// failure — and the rest of the cluster carried on without it.
+    ShardUnavailable {
+        /// Which shard.
+        shard: usize,
+        /// What happened, for the error chain / logs.
+        detail: String,
+    },
+    /// A shard did not answer a fan-out request within its per-shard
+    /// budget; the partial result set excludes it.
+    Timeout {
+        /// Which shard.
+        shard: usize,
+        /// The budget it missed, in milliseconds.
+        ms: u64,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -31,6 +52,13 @@ impl fmt::Display for ClusterError {
             ClusterError::Persist(e) => write!(f, "shard persistence error: {e}"),
             ClusterError::NoSuchShard(i) => write!(f, "no shard {i}"),
             ClusterError::Config(detail) => write!(f, "cluster configuration error: {detail}"),
+            ClusterError::ShardDown(i) => write!(f, "shard {i} is marked down"),
+            ClusterError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable: {detail}")
+            }
+            ClusterError::Timeout { shard, ms } => {
+                write!(f, "shard {shard} did not answer within {ms} ms")
+            }
         }
     }
 }

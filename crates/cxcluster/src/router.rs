@@ -26,6 +26,9 @@ impl std::fmt::Display for ShardId {
 /// there is no separate routing artifact to keep crash-consistent.
 pub struct Router {
     shards: usize,
+    /// Poison-tolerant throughout: every mutation is one HashMap
+    /// insert/remove (no intermediate state a panicked holder could
+    /// expose), and the table is rebuilt from the shards on assembly.
     overrides: RwLock<HashMap<u64, usize>>,
 }
 

@@ -1,0 +1,420 @@
+//! cxfault — a dependency-free, deterministic failpoint registry.
+//!
+//! Production code names its fragile seams (`cxfault::fire("wal.append")`
+//! at the top of the WAL append path, `io_check("wal.fsync")` before the
+//! real fsync); tests arm those sites with a [`Trigger`] policy and a
+//! [`Fault`] action, then drive ordinary workloads and watch the stack
+//! absorb the failures. Nothing here is probabilistic unless asked:
+//! [`Trigger::Nth`] and [`Trigger::EveryN`] count hits, and
+//! [`Trigger::Probability`] draws from a per-site splitmix64 stream
+//! seeded at configure time, so a fault schedule replays identically
+//! run after run.
+//!
+//! # Cost when idle
+//!
+//! The fast path of [`fire`] is one relaxed atomic load of the armed-site
+//! count; with nothing configured that is a fraction of a nanosecond of
+//! straight-line code and no lock. Compiling with the `off` feature goes
+//! further and turns every entry point into a constant no-op the
+//! optimizer deletes entirely.
+//!
+//! # Test isolation
+//!
+//! The registry is global (sites are reached from arbitrary call depths;
+//! threading a handle through every layer would defeat the point), so
+//! concurrently running tests would trample each other's schedules.
+//! [`Scenario::setup`] takes a process-wide lock and clears the registry
+//! on both entry and drop — every test that arms failpoints starts with
+//! `let _fp = cxfault::Scenario::setup();` and runs serialized against
+//! other such tests, while fault-free tests proceed unaffected (their
+//! `fire` calls never leave the fast path).
+
+// With `off` the registry internals are compiled out but their
+// definitions remain for the inert API stubs.
+#![cfg_attr(feature = "off", allow(dead_code, unused_imports))]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// The splitmix64 PRNG step — tiny, seedable, and good enough for fault
+/// schedules and jitter. Public because dependents (backoff jitter, test
+/// schedules) want the same deterministic stream without a rand crate.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// When an armed site actually fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Every hit fires.
+    Always,
+    /// Exactly the n-th hit (1-based) fires, once.
+    Nth(u64),
+    /// Every n-th hit fires (n=3 → hits 3, 6, 9, …).
+    EveryN(u64),
+    /// Each hit fires with probability `p`, drawn from the site's seeded
+    /// splitmix64 stream — deterministic for a fixed seed and hit order.
+    Probability(f64),
+}
+
+/// What a firing site does to its caller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Report an injected I/O failure (ENOSPC-style: the operation did
+    /// not happen).
+    Io,
+    /// Report a torn write: the caller should persist only the given
+    /// fraction (0.0–1.0) of its payload, then fail.
+    TornWrite(f64),
+    /// Sleep for the duration, then proceed normally — a slow disk or
+    /// congested peer, not a broken one.
+    Delay(Duration),
+    /// Panic at the site (poisons locks held across it — the cascade the
+    /// poison-tolerant guards must absorb).
+    Panic,
+}
+
+/// What [`fire`] asks the call site to do. `Delay` and `Panic` are
+/// executed inside [`fire`] itself, so sites only ever see the two
+/// faults that need site-specific handling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// Fail the operation with an injected I/O error ([`io_error`]
+    /// builds a consistent one).
+    Io,
+    /// Write only this fraction of the payload, then fail.
+    Torn(f64),
+}
+
+struct Site {
+    trigger: Trigger,
+    fault: Fault,
+    /// splitmix64 state for `Probability` draws.
+    rng: u64,
+    hits: u64,
+    fires: u64,
+}
+
+/// Hit/fire counts for one configured site (see [`site_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    pub site: String,
+    pub hits: u64,
+    pub fires: u64,
+}
+
+/// Number of armed sites — the [`fire`] fast path checks only this.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+    REGISTRY.get_or_init(Mutex::default)
+}
+
+fn lock_registry() -> MutexGuard<'static, HashMap<String, Site>> {
+    // A panic while holding the registry lock (only possible through
+    // Fault::Panic, which fires after the guard is dropped, or a caller
+    // panicking mid-configure) leaves plain counters — safe to reuse.
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arm `site` with a default seed. See [`configure_seeded`].
+pub fn configure(site: impl Into<String>, trigger: Trigger, fault: Fault) {
+    configure_seeded(site, trigger, fault, 0xc0ffee);
+}
+
+/// Arm `site`: subsequent [`fire`] calls at that site evaluate `trigger`
+/// and, when due, perform `fault`. `seed` feeds the site's private
+/// splitmix64 stream (only `Trigger::Probability` draws from it); the
+/// site name is folded in so two sites armed with the same seed still
+/// see independent streams. Re-configuring a site resets its counters.
+#[cfg_attr(feature = "off", allow(unused_variables))]
+pub fn configure_seeded(site: impl Into<String>, trigger: Trigger, fault: Fault, seed: u64) {
+    #[cfg(not(feature = "off"))]
+    {
+        let name = site.into();
+        let mut h = seed;
+        for b in name.bytes() {
+            h = splitmix64(&mut h) ^ u64::from(b);
+        }
+        let mut map = lock_registry();
+        map.insert(name, Site { trigger, fault, rng: h, hits: 0, fires: 0 });
+        ARMED.store(map.len(), Ordering::Release);
+    }
+}
+
+/// Disarm one site (its counters are discarded).
+#[cfg_attr(feature = "off", allow(unused_variables))]
+pub fn disarm(site: &str) {
+    #[cfg(not(feature = "off"))]
+    {
+        let mut map = lock_registry();
+        map.remove(site);
+        ARMED.store(map.len(), Ordering::Release);
+    }
+}
+
+/// Disarm every site.
+pub fn clear() {
+    #[cfg(not(feature = "off"))]
+    {
+        let mut map = lock_registry();
+        map.clear();
+        ARMED.store(0, Ordering::Release);
+    }
+}
+
+/// Evaluate the failpoint at `site`. Returns `None` (by far the common
+/// case — one relaxed load when nothing is armed) unless the site is
+/// armed and its trigger fires, in which case `Delay` sleeps and `Panic`
+/// panics right here, while `Io` / `TornWrite` are returned for the call
+/// site to enact.
+#[cfg(not(feature = "off"))]
+#[inline]
+pub fn fire(site: &str) -> Option<InjectedFault> {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    fire_slow(site)
+}
+
+/// With the `off` feature: a constant the optimizer erases.
+#[cfg(feature = "off")]
+#[inline(always)]
+pub fn fire(_site: &str) -> Option<InjectedFault> {
+    None
+}
+
+#[cfg(not(feature = "off"))]
+#[cold]
+fn fire_slow(site: &str) -> Option<InjectedFault> {
+    let fault = {
+        let mut map = lock_registry();
+        let s = map.get_mut(site)?;
+        s.hits += 1;
+        let due = match s.trigger {
+            Trigger::Always => true,
+            Trigger::Nth(n) => s.hits == n,
+            Trigger::EveryN(n) => n > 0 && s.hits.is_multiple_of(n),
+            Trigger::Probability(p) => (splitmix64(&mut s.rng) as f64 / u64::MAX as f64) < p,
+        };
+        if !due {
+            return None;
+        }
+        s.fires += 1;
+        s.fault
+        // Lock released here: Delay must not stall other sites, and
+        // Panic must not poison the registry.
+    };
+    match fault {
+        Fault::Io => Some(InjectedFault::Io),
+        Fault::TornWrite(frac) => Some(InjectedFault::Torn(frac.clamp(0.0, 1.0))),
+        Fault::Delay(d) => {
+            std::thread::sleep(d);
+            None
+        }
+        Fault::Panic => panic!("cxfault: injected panic at failpoint `{site}`"),
+    }
+}
+
+/// The I/O error an injected fault reports — distinguishable in logs by
+/// its message, ordinary `io::Error` to everything else (exactly how a
+/// real ENOSPC would arrive).
+pub fn io_error(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault at failpoint `{site}`"))
+}
+
+/// Fire the site and fold any injected fault into an `io::Result` —
+/// the one-liner for seams where "torn" and "failed" collapse to the
+/// same thing (fsync, rename).
+pub fn io_check(site: &str) -> std::io::Result<()> {
+    match fire(site) {
+        Some(_) => Err(io_error(site)),
+        None => Ok(()),
+    }
+}
+
+/// How many bytes of a `full`-byte payload a torn write should keep:
+/// `frac` of them, but always at least one byte short of complete so the
+/// tear is real (and never negative).
+pub fn torn_len(full: usize, frac: f64) -> usize {
+    let keep = (full as f64 * frac.clamp(0.0, 1.0)) as usize;
+    keep.min(full.saturating_sub(1))
+}
+
+/// Lifetime hit count for `site` (0 if never armed).
+pub fn hits(site: &str) -> u64 {
+    stat(site).map(|(h, _)| h).unwrap_or(0)
+}
+
+/// Lifetime fire count for `site` (0 if never armed).
+pub fn fires(site: &str) -> u64 {
+    stat(site).map(|(_, f)| f).unwrap_or(0)
+}
+
+#[cfg_attr(feature = "off", allow(unused_variables))]
+fn stat(site: &str) -> Option<(u64, u64)> {
+    #[cfg(feature = "off")]
+    return None;
+    #[cfg(not(feature = "off"))]
+    {
+        let map = lock_registry();
+        map.get(site).map(|s| (s.hits, s.fires))
+    }
+}
+
+/// Hit/fire counts for every configured site, sorted by name — the feed
+/// for `cx_fault_*` metric exposition.
+pub fn site_stats() -> Vec<SiteStats> {
+    #[cfg(feature = "off")]
+    return Vec::new();
+    #[cfg(not(feature = "off"))]
+    {
+        let map = lock_registry();
+        let mut v: Vec<SiteStats> = map
+            .iter()
+            .map(|(k, s)| SiteStats { site: k.clone(), hits: s.hits, fires: s.fires })
+            .collect();
+        v.sort_by(|a, b| a.site.cmp(&b.site));
+        v
+    }
+}
+
+static SCENARIO: Mutex<()> = Mutex::new(());
+
+/// Serializes fault-injecting tests and guarantees a clean registry on
+/// both entry and exit. Hold it for the test's whole body:
+///
+/// ```
+/// let _fp = cxfault::Scenario::setup();
+/// cxfault::configure("wal.append", cxfault::Trigger::Nth(3), cxfault::Fault::Io);
+/// // … drive the workload …
+/// // drop clears every site even if the test panics first
+/// ```
+pub struct Scenario {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Scenario {
+    /// Take the process-wide fault lock and clear the registry.
+    pub fn setup() -> Scenario {
+        // A previous test panicking mid-scenario poisons this mutex; the
+        // protected state is the (cleared-on-entry) registry, so the
+        // guard is safe to reuse.
+        let guard = SCENARIO.lock().unwrap_or_else(PoisonError::into_inner);
+        clear();
+        Scenario { _guard: guard }
+    }
+}
+
+impl Drop for Scenario {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_are_silent() {
+        let _fp = Scenario::setup();
+        assert_eq!(fire("nobody.configured"), None);
+        assert_eq!(hits("nobody.configured"), 0);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let _fp = Scenario::setup();
+        configure("t.nth", Trigger::Nth(3), Fault::Io);
+        let fired: Vec<bool> = (0..6).map(|_| fire("t.nth").is_some()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert_eq!(hits("t.nth"), 6);
+        assert_eq!(fires("t.nth"), 1);
+    }
+
+    #[test]
+    fn every_n_keeps_cadence() {
+        let _fp = Scenario::setup();
+        configure("t.cadence", Trigger::EveryN(3), Fault::Io);
+        let fired: Vec<bool> = (0..9).map(|_| fire("t.cadence").is_some()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn probability_replays_identically_for_a_seed() {
+        let _fp = Scenario::setup();
+        let run = || -> Vec<bool> {
+            configure_seeded("t.prob", Trigger::Probability(0.4), Fault::Io, 42);
+            (0..64).map(|_| fire("t.prob").is_some()).collect()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same hit order → same schedule");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((10..=40).contains(&fired), "p=0.4 over 64 hits fired {fired} times");
+        // A different seed gives a different schedule.
+        configure_seeded("t.prob", Trigger::Probability(0.4), Fault::Io, 43);
+        let c: Vec<bool> = (0..64).map(|_| fire("t.prob").is_some()).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn torn_write_reports_clamped_fraction() {
+        let _fp = Scenario::setup();
+        configure("t.torn", Trigger::Always, Fault::TornWrite(1.7));
+        assert_eq!(fire("t.torn"), Some(InjectedFault::Torn(1.0)));
+        assert_eq!(torn_len(100, 1.0), 99, "a tear always drops at least one byte");
+        assert_eq!(torn_len(100, 0.5), 50);
+        assert_eq!(torn_len(0, 0.5), 0);
+    }
+
+    #[test]
+    fn delay_sleeps_then_proceeds() {
+        let _fp = Scenario::setup();
+        configure("t.delay", Trigger::Always, Fault::Delay(Duration::from_millis(15)));
+        let t0 = std::time::Instant::now();
+        assert_eq!(fire("t.delay"), None, "delay is transparent to the caller");
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn io_check_surfaces_the_site_name() {
+        let _fp = Scenario::setup();
+        configure("t.sync", Trigger::Always, Fault::Io);
+        let err = io_check("t.sync").unwrap_err();
+        assert!(err.to_string().contains("t.sync"), "got: {err}");
+        assert!(io_check("t.other").is_ok());
+    }
+
+    #[test]
+    fn stats_enumerate_configured_sites() {
+        let _fp = Scenario::setup();
+        configure("t.b", Trigger::Always, Fault::Io);
+        configure("t.a", Trigger::EveryN(2), Fault::Io);
+        fire("t.b");
+        fire("t.a");
+        let stats = site_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].site, "t.a");
+        assert_eq!(stats[0], SiteStats { site: "t.a".into(), hits: 1, fires: 0 });
+        assert_eq!(stats[1], SiteStats { site: "t.b".into(), hits: 1, fires: 1 });
+        disarm("t.b");
+        assert_eq!(site_stats().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic at failpoint `t.boom`")]
+    fn panic_action_panics_at_the_site() {
+        let _fp = Scenario::setup();
+        configure("t.boom", Trigger::Always, Fault::Panic);
+        fire("t.boom");
+    }
+}

@@ -77,6 +77,13 @@ impl EventRing {
         lock(&self.inner).buf.drain(..).collect()
     }
 
+    /// The retained events of one kind, oldest first — the post-mortem
+    /// question is almost always "show me every `store.degraded`", not
+    /// the whole interleaved trail.
+    pub fn of_kind(&self, kind: &str) -> Vec<Event> {
+        lock(&self.inner).buf.iter().filter(|e| e.kind == kind).cloned().collect()
+    }
+
     /// Events evicted by overflow since creation.
     pub fn dropped(&self) -> u64 {
         lock(&self.inner).dropped
@@ -127,6 +134,21 @@ mod tests {
         assert!(ring.is_empty());
         ring.record("c", "3");
         assert_eq!(ring.recent()[0].seq, 3, "sequence numbers continue across drains");
+    }
+
+    #[test]
+    fn of_kind_filters_without_disturbing_the_ring() {
+        let ring = EventRing::new(8);
+        ring.record("degraded", "shard 0");
+        ring.record("healed", "shard 0");
+        ring.record("degraded", "shard 2");
+        let degraded = ring.of_kind("degraded");
+        assert_eq!(degraded.len(), 2);
+        assert_eq!(degraded[0].detail, "shard 0");
+        assert_eq!(degraded[1].detail, "shard 2");
+        assert!(degraded.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(ring.of_kind("missing").is_empty());
+        assert_eq!(ring.len(), 3, "filtering copies, never drains");
     }
 
     #[test]

@@ -25,13 +25,13 @@ use crate::snapshot::{
     list_snapshots, load_snapshot, prune_snapshots, sync_dir, validated_manifest, write_snapshot,
     StoreSnapshot,
 };
-use cxobs::{Exposition, Histogram, Observable, Registry};
+use cxobs::{Exposition, Gauge, Histogram, Observable, Registry};
 use cxstore::{DocId, EditOp, EditOutcome, Store, StoreStats};
 use goddag::Goddag;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
@@ -63,6 +63,22 @@ impl Default for Options {
     fn default() -> Options {
         Options { fsync: FsyncPolicy::EveryOp }
     }
+}
+
+/// Write-path health of a [`DurableStore`].
+///
+/// A store degrades — once, explicitly — when a WAL append or fsync
+/// fails (the ENOSPC / pulled-volume class): every already-acknowledged
+/// edit is still durable and every read keeps working, but further
+/// writes are refused with [`PersistError::Degraded`] instead of
+/// half-failing one by one. [`DurableStore::heal`] re-probes the disk
+/// and, on success, returns the store to `Healthy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// Writes and reads both served.
+    Healthy,
+    /// Read-only: the WAL could not be extended or made durable.
+    Degraded,
 }
 
 /// What [`DurableStore::open`] found and did.
@@ -166,6 +182,8 @@ struct PersistMetrics {
     checkpoint_ns: Arc<Histogram>,
     /// The WAL replay phase of [`DurableStore::open`].
     recovery_replay_ns: Arc<Histogram>,
+    /// 1 while the store is in the read-only Degraded state, else 0.
+    degraded: Arc<Gauge>,
 }
 
 impl PersistMetrics {
@@ -175,6 +193,7 @@ impl PersistMetrics {
             wal_fsync_ns: r.histogram("cx_wal_fsync_ns"),
             checkpoint_ns: r.histogram("cx_checkpoint_ns"),
             recovery_replay_ns: r.histogram("cx_recovery_replay_ns"),
+            degraded: r.gauge("cx_store_degraded"),
         }
     }
 }
@@ -200,6 +219,13 @@ struct TailCache {
     entries: Vec<(u64, u64)>,
 }
 
+/// Poison-tolerant: the WAL mutex guards plain state (file handle,
+/// LSN/byte counters, tail cache). A panic while it is held — an
+/// injected `cxfault::Fault::Panic` at a WAL failpoint, or an
+/// out-of-memory mid-append — leaves counters that describe whatever
+/// actually reached the file; recovering the guard lets `Drop` still
+/// flush and `wal_tail` still ship, and reopen-time recovery re-derives
+/// the authoritative tail from the bytes themselves.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -219,6 +245,11 @@ pub struct DurableStore {
     /// the [`TailCache`] invalidation signal.
     rotations: AtomicU64,
     tail_cache: Mutex<TailCache>,
+    /// Set on the first WAL append/fsync failure; checked (one relaxed
+    /// load) at the top of every mutation. See [`StoreHealth`].
+    degraded: AtomicBool,
+    /// Human-readable cause of the degradation (empty while healthy).
+    degraded_reason: Mutex<String>,
 }
 
 impl DurableStore {
@@ -351,6 +382,8 @@ impl DurableStore {
             recovery: report,
             rotations: AtomicU64::new(0),
             tail_cache: Mutex::default(),
+            degraded: AtomicBool::new(false),
+            degraded_reason: Mutex::new(String::new()),
         })
     }
 
@@ -482,7 +515,7 @@ impl DurableStore {
                     ),
                 });
             }
-            Self::sync_locked(&mut w, &self.counters, &self.metrics)?;
+            self.sync_locked(&mut w)?;
             (w.lsn, self.rotations.load(Ordering::Relaxed))
         };
         // All file reads run *outside* the mutex so shipping never stalls
@@ -627,9 +660,12 @@ impl DurableStore {
         let _exclusive = write_gate(&self.gate);
         let lsn = {
             let mut w = lock(&self.wal);
-            Self::sync_locked(&mut w, &self.counters, &self.metrics)?;
+            self.sync_locked(&mut w)?;
             w.lsn
         };
+        // Failpoint: a bootstrap capture that fails after the sync — the
+        // fetch errors (the follower retries), nothing degrades.
+        cxfault::io_check("snapshot.capture")?;
         StoreSnapshot::capture(&self.store, lsn)
     }
 
@@ -685,6 +721,8 @@ impl DurableStore {
             },
             rotations: AtomicU64::new(0),
             tail_cache: Mutex::default(),
+            degraded: AtomicBool::new(false),
+            degraded_reason: Mutex::new(String::new()),
         })
     }
 
@@ -708,6 +746,7 @@ impl DurableStore {
     /// Apply one [`EditOp`], durably: the record is appended (and synced
     /// per policy) before the document changes.
     pub fn edit(&self, id: DocId, op: EditOp) -> Result<EditOutcome> {
+        self.ensure_writable()?;
         let _shared = read_gate(&self.gate);
         match self.store.edit_with_log(id, op, |op, epoch| {
             self.append(WalOp::Edit { doc: id, epoch, op: op.clone() })
@@ -748,6 +787,7 @@ impl DurableStore {
         g: Goddag,
         align: Option<(u64, u64)>,
     ) -> Result<DocId> {
+        self.ensure_writable()?;
         let _shared = read_gate(&self.gate);
         let blob = DocBlob::capture(&g);
         // The WAL mutex serializes id allocation among durable inserts, so
@@ -757,13 +797,7 @@ impl DurableStore {
             None => self.store.next_doc_raw(),
             Some((m, r)) => self.store.allocate_doc_raw_aligned(m, r),
         });
-        Self::append_locked(
-            &mut w,
-            &self.counters,
-            &self.metrics,
-            self.policy,
-            WalOp::DocInsert { doc: id, name: name.clone(), blob },
-        )?;
+        self.append_locked(&mut w, WalOp::DocInsert { doc: id, name: name.clone(), blob })?;
         self.store.insert_with_id(id, g)?;
         if let Some(name) = name {
             self.store.bind_name(name, id)?;
@@ -780,6 +814,7 @@ impl DurableStore {
     /// `names` are the source's bindings for the document, re-bound (and
     /// logged) here. Refuses a live handle.
     pub fn receive_doc(&self, id: DocId, blob: &DocBlob, names: &[String]) -> Result<()> {
+        self.ensure_writable()?;
         let _shared = read_gate(&self.gate);
         let g = blob.restore()?;
         {
@@ -792,11 +827,8 @@ impl DurableStore {
             if self.store.contains(id) {
                 return Err(PersistError::Store(cxstore::StoreError::IdInUse(id)));
             }
-            Self::append_locked(
+            self.append_locked(
                 &mut w,
-                &self.counters,
-                &self.metrics,
-                self.policy,
                 WalOp::DocInsert { doc: id, name: None, blob: blob.clone() },
             )?;
             self.store.insert_with_id(id, g)?;
@@ -811,6 +843,7 @@ impl DurableStore {
     /// Drop a document (and all of its name bindings), durably. Returns
     /// whether the handle was live.
     pub fn remove(&self, id: DocId) -> Result<bool> {
+        self.ensure_writable()?;
         let _shared = read_gate(&self.gate);
         if !self.store.contains(id) {
             return Ok(false); // nothing to log
@@ -821,6 +854,7 @@ impl DurableStore {
 
     /// Resolve a name and drop that document, durably.
     pub fn remove_named(&self, name: &str) -> Result<DocId> {
+        self.ensure_writable()?;
         let _shared = read_gate(&self.gate);
         let id = self.store.id_by_name(name)?;
         self.append(WalOp::DocRemove { doc: id })?;
@@ -830,6 +864,7 @@ impl DurableStore {
 
     /// Bind (or rebind) a name to a live document, durably.
     pub fn bind_name(&self, name: impl Into<String>, id: DocId) -> Result<()> {
+        self.ensure_writable()?;
         let _shared = read_gate(&self.gate);
         let name = name.into();
         if !self.store.contains(id) {
@@ -844,6 +879,7 @@ impl DurableStore {
     /// the id the name was bound to (`None` — and nothing logged — when it
     /// was unbound already).
     pub fn unbind_name(&self, name: &str) -> Result<Option<DocId>> {
+        self.ensure_writable()?;
         let _shared = read_gate(&self.gate);
         if self.store.id_by_name(name).is_err() {
             return Ok(None); // nothing to log
@@ -854,39 +890,51 @@ impl DurableStore {
 
     fn append(&self, op: WalOp) -> Result<()> {
         let mut w = lock(&self.wal);
-        Self::append_locked(&mut w, &self.counters, &self.metrics, self.policy, op)
+        self.append_locked(&mut w, op)
     }
 
-    fn append_locked(
-        w: &mut WalState,
-        counters: &PersistCounters,
-        metrics: &PersistMetrics,
-        policy: FsyncPolicy,
-        op: WalOp,
-    ) -> Result<()> {
-        let _span = metrics.wal_append_ns.span();
+    fn append_locked(&self, w: &mut WalState, op: WalOp) -> Result<()> {
+        let _span = self.metrics.wal_append_ns.span();
         let pre_len = w.len;
         let line = encode_record(w.lsn + 1, &op);
+        // Failpoint: an append that never reaches the disk (`Io`, the
+        // ENOSPC class) or gets cut mid-record (`TornWrite`). Both take
+        // the same cleanup path a real `write_all` failure would: cut the
+        // file back to the last good record — the log stays a valid
+        // prefix, the operation is refused before it mutates memory — and
+        // degrade the store.
+        if let Some(fault) = cxfault::fire("wal.append") {
+            if let cxfault::InjectedFault::Torn(frac) = fault {
+                let keep = cxfault::torn_len(line.len(), frac);
+                let _ = w.file.write_all(&line.as_bytes()[..keep]);
+            }
+            let _ = w.file.set_len(pre_len);
+            let _ = w.file.seek(SeekFrom::Start(pre_len));
+            let e = cxfault::io_error("wal.append");
+            self.enter_degraded(&format!("WAL append failed: {e}"));
+            return Err(e.into());
+        }
         if let Err(e) = w.file.write_all(line.as_bytes()) {
             // Cut any partial write back to the last good record so the
             // file stays a valid prefix.
             let _ = w.file.set_len(pre_len);
             let _ = w.file.seek(SeekFrom::Start(pre_len));
+            self.enter_degraded(&format!("WAL append failed: {e}"));
             return Err(e.into());
         }
         w.lsn += 1;
         w.len += line.len() as u64;
         w.dirty += 1;
-        counters.wal_appends.fetch_add(1, Ordering::Relaxed);
-        counters.wal_bytes.fetch_add(line.len() as u64, Ordering::Relaxed);
-        let due = match policy {
+        self.counters.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.counters.wal_bytes.fetch_add(line.len() as u64, Ordering::Relaxed);
+        let due = match self.policy {
             FsyncPolicy::EveryOp => true,
             FsyncPolicy::EveryN(n) => w.dirty >= n.max(1),
             FsyncPolicy::Interval(d) => w.last_sync.elapsed() >= d,
             FsyncPolicy::Never => false,
         };
         if due {
-            if let Err(e) = Self::sync_locked(w, counters, metrics) {
+            if let Err(e) = self.sync_locked(w) {
                 // The append error aborts the caller's operation before it
                 // is applied in memory, so the record must not survive
                 // either — a phantom record would poison a later replay
@@ -903,14 +951,19 @@ impl DurableStore {
         Ok(())
     }
 
-    fn sync_locked(
-        w: &mut WalState,
-        counters: &PersistCounters,
-        metrics: &PersistMetrics,
-    ) -> Result<()> {
+    fn sync_locked(&self, w: &mut WalState) -> Result<()> {
         if w.dirty > 0 {
-            metrics.wal_fsync_ns.time(|| w.file.sync_data())?;
-            counters.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+            // Failpoint + real fsync share one error path: records are
+            // sitting in the page cache with no way to make them durable,
+            // so the store degrades (the caller additionally rolls back
+            // its own record when this failure aborts an append).
+            let r = cxfault::io_check("wal.fsync")
+                .and_then(|()| self.metrics.wal_fsync_ns.time(|| w.file.sync_data()));
+            if let Err(e) = r {
+                self.enter_degraded(&format!("WAL fsync failed: {e}"));
+                return Err(e.into());
+            }
+            self.counters.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
             w.dirty = 0;
         }
         w.last_sync = Instant::now();
@@ -921,7 +974,73 @@ impl DurableStore {
     /// under the lazier policies).
     pub fn sync(&self) -> Result<()> {
         let mut w = lock(&self.wal);
-        Self::sync_locked(&mut w, &self.counters, &self.metrics)
+        self.sync_locked(&mut w)
+    }
+
+    // ------------------------------------------------------------------
+    // Health
+    // ------------------------------------------------------------------
+
+    /// Current write-path health.
+    pub fn health(&self) -> StoreHealth {
+        if self.degraded.load(Ordering::Acquire) {
+            StoreHealth::Degraded
+        } else {
+            StoreHealth::Healthy
+        }
+    }
+
+    /// Why the store is degraded (`None` while healthy).
+    pub fn degraded_reason(&self) -> Option<String> {
+        if self.degraded.load(Ordering::Acquire) {
+            Some(lock(&self.degraded_reason).clone())
+        } else {
+            None
+        }
+    }
+
+    /// Refuse a mutation while degraded — the check every logged write
+    /// starts with. One relaxed-ish atomic load when healthy.
+    fn ensure_writable(&self) -> Result<()> {
+        if self.degraded.load(Ordering::Acquire) {
+            return Err(PersistError::Degraded { detail: lock(&self.degraded_reason).clone() });
+        }
+        Ok(())
+    }
+
+    /// Transition to Degraded (idempotent — only the first failure logs
+    /// the event and records the reason).
+    fn enter_degraded(&self, reason: &str) {
+        if self.degraded.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok()
+        {
+            *lock(&self.degraded_reason) = reason.to_string();
+            self.metrics.degraded.set(1);
+            self.store.registry().event("store.degraded", reason.to_string());
+        }
+    }
+
+    /// Re-probe the write path and, if the disk answers, return the store
+    /// to [`StoreHealth::Healthy`]. The probe exercises the same seams
+    /// that degrade the store — the failpoints and a real fsync of the
+    /// log — so a still-broken disk (or a still-armed fault schedule)
+    /// keeps it degraded and returns the probe error. Pending unsynced
+    /// records from before the failure become durable as a side effect.
+    /// No-op when already healthy.
+    pub fn heal(&self) -> Result<StoreHealth> {
+        if !self.degraded.load(Ordering::Acquire) {
+            return Ok(StoreHealth::Healthy);
+        }
+        let mut w = lock(&self.wal);
+        cxfault::io_check("wal.append")?;
+        cxfault::io_check("wal.fsync")?;
+        self.metrics.wal_fsync_ns.time(|| w.file.sync_data())?;
+        w.dirty = 0;
+        w.last_sync = Instant::now();
+        self.degraded.store(false, Ordering::Release);
+        *lock(&self.degraded_reason) = String::new();
+        self.metrics.degraded.set(0);
+        self.store.registry().event("store.healed", "write path re-probed OK");
+        Ok(StoreHealth::Healthy)
     }
 
     // ------------------------------------------------------------------
@@ -950,12 +1069,16 @@ impl DurableStore {
     /// than serving partial state (reuse sources are CRC-validated
     /// end-to-end at checkpoint time, so rot never launders forward).
     pub fn checkpoint(&self) -> Result<CheckpointInfo> {
+        // A checkpoint must rotate the log it retires; while the write
+        // path is broken that is exactly the kind of half-completed disk
+        // surgery the degraded state exists to prevent.
+        self.ensure_writable()?;
         let _span = self.metrics.checkpoint_ns.span();
         let _exclusive = write_gate(&self.gate);
         let mut w = lock(&self.wal);
         // Everything up to w.lsn is in memory (mutators are drained); the
         // snapshot captures exactly that state.
-        Self::sync_locked(&mut w, &self.counters, &self.metrics)?;
+        self.sync_locked(&mut w)?;
         let lsn = w.lsn;
         // The newest *older* snapshot that validates end-to-end (manifest
         // + blob CRCs + epochs) serves two roles: its blobs are reused for
@@ -1075,6 +1198,18 @@ impl DurableStore {
     }
 }
 
+/// Append `cx_fault_hits_total` / `cx_fault_fires_total` series — one
+/// pair per configured failpoint site — to an exposition page. The
+/// failpoint registry is process-global (sites are reached from any
+/// layer), so callers emit this once per page rather than once per
+/// store; the cluster exposition does.
+pub fn expose_faults(out: &mut Exposition) {
+    for s in cxfault::site_stats() {
+        out.write_with("cx_fault_hits_total", &[("site", &s.site)], s.hits);
+        out.write_with("cx_fault_fires_total", &[("site", &s.site)], s.fires);
+    }
+}
+
 impl Observable for DurableStore {
     /// The durable stats snapshot (WAL, checkpoint, recovery, and tail
     /// -cache counters included) plus every registry metric.
@@ -1088,10 +1223,13 @@ impl Drop for DurableStore {
     fn drop(&mut self) {
         // Best-effort flush of anything a lazy policy left unsynced.
         let mut w = lock(&self.wal);
-        let _ = Self::sync_locked(&mut w, &self.counters, &self.metrics);
+        let _ = self.sync_locked(&mut w);
     }
 }
 
+// Poison-tolerant: the checkpoint gate guards `()` — there is no data a
+// panicked holder could have half-written; the lock exists purely to
+// order mutators against checkpoints.
 fn read_gate(gate: &RwLock<()>) -> std::sync::RwLockReadGuard<'_, ()> {
     gate.read().unwrap_or_else(PoisonError::into_inner)
 }

@@ -29,6 +29,14 @@ pub enum PersistError {
         /// What was inconsistent.
         detail: String,
     },
+    /// The store is in the read-only **Degraded** state: a WAL append or
+    /// fsync failed (disk full, pulled volume), so writes are refused
+    /// until [`crate::DurableStore::heal`] re-probes the disk
+    /// successfully. Reads keep working throughout.
+    Degraded {
+        /// The failure that degraded the store.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -45,6 +53,9 @@ impl fmt::Display for PersistError {
             }
             PersistError::Corrupt { path, detail } => {
                 write!(f, "corrupt store at {}: {detail}", path.display())
+            }
+            PersistError::Degraded { detail } => {
+                write!(f, "store is degraded (read-only): {detail}")
             }
         }
     }

@@ -66,7 +66,8 @@ pub use codec::{
     WalScan, WAL_HEADER,
 };
 pub use durable::{
-    CheckpointInfo, DurableStore, FsyncPolicy, Options, RecoveryReport, TailShipment, WalPosition,
+    expose_faults, CheckpointInfo, DurableStore, FsyncPolicy, Options, RecoveryReport, StoreHealth,
+    TailShipment, WalPosition,
 };
 pub use error::{PersistError, Result};
 pub use snapshot::{Manifest, ManifestDoc, StoreSnapshot};

@@ -376,6 +376,11 @@ pub(crate) fn write_snapshot(
         // replace it.
         fs::remove_dir_all(&final_path)?;
     }
+    // Failpoint: a crash/ENOSPC at the publish step. The `.tmp` directory
+    // is left behind (ignored by recovery, replaced by the next attempt)
+    // and the previous generation stays authoritative — exactly the
+    // atomicity the rename is for.
+    cxfault::io_check("checkpoint.rename")?;
     fs::rename(&tmp_path, &final_path)?;
     sync_dir(dir)?;
     out.docs = manifest.docs.len();

@@ -1,0 +1,66 @@
+//! [`FaultTransport`]: a fault-injecting [`LogTransport`] decorator.
+//!
+//! Wraps any transport and consults a `cxfault` failpoint before every
+//! fetch, so chaos tests inject outages, slow links, and torn batches at
+//! the replication seam without touching primary or follower code. With
+//! no site armed the decorator costs one relaxed atomic load per fetch.
+
+use crate::error::{ReplError, Result};
+use crate::transport::{FetchResponse, LogTransport};
+
+/// Default failpoint site consulted by [`FaultTransport::new`].
+pub const FAULT_SITE: &str = "repl.fetch";
+
+/// A [`LogTransport`] that injects faults from the `cxfault` registry.
+///
+/// * [`cxfault::Fault::Io`] — the fetch fails outright (a dead peer, a
+///   torn connection); the follower's backoff loop absorbs it.
+/// * [`cxfault::Fault::TornWrite`] — the fetch succeeds but a `Records`
+///   batch is truncated in flight to the configured fraction; the
+///   replica applies the whole-record prefix and re-requests the rest
+///   (caught-up and snapshot responses pass through untorn — snapshots
+///   are all-or-nothing artifacts, and tearing one merely yields a
+///   transient parse error, a less interesting failure than the
+///   mid-stream tear this exercises).
+/// * [`cxfault::Fault::Delay`] — the fetch stalls inside the failpoint
+///   (a congested link), then proceeds.
+pub struct FaultTransport<T: LogTransport> {
+    inner: T,
+    site: String,
+}
+
+impl<T: LogTransport> FaultTransport<T> {
+    /// Wrap `inner`, consulting the shared [`FAULT_SITE`] site.
+    pub fn new(inner: T) -> FaultTransport<T> {
+        FaultTransport::with_site(inner, FAULT_SITE)
+    }
+
+    /// Wrap `inner` with a private site name — lets a multi-link test
+    /// (one follower per shard) fault each link independently.
+    pub fn with_site(inner: T, site: impl Into<String>) -> FaultTransport<T> {
+        FaultTransport { inner, site: site.into() }
+    }
+
+    /// Unwrap the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: LogTransport> LogTransport for FaultTransport<T> {
+    fn fetch(&mut self, after: u64, max_bytes: usize) -> Result<FetchResponse> {
+        match cxfault::fire(&self.site) {
+            Some(cxfault::InjectedFault::Io) => Err(ReplError::Io(cxfault::io_error(&self.site))),
+            Some(cxfault::InjectedFault::Torn(frac)) => {
+                match self.inner.fetch(after, max_bytes)? {
+                    FetchResponse::Records { head, mut bytes } => {
+                        bytes.truncate(cxfault::torn_len(bytes.len(), frac));
+                        Ok(FetchResponse::Records { head, bytes })
+                    }
+                    other => Ok(other),
+                }
+            }
+            None => self.inner.fetch(after, max_bytes),
+        }
+    }
+}

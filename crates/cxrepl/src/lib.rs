@@ -50,6 +50,7 @@
 //! ```
 
 mod error;
+mod fault;
 mod follower;
 mod primary;
 mod replica;
@@ -57,7 +58,8 @@ mod tcp;
 mod transport;
 
 pub use error::{ReplError, Result};
-pub use follower::{Follower, FollowerHandle, SyncProgress};
+pub use fault::{FaultTransport, FAULT_SITE};
+pub use follower::{Follower, FollowerError, FollowerHandle, RetryPolicy, SyncProgress};
 pub use primary::Primary;
 pub use replica::{BatchApply, ReplicaStore};
 pub use tcp::{TcpReplServer, TcpTransport, MAX_FRAME};

@@ -41,6 +41,11 @@ struct ReplicaCounters {
     snapshots_installed: AtomicU64,
 }
 
+/// Poison-tolerant: the apply mutex serializes batch application; each
+/// record applies atomically through the store's own edit path, so a
+/// panic mid-batch (injected or real) leaves the replica at a record
+/// boundary — the next sync re-requests from `last_applied` and
+/// continues, which is precisely the torn-batch contract.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }

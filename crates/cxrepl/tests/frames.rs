@@ -127,7 +127,10 @@ fn too_large_is_terminal_and_parks_a_background_follower() {
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
     let err = handle.terminal_error().expect("the follower must park, not retry forever");
-    assert!(err.contains("frame too large"), "{err}");
+    assert!(
+        matches!(&err, cxrepl::FollowerError::Transport { detail } if detail.contains("frame too large")),
+        "{err}"
+    );
     handle.stop();
     drop(fake); // the fake server thread exits when the connection drops
 }

@@ -274,7 +274,11 @@ fn background_follower_surfaces_divergence_as_terminal() {
         assert!(std::time::Instant::now() < deadline, "divergence never surfaced");
         std::thread::sleep(std::time::Duration::from_millis(2));
     }
-    assert!(handle.terminal_error().unwrap().contains("diverged"), "{:?}", handle.terminal_error());
+    assert!(
+        matches!(handle.terminal_error(), Some(cxrepl::FollowerError::Diverged { .. })),
+        "{:?}",
+        handle.terminal_error()
+    );
     let parked_at = replica.last_applied();
     assert!(parked_at < primary.durable().last_lsn(), "the diverged record never applied");
     handle.stop();

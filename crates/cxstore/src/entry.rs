@@ -25,9 +25,23 @@ pub(crate) struct DocEntry {
     engines: Mutex<HashMap<u16, Arc<PrevalidEngine>>>,
 }
 
-/// Poison-tolerant lock helpers: a panicked writer leaves the data in a
-/// consistent-enough state for statistics and shutdown paths, and tests
-/// deliberately poke the store from panicking threads.
+/// Poison-tolerant lock helpers — the store's one policy for panicked
+/// guard holders (audited per site; `cxfault::Fault::Panic` fires inside
+/// held guards on purpose to exercise exactly this cascade):
+///
+/// * **`doc` (RwLock<Goddag>)** — a writer panicking mid-edit can only
+///   do so *before* the op applies (prevalidation, offset resolution)
+///   or *after* it applied whole: the `Goddag` mutators either return
+///   `Err` or complete, so a recovered guard always sees a document at
+///   an op boundary. Refusing reads here would turn one poked thread
+///   into a store-wide outage.
+/// * **`index` / `engines` (Mutex)** — pure caches keyed by edit epoch;
+///   a half-built entry from a panicked builder fails its epoch check
+///   and is rebuilt. Worst case is a redundant rebuild, never a wrong
+///   answer.
+///
+/// Statistics and shutdown paths additionally rely on these helpers to
+/// drain state after a deliberate test panic.
 pub(crate) fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     l.read().unwrap_or_else(PoisonError::into_inner)
 }

@@ -49,6 +49,7 @@
 
 pub use corpus;
 pub use cxcluster;
+pub use cxfault;
 pub use cxobs;
 pub use cxpersist;
 pub use cxrepl;

@@ -88,6 +88,42 @@ fn instrumented_gated_edits_stay_within_5_percent_of_noop_registry() {
     );
 }
 
+/// Guards the cxfault disarmed fast path: with no site armed anywhere in
+/// the process, [`cxfault::fire`] is one relaxed atomic load — the WAL
+/// append, fsync, and replication fetch paths cross it on every
+/// operation, so it must stay in single-digit nanoseconds. The budget is
+/// 25 ns per call, ~10× the expected cost, so only a real regression
+/// (e.g. taking the registry lock while disarmed) trips it.
+#[test]
+#[ignore = "release-mode perf budget; run with: cargo test --release --test perf_smoke -- --ignored"]
+fn disarmed_failpoints_stay_within_nanoseconds() {
+    const CALLS: u32 = 2_000_000;
+    const ROUNDS: usize = 5;
+
+    // Exclusive registry use: guarantees nothing is armed and restores a
+    // clean registry on drop.
+    let _scenario = cxfault::Scenario::setup();
+
+    let run = || -> Duration {
+        let t = Instant::now();
+        for _ in 0..CALLS {
+            assert!(cxfault::fire(std::hint::black_box("wal.append")).is_none());
+        }
+        t.elapsed()
+    };
+
+    run(); // Warm-up.
+    let mut best = Duration::MAX;
+    for _ in 0..ROUNDS {
+        best = best.min(run());
+    }
+    let budget = Duration::from_nanos(25).saturating_mul(CALLS);
+    assert!(
+        best <= budget,
+        "{CALLS} disarmed fire() calls took {best:?} (budget {budget:?} = 25 ns/call)"
+    );
+}
+
 #[test]
 #[ignore = "release-mode perf budget; run with: cargo test --release --test perf_smoke -- --ignored"]
 fn suggest_tags_200_words_stays_interactive() {
