@@ -1,0 +1,180 @@
+//! `cxserve` benchmarks: what the wire costs over doing it in-process.
+//!
+//! Series:
+//! * `serve/edit/in_process` — the floor: gated edits straight into the
+//!   cluster, no network.
+//! * `serve/edit/wire_single` — one client, one guarded edit per round
+//!   trip, over loopback TCP.
+//! * `serve/edit/wire_pipelined` — the same edits as one `edit_batch`
+//!   pipeline (a window of guarded edits in flight per connection).
+//! * `serve/edit/wire_concurrent_8` — eight clients driving disjoint
+//!   documents at once against one server.
+//! * `serve/query_all/{in_process,wire}` — fan-out query, merged across
+//!   shards, with and without the wire in the way.
+//!
+//! All stores live under unique directories in the system temp dir and
+//! are removed when the bench finishes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cxcluster::Cluster;
+use cxpersist::{FsyncPolicy, Options};
+use cxserve::{Client, ClientOptions, ClusterServer, ServerOptions};
+use cxstore::{DocId, EditOp};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// Unique scratch directory (cleaned by `Scratch::drop`).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let path = std::env::temp_dir().join(format!(
+            "cxserve-bench-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        Scratch(path)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A 2-shard cluster with `docs` small manuscripts, plus a server.
+fn served_cluster(scratch: &Scratch, docs: usize) -> (Arc<Cluster>, ClusterServer, Vec<DocId>) {
+    let dirs: Vec<_> = (0..2).map(|i| scratch.0.join(format!("shard-{i}"))).collect();
+    let cluster = Arc::new(Cluster::open(dirs, Options { fsync: FsyncPolicy::Never }).unwrap());
+    let ids: Vec<DocId> = (0..docs)
+        .map(|i| {
+            let mut g = corpus::generate(&corpus::Params::sized(80)).goddag;
+            corpus::dtds::attach_standard(&mut g);
+            cluster.insert_named(format!("bench-{i}"), g).unwrap()
+        })
+        .collect();
+    let server = ClusterServer::bind(
+        Arc::clone(&cluster),
+        "127.0.0.1:0",
+        ServerOptions { handlers: 10, backlog: 64, ..ServerOptions::default() },
+    )
+    .unwrap();
+    (cluster, server, ids)
+}
+
+fn text_op(k: usize) -> EditOp {
+    EditOp::InsertText { offset: 0, text: format!("b{k} ") }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    const EDITS: usize = 64;
+
+    // The in-process floor: the same gated edits, no wire.
+    {
+        let scratch = Scratch::new("floor");
+        let (cluster, server, ids) = served_cluster(&scratch, 8);
+        group.throughput(Throughput::Elements(EDITS as u64));
+        group.bench_function("edit/in_process", |b| {
+            b.iter(|| {
+                for k in 0..EDITS {
+                    cluster.edit(ids[k % ids.len()], black_box(text_op(k))).unwrap();
+                }
+            });
+        });
+        server.shutdown();
+    }
+
+    // One guarded edit per round trip.
+    {
+        let scratch = Scratch::new("single");
+        let (_cluster, server, ids) = served_cluster(&scratch, 8);
+        let client = Client::connect(server.addr(), ClientOptions::default()).unwrap();
+        group.throughput(Throughput::Elements(EDITS as u64));
+        group.bench_function("edit/wire_single", |b| {
+            b.iter(|| {
+                for k in 0..EDITS {
+                    let d = ids[k % ids.len()];
+                    let e = client.epoch(d).unwrap();
+                    client.edit_guarded(d, e, black_box(text_op(k))).unwrap();
+                }
+            });
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    // The same edits as one pipelined batch.
+    {
+        let scratch = Scratch::new("pipeline");
+        let (_cluster, server, ids) = served_cluster(&scratch, 8);
+        let client = Client::connect(server.addr(), ClientOptions::default()).unwrap();
+        let edits: Vec<(DocId, EditOp)> =
+            (0..EDITS).map(|k| (ids[k % ids.len()], text_op(k))).collect();
+        group.throughput(Throughput::Elements(EDITS as u64));
+        group.bench_function("edit/wire_pipelined", |b| {
+            b.iter(|| {
+                let results = client.edit_batch(black_box(&edits)).unwrap();
+                assert!(results.iter().all(|r| r.is_ok()));
+            });
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    // Eight clients, disjoint documents, one server.
+    {
+        let scratch = Scratch::new("concurrent");
+        let (_cluster, server, ids) = served_cluster(&scratch, 8);
+        let addr = server.addr();
+        group.throughput(Throughput::Elements(EDITS as u64));
+        group.bench_function("edit/wire_concurrent_8", |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for (w, d) in ids.iter().copied().enumerate() {
+                        scope.spawn(move || {
+                            let client = Client::connect(addr, ClientOptions::default()).unwrap();
+                            for k in 0..EDITS / 8 {
+                                let e = client.epoch(d).unwrap();
+                                client.edit_guarded(d, e, text_op(w * 1000 + k)).unwrap();
+                            }
+                        });
+                    }
+                });
+            });
+        });
+        server.shutdown();
+    }
+
+    // Fan-out query: in-process vs over the wire.
+    {
+        let scratch = Scratch::new("qall");
+        let (cluster, server, _ids) = served_cluster(&scratch, 8);
+        let client = Client::connect(server.addr(), ClientOptions::default()).unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("query_all/in_process", |b| {
+            b.iter(|| cluster.query_all(black_box("//w")).unwrap());
+        });
+        group.bench_function("query_all/wire", |b| {
+            b.iter(|| client.query_all(black_box("//w")).unwrap());
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

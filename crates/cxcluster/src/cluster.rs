@@ -451,6 +451,43 @@ impl Cluster {
         }
     }
 
+    /// Add a document **on a specific shard** (optionally named),
+    /// bypassing round-robin placement — the insert path of a
+    /// shard-scoped server, where the client already decided which host
+    /// the document belongs to. The minted id keeps `shard`'s residue,
+    /// so the new document routes with no table entry.
+    pub fn insert_on(&self, shard: ShardId, name: Option<String>, g: Goddag) -> Result<DocId> {
+        let _shared = self.shared_gate();
+        self.shard(shard)?;
+        self.ensure_shard_up(shard.0)?;
+        let n = self.shards.len() as u64;
+        let residue = shard.0 as u64;
+        let _inflight = self.shard_inflight[shard.0].track();
+        match name {
+            None => {
+                self.shards[shard.0].insert_aligned(None, g, n, residue).map_err(ClusterError::from)
+            }
+            Some(name) => {
+                let mut names = self.names_write();
+                let retired = self.retire_foreign_binding(&names, &name, shard)?;
+                match self.shards[shard.0].insert_aligned(Some(name.clone()), g, n, residue) {
+                    Ok(id) => {
+                        names.insert(name, id);
+                        Ok(id)
+                    }
+                    Err(e) => {
+                        // Mirror `insert_named`: a durably retired old
+                        // binding must not linger in the directory.
+                        if retired {
+                            names.remove(&name);
+                        }
+                        Err(e.into())
+                    }
+                }
+            }
+        }
+    }
+
     /// Pick the next insert's shard: `(store, modulus, residue)`.
     ///
     /// Round-robin over the **healthy** shards: a shard that is marked
@@ -786,6 +823,21 @@ impl Cluster {
         self.ensure_shard_up(s)?;
         let _inflight = self.shard_inflight[s].track();
         self.shards[s].edit(id, op).map_err(ClusterError::from)
+    }
+
+    /// [`Cluster::edit`] with a compare-and-set guard: applies only if
+    /// the document's pre-op epoch equals `expected`, failing with a
+    /// [`cxpersist::PersistError::StaleEdit`] otherwise (checked under
+    /// the document's write lock — see
+    /// [`cxpersist::DurableStore::edit_guarded`]). The service tier
+    /// leans on this to make remote edit retries exactly-once: a
+    /// replayed edit that already landed reads back stale.
+    pub fn edit_guarded(&self, id: DocId, expected: u64, op: EditOp) -> Result<EditOutcome> {
+        let _shared = self.shared_gate();
+        let s = self.router.shard_of(id).0;
+        self.ensure_shard_up(s)?;
+        let _inflight = self.shard_inflight[s].track();
+        self.shards[s].edit_guarded(id, expected, op).map_err(ClusterError::from)
     }
 
     // ------------------------------------------------------------------

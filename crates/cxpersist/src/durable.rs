@@ -756,6 +756,35 @@ impl DurableStore {
         }
     }
 
+    /// [`DurableStore::edit`] with a compare-and-set guard: the op
+    /// applies only if the document's pre-op epoch equals `expected`,
+    /// failing with [`PersistError::StaleEdit`] otherwise. The check runs
+    /// inside the [`cxstore::Store::edit_with_log`] hook — under the
+    /// document's write lock, before anything reaches the WAL — so it is
+    /// a true CAS, not a racy check-then-edit: two guarded writers with
+    /// the same expectation cannot both apply.
+    pub fn edit_guarded(&self, id: DocId, expected: u64, op: EditOp) -> Result<EditOutcome> {
+        self.ensure_writable()?;
+        let _shared = read_gate(&self.gate);
+        // The closure's error type distinguishes "guard mismatch" (the
+        // document is untouched and nothing was logged) from a real
+        // append failure.
+        enum GuardFail {
+            Stale(u64),
+            Log(PersistError),
+        }
+        match self.store.edit_with_log(id, op, |op, epoch| {
+            if epoch != expected {
+                return Err(GuardFail::Stale(epoch));
+            }
+            self.append(WalOp::Edit { doc: id, epoch, op: op.clone() }).map_err(GuardFail::Log)
+        }) {
+            Ok(result) => result.map_err(PersistError::Store),
+            Err(GuardFail::Stale(current)) => Err(PersistError::StaleEdit { expected, current }),
+            Err(GuardFail::Log(e)) => Err(e),
+        }
+    }
+
     /// Add a document; its full blob rides in the log so it survives a
     /// crash before the next checkpoint.
     pub fn insert(&self, g: Goddag) -> Result<DocId> {

@@ -37,6 +37,18 @@ pub enum PersistError {
         /// The failure that degraded the store.
         detail: String,
     },
+    /// A compare-and-set edit's guard did not match
+    /// ([`crate::DurableStore::edit_guarded`]): the document's pre-op
+    /// epoch was `current`, not `expected`. Nothing was logged or
+    /// applied. Remote clients use this to make edit retries safe — a
+    /// replayed edit that already landed comes back stale instead of
+    /// applying twice.
+    StaleEdit {
+        /// The epoch the caller expected.
+        expected: u64,
+        /// The document's actual pre-op epoch.
+        current: u64,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -56,6 +68,9 @@ impl fmt::Display for PersistError {
             }
             PersistError::Degraded { detail } => {
                 write!(f, "store is degraded (read-only): {detail}")
+            }
+            PersistError::StaleEdit { expected, current } => {
+                write!(f, "stale edit guard: expected epoch {expected}, document is at {current}")
             }
         }
     }

@@ -23,6 +23,7 @@
 use crate::error::{ReplError, Result};
 use crate::primary::Primary;
 use crate::transport::{FetchResponse, LogTransport};
+use cxwire::read_full;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,12 +44,6 @@ const KIND_DIVERGED: u8 = 4;
 /// oversized artifact forever, stalling the primary each time).
 const KIND_TOO_LARGE: u8 = 5;
 
-/// How long a peer that has started a frame may stall before the
-/// connection is declared dead. Bounds both the server handler (client
-/// died mid-request) and the client fetch (primary died mid-response) —
-/// a half-open connection must never hang a follower thread forever.
-const FRAME_STALL_LIMIT: Duration = Duration::from_secs(15);
-
 /// Hard ceiling on frame payloads, enforced on **both** ends: the client
 /// refuses a response header whose declared length exceeds it (a corrupt
 /// or hostile frame cannot demand a multi-GB allocation before a single
@@ -56,10 +51,9 @@ const FRAME_STALL_LIMIT: Duration = Duration::from_secs(15);
 /// and refuses to emit an oversized payload (a snapshot bootstrap that
 /// cannot fit is reported as an error, never silently truncated — the
 /// record/snapshot codecs would read a cut as a torn artifact anyway).
-/// 64 MB comfortably holds any realistic record batch; deployments
-/// shipping larger snapshot bootstraps should checkpoint less state per
-/// store or raise the cap on both ends together.
-pub const MAX_FRAME: u32 = 64 << 20;
+/// The cap itself — and the stall-bounded exact reads that pair with it —
+/// live in [`cxwire`], shared verbatim with the `cxserve` service tier.
+pub use cxwire::MAX_FRAME;
 
 // ---------------------------------------------------------------------
 // Server
@@ -190,35 +184,6 @@ fn serve_connection(
     Ok(())
 }
 
-/// `read_exact` that rides out read timeouts mid-frame (the peer already
-/// committed to sending the whole frame) — but only up to
-/// [`FRAME_STALL_LIMIT`] without progress, so a half-open connection (peer
-/// powered off, network partition — no FIN ever arrives) fails the fetch
-/// instead of hanging the calling thread forever.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
-    let mut done = 0;
-    let mut last_progress = std::time::Instant::now();
-    while done < buf.len() {
-        match stream.read(&mut buf[done..]) {
-            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
-            Ok(n) => {
-                done += n;
-                last_progress = std::time::Instant::now();
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if last_progress.elapsed() > FRAME_STALL_LIMIT {
-                    return Err(std::io::Error::new(
-                        ErrorKind::TimedOut,
-                        "peer stalled mid-frame; connection presumed dead",
-                    ));
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
-}
-
 // ---------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------
@@ -275,14 +240,9 @@ impl LogTransport for TcpTransport {
             let kind = header[0];
             let head = u64::from_be_bytes(header[1..9].try_into().unwrap());
             let len = u32::from_be_bytes(header[9..13].try_into().unwrap());
-            if len > MAX_FRAME {
-                return Err(std::io::Error::new(
-                    ErrorKind::InvalidData,
-                    format!("response frame of {len} bytes exceeds the {MAX_FRAME} cap"),
-                ));
-            }
-            let mut payload = vec![0u8; len as usize];
-            read_full(stream, &mut payload)?;
+            // The cap check runs before the allocation (cxwire refuses a
+            // hostile declared length with `InvalidData`).
+            let payload = cxwire::read_payload(stream, len)?;
             Ok((kind, head, payload))
         })();
         let (kind, head, payload) = match result {

@@ -20,6 +20,8 @@
 //! | [`cxpersist`] | durable stores: `EditOp` write-ahead log, stand-off snapshots, warm restart |
 //! | [`cxrepl`] | WAL log-shipping replication: read replicas, catch-up, follower promotion |
 //! | [`cxcluster`] | multi-primary write sharding: name routing, fan-out queries, live rebalancing |
+//! | [`cxwire`] | length-prefixed TCP framing shared by the replication and service tiers |
+//! | [`cxserve`] | network service tier: versioned wire protocol, cluster server, pooling/pipelining client, shard-aware router |
 //! | [`corpus`] | synthetic manuscript workloads + the paper's Figure 1 reconstruction |
 //!
 //! ## Quickstart
@@ -53,7 +55,9 @@ pub use cxfault;
 pub use cxobs;
 pub use cxpersist;
 pub use cxrepl;
+pub use cxserve;
 pub use cxstore;
+pub use cxwire;
 pub use expath;
 pub use goddag;
 pub use prevalid;
