@@ -667,6 +667,8 @@ impl Cluster {
 
     /// Evaluate a node-set expression against one document.
     pub fn query(&self, id: DocId, expr: &str) -> Result<Vec<goddag::NodeId>> {
+        let trace = cxtrace::span("cluster.query");
+        trace.attr("doc", id.raw());
         self.routed_read(id, |shard| shard.store().query(id, expr))
     }
 
@@ -713,13 +715,25 @@ impl Cluster {
     /// mid-fan-out (a `move_doc` briefly delays batch queries; per-doc
     /// reads stay concurrent).
     pub fn query_all(&self, expr: &str) -> Result<Vec<(DocId, Vec<goddag::NodeId>)>> {
+        let _trace = cxtrace::span("cluster.query_all");
+        let parent = cxtrace::current();
         let _shared = read_gate(&self.gate);
         let _fanout = self.fanout_threads.track_n(self.shards.len() as i64);
         let results: Vec<cxstore::Result<BatchHits>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|s| scope.spawn(move || s.store().query_all(expr)))
+                .enumerate()
+                .map(|(i, s)| {
+                    // Child contexts are minted on the spawning thread so
+                    // the per-shard spans hang off this query's span.
+                    let ctx = parent.map(|p| p.child());
+                    scope.spawn(move || {
+                        let g = cxtrace::adopt("cluster.shard_query", ctx);
+                        g.attr("shard", i);
+                        s.store().query_all(expr)
+                    })
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard query panicked")).collect()
         });
@@ -744,12 +758,19 @@ impl Cluster {
     /// abandoned at the deadline); a late worker finishes against its
     /// own `Arc` of the shard and its result is discarded.
     pub fn query_all_partial(&self, expr: &str, per_shard_timeout: Duration) -> PartialResults {
+        let trace = cxtrace::span("cluster.query_all_partial");
+        let parent = cxtrace::current();
         let _shared = read_gate(&self.gate);
         let (tx, rx) = mpsc::channel::<(usize, Result<BatchHits>)>();
         let mut errors = Vec::new();
         let mut pending = Vec::new();
         for (i, shard) in self.shards.iter().enumerate() {
             if self.down[i].load(Ordering::Acquire) {
+                // A zero-length error span records the skipped shard in
+                // the trace — the fan-out is complete by construction.
+                let g = cxtrace::span("cluster.shard_query");
+                g.attr("shard", i);
+                g.err("shard down");
                 errors.push(ShardError { shard: i, error: ClusterError::ShardDown(i) });
                 continue;
             }
@@ -758,8 +779,14 @@ impl Cluster {
             let shard = Arc::clone(shard);
             let expr = expr.to_string();
             let fanout = Arc::clone(&self.fanout_threads);
+            // Minted here so worker spans parent correctly even though
+            // the worker thread is detached (it may outlive this call;
+            // a late flush merges into the finished trace).
+            let ctx = parent.map(|p| p.child());
             std::thread::spawn(move || {
                 fanout.inc();
+                let g = cxtrace::adopt("cluster.shard_query", ctx);
+                g.attr("shard", i);
                 // The failpoint lets tests make *this* shard slow
                 // (`Delay` runs inside `fire`) or unreachable without
                 // touching its store.
@@ -771,6 +798,9 @@ impl Cluster {
                 } else {
                     shard.store().query_all(&expr).map_err(ClusterError::Store)
                 };
+                if let Err(e) = &r {
+                    g.err(e.to_string());
+                }
                 let _ = tx.send((i, r));
                 fanout.dec();
             });
@@ -802,6 +832,7 @@ impl Cluster {
             if !answered[i] {
                 self.obs
                     .event("shard.timeout", format!("shard {i} missed the {ms} ms fan-out budget"));
+                trace.err(format!("shard {i} timed out"));
                 errors.push(ShardError { shard: i, error: ClusterError::Timeout { shard: i, ms } });
             }
         }
@@ -817,12 +848,22 @@ impl Cluster {
     /// Apply one gated [`EditOp`] on the owning shard — logged to that
     /// shard's WAL, prevalidated exactly as on a single primary.
     pub fn edit(&self, id: DocId, op: EditOp) -> Result<EditOutcome> {
+        let trace = cxtrace::span("cluster.edit");
+        trace.attr("doc", id.raw());
         let _shared = self.shared_gate();
         // Under the shared gate the route cannot change mid-edit.
         let s = self.router.shard_of(id).0;
-        self.ensure_shard_up(s)?;
+        trace.attr("shard", s);
+        if let Err(e) = self.ensure_shard_up(s) {
+            trace.err(e.to_string());
+            return Err(e);
+        }
         let _inflight = self.shard_inflight[s].track();
-        self.shards[s].edit(id, op).map_err(ClusterError::from)
+        let r = self.shards[s].edit(id, op).map_err(ClusterError::from);
+        if let Err(e) = &r {
+            trace.err(e.to_string());
+        }
+        r
     }
 
     /// [`Cluster::edit`] with a compare-and-set guard: applies only if
@@ -833,11 +874,22 @@ impl Cluster {
     /// leans on this to make remote edit retries exactly-once: a
     /// replayed edit that already landed reads back stale.
     pub fn edit_guarded(&self, id: DocId, expected: u64, op: EditOp) -> Result<EditOutcome> {
+        let trace = cxtrace::span("cluster.edit");
+        trace.attr("doc", id.raw());
+        trace.attr("guard", expected);
         let _shared = self.shared_gate();
         let s = self.router.shard_of(id).0;
-        self.ensure_shard_up(s)?;
+        trace.attr("shard", s);
+        if let Err(e) = self.ensure_shard_up(s) {
+            trace.err(e.to_string());
+            return Err(e);
+        }
         let _inflight = self.shard_inflight[s].track();
-        self.shards[s].edit_guarded(id, expected, op).map_err(ClusterError::from)
+        let r = self.shards[s].edit_guarded(id, expected, op).map_err(ClusterError::from);
+        if let Err(e) = &r {
+            trace.err(e.to_string());
+        }
+        r
     }
 
     // ------------------------------------------------------------------
@@ -870,6 +922,9 @@ impl Cluster {
         // The span covers the gate drain too: that wait *is* migration
         // latency as writers experience it.
         let _span = self.move_doc_ns.span();
+        let trace = cxtrace::span("cluster.move_doc");
+        trace.attr("doc", id.raw());
+        trace.attr("shard", to.0);
         let _exclusive = write_gate(&self.gate);
         let from = self.router.shard_of(id);
         if from == to {
@@ -1009,6 +1064,7 @@ impl Observable for Cluster {
         self.stats().expose_into(out);
         self.obs.expose_into(out);
         cxpersist::expose_faults(out);
+        cxtrace::expose_into(out);
     }
 }
 

@@ -2,13 +2,17 @@
 
 use std::collections::VecDeque;
 use std::sync::{Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// One structured event: what happened (`kind` is a stable machine-
-/// readable tag, `detail` the human-readable specifics) and when
-/// (monotonic microseconds since the ring was created — wall-clock-free,
-/// so replaying a transcript of events stays meaningful across clock
-/// adjustments).
+/// readable tag, `detail` the human-readable specifics) and when —
+/// twice. `at_micros` is monotonic microseconds since the ring was
+/// created (wall-clock-free, so a transcript replays meaningfully
+/// across clock adjustments); `at_unix_micros` anchors the same
+/// monotonic offset to the wall clock sampled once at ring creation,
+/// so events correlate with external timelines (flight-recorder
+/// traces, other processes' logs) yet stay strictly monotone even if
+/// the system clock steps mid-run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// Monotone sequence number (1-based; gaps never occur — overflow
@@ -16,6 +20,9 @@ pub struct Event {
     pub seq: u64,
     /// Microseconds since the ring was created.
     pub at_micros: u64,
+    /// Microseconds since the Unix epoch: the ring's creation wall
+    /// time plus this event's monotonic offset.
+    pub at_unix_micros: u64,
     /// Stable tag, e.g. `"checkpoint"`, `"gate.reject"`,
     /// `"follower.parked"`.
     pub kind: &'static str,
@@ -38,6 +45,9 @@ pub struct EventRing {
     on: bool,
     cap: usize,
     start: Instant,
+    /// Wall clock at creation — sampled exactly once, so
+    /// `at_unix_micros` inherits the monotonic clock's ordering.
+    epoch_unix_micros: u64,
     inner: Mutex<Inner>,
 }
 
@@ -48,7 +58,16 @@ fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
 impl EventRing {
     /// A ring keeping at most `cap` events (`cap` 0 records nothing).
     pub fn new(cap: usize) -> EventRing {
-        EventRing { on: cap > 0, cap, start: Instant::now(), inner: Mutex::default() }
+        let epoch_unix_micros = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_micros().min(u64::MAX as u128) as u64);
+        EventRing {
+            on: cap > 0,
+            cap,
+            start: Instant::now(),
+            epoch_unix_micros,
+            inner: Mutex::default(),
+        }
     }
 
     /// Append an event, evicting (and counting) the oldest on overflow.
@@ -57,6 +76,7 @@ impl EventRing {
             return;
         }
         let at_micros = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let at_unix_micros = self.epoch_unix_micros.saturating_add(at_micros);
         let mut inner = lock(&self.inner);
         inner.next_seq += 1;
         let seq = inner.next_seq;
@@ -64,7 +84,7 @@ impl EventRing {
             inner.buf.pop_front();
             inner.dropped += 1;
         }
-        inner.buf.push_back(Event { seq, at_micros, kind, detail: detail.into() });
+        inner.buf.push_back(Event { seq, at_micros, at_unix_micros, kind, detail: detail.into() });
     }
 
     /// The retained events, oldest first (a copy — the ring keeps them).
@@ -121,8 +141,15 @@ mod tests {
         // The newest four survive, sequence numbers intact and ordered.
         assert_eq!(kept.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![7, 8, 9, 10]);
         assert_eq!(kept.last().unwrap().detail, "event 9");
-        // Timestamps are monotone.
+        // Timestamps are monotone — the wall-anchored ones too, since
+        // they are the same monotonic offset plus a fixed epoch.
         assert!(kept.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+        assert!(kept.windows(2).all(|w| w[0].at_unix_micros <= w[1].at_unix_micros));
+        // Anchored = epoch + offset: differences agree exactly.
+        let (a, b) = (&kept[0], &kept[3]);
+        assert_eq!(b.at_unix_micros - a.at_unix_micros, b.at_micros - a.at_micros);
+        // And the anchor is a plausible wall time (after 2020-01-01).
+        assert!(a.at_unix_micros > 1_577_836_800_000_000);
     }
 
     #[test]

@@ -50,6 +50,19 @@ impl Exposition {
     /// Write one line carrying the stacked labels plus `extra` ones
     /// (stack first, so per-metric labels like `quantile` read last).
     pub fn write_with(&mut self, name: &str, extra: &[(&str, &str)], value: impl Display) {
+        self.write_with_exemplar(name, extra, value, None);
+    }
+
+    /// [`Exposition::write_with`] plus an OpenMetrics-style exemplar
+    /// suffix: ` # {trace_id="<id>"}` — how a histogram bucket links to
+    /// the concrete trace that last landed in it.
+    pub fn write_with_exemplar(
+        &mut self,
+        name: &str,
+        extra: &[(&str, &str)],
+        value: impl Display,
+        exemplar: Option<&str>,
+    ) {
         self.buf.push_str(name);
         if !self.labels.is_empty() || !extra.is_empty() {
             self.buf.push('{');
@@ -69,6 +82,11 @@ impl Exposition {
         }
         self.buf.push(' ');
         let _ = write!(self.buf, "{value}");
+        if let Some(ex) = exemplar {
+            self.buf.push_str(" # {trace_id=\"");
+            escape_into(&mut self.buf, ex);
+            self.buf.push_str("\"}");
+        }
         self.buf.push('\n');
     }
 

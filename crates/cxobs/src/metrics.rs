@@ -121,6 +121,10 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+    /// Per-bucket **exemplar**: the tag (a `cxtrace` trace id; 0 =
+    /// none) of the last tagged observation that landed in the bucket —
+    /// what links a fat p99 bucket to one concrete retained trace.
+    exemplars: [AtomicU64; BUCKETS],
 }
 
 /// The bucket a value lands in: `floor(log2(max(ns, 1)))`, clamped.
@@ -135,6 +139,7 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -147,12 +152,22 @@ impl Histogram {
 
     /// Record one observation, in nanoseconds.
     pub fn record_ns(&self, ns: u64) {
+        self.record_ns_tagged(ns, 0);
+    }
+
+    /// Record one observation carrying an exemplar tag (a trace id;
+    /// 0 = untagged). A nonzero tag overwrites the bucket's exemplar.
+    pub fn record_ns_tagged(&self, ns: u64, tag: u64) {
         if !self.on {
             return;
         }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(ns, Ordering::Relaxed);
-        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        let b = bucket_of(ns);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        if tag != 0 {
+            self.exemplars[b].store(tag, Ordering::Relaxed);
+        }
     }
 
     /// Record one observation from a [`Duration`].
@@ -163,19 +178,30 @@ impl Histogram {
     /// Time a closure and record its latency — the span timer for
     /// straight-line paths. Disabled histograms run the closure bare.
     pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.time_tagged(0, f)
+    }
+
+    /// [`Histogram::time`] with an exemplar tag on the observation.
+    pub fn time_tagged<R>(&self, tag: u64, f: impl FnOnce() -> R) -> R {
         if !self.on {
             return f();
         }
         let start = Instant::now();
         let r = f();
-        self.record(start.elapsed());
+        self.record_ns_tagged(start.elapsed().as_nanos().min(u64::MAX as u128) as u64, tag);
         r
     }
 
     /// Start a span that records on drop — for paths with early returns
     /// or latency that spans a scope rather than a closure.
     pub fn span(&self) -> Span<'_> {
-        Span { hist: self, start: if self.on { Some(Instant::now()) } else { None } }
+        self.span_tagged(0)
+    }
+
+    /// [`Histogram::span`] with an exemplar tag on the recorded
+    /// observation.
+    pub fn span_tagged(&self, tag: u64) -> Span<'_> {
+        Span { hist: self, start: if self.on { Some(Instant::now()) } else { None }, tag }
     }
 
     /// Observations recorded so far.
@@ -189,6 +215,7 @@ impl Histogram {
             count: self.count.load(Ordering::Relaxed),
             sum_ns: self.sum.load(Ordering::Relaxed),
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            exemplars: std::array::from_fn(|i| self.exemplars[i].load(Ordering::Relaxed)),
         }
     }
 }
@@ -199,12 +226,16 @@ impl Histogram {
 pub struct Span<'a> {
     hist: &'a Histogram,
     start: Option<Instant>,
+    tag: u64,
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            self.hist.record(start.elapsed());
+            self.hist.record_ns_tagged(
+                start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                self.tag,
+            );
         }
     }
 }
@@ -220,6 +251,9 @@ pub struct HistogramSnapshot {
     pub sum_ns: u64,
     /// Per-bucket observation counts (bucket `i` = `[2^i, 2^(i+1))` ns).
     pub buckets: [u64; BUCKETS],
+    /// Per-bucket exemplar tags (last tagged observation's trace id,
+    /// 0 = none).
+    pub exemplars: [u64; BUCKETS],
 }
 
 impl HistogramSnapshot {
@@ -318,6 +352,26 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 2);
         assert!(s.sum_ns >= 100_000, "both spans measured at least the sleep");
+    }
+
+    #[test]
+    fn exemplars_remember_the_last_tagged_observation_per_bucket() {
+        let h = Histogram::new(true);
+        h.record_ns(1_000);
+        let s = h.snapshot();
+        assert_eq!(s.exemplars, [0; BUCKETS], "untagged observations leave no exemplar");
+        h.record_ns_tagged(1_000, 0xabc);
+        h.record_ns_tagged(1_000, 0xdef);
+        h.record_ns_tagged(1_000_000, 0x123);
+        h.record_ns(1_000); // tagless: must not clobber the exemplar
+        let s = h.snapshot();
+        assert_eq!(s.exemplars[bucket_of(1_000)], 0xdef, "last tag wins");
+        assert_eq!(s.exemplars[bucket_of(1_000_000)], 0x123);
+        h.time_tagged(0x77, || ());
+        drop(h.span_tagged(0x88));
+        let s = h.snapshot();
+        assert!(s.exemplars.contains(&0x77) || s.exemplars.contains(&0x88));
+        assert_eq!(s.count, 7);
     }
 
     #[test]

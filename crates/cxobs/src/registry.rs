@@ -172,8 +172,14 @@ impl Registry {
 
     /// Append every registered metric as exposition lines (sorted by
     /// name, then labels): counters and gauges one line each, histograms
-    /// as `{name}_count`, `{name}_sum` and `quantile="0.5|0.9|0.99"`
-    /// series (all values in nanoseconds for `_ns`-suffixed names).
+    /// in Prometheus-conformant order — cumulative `{name}_bucket`
+    /// lines with ascending `le` upper bounds (non-empty buckets plus
+    /// the mandatory `le="+Inf"` line, whose value equals the exact
+    /// count), then `{name}_sum`, then `{name}_count` — followed by the
+    /// legacy `quantile="0.5|0.9|0.99"` convenience series (all values
+    /// in nanoseconds for `_ns`-suffixed names). Buckets holding a
+    /// tagged observation carry an exemplar suffix
+    /// `# {trace_id="<016x>"}`.
     pub fn expose_into(&self, out: &mut Exposition) {
         let map = self.metrics.read().unwrap_or_else(PoisonError::into_inner);
         for ((name, labels), metric) in map.iter() {
@@ -184,8 +190,27 @@ impl Registry {
                 Metric::Gauge(g) => out.write_with(name, &labels, g.get()),
                 Metric::Histogram(h) => {
                     let s = h.snapshot();
-                    out.write_with(&format!("{name}_count"), &labels, s.count);
+                    let bucket = format!("{name}_bucket");
+                    let mut cum = 0u64;
+                    for (i, &n) in s.buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cum += n;
+                        // Bucket i holds [2^i, 2^(i+1)) ns of integer
+                        // observations: the inclusive upper bound is
+                        // 2^(i+1)-1.
+                        let le = ((1u64 << (i + 1)) - 1).to_string();
+                        let mut with_le = labels.clone();
+                        with_le.push(("le", le.as_str()));
+                        let ex = (s.exemplars[i] != 0).then(|| format!("{:016x}", s.exemplars[i]));
+                        out.write_with_exemplar(&bucket, &with_le, cum, ex.as_deref());
+                    }
+                    let mut with_inf = labels.clone();
+                    with_inf.push(("le", "+Inf"));
+                    out.write_with(&bucket, &with_inf, s.count);
                     out.write_with(&format!("{name}_sum"), &labels, s.sum_ns);
+                    out.write_with(&format!("{name}_count"), &labels, s.count);
                     for (q, v) in [("0.5", s.p50()), ("0.9", s.p90()), ("0.99", s.p99())] {
                         let mut with_q = labels.clone();
                         with_q.push(("quantile", q));
@@ -244,13 +269,30 @@ mod tests {
             vec![
                 "cx_a -3",
                 "cx_b_total 2",
-                "cx_lat_ns_count 1",
+                "cx_lat_ns_bucket{le=\"1023\"} 1",
+                "cx_lat_ns_bucket{le=\"+Inf\"} 1",
                 "cx_lat_ns_sum 1000",
+                "cx_lat_ns_count 1",
                 "cx_lat_ns{quantile=\"0.5\"} 1023",
                 "cx_lat_ns{quantile=\"0.9\"} 1023",
                 "cx_lat_ns{quantile=\"0.99\"} 1023",
             ]
         );
+    }
+
+    #[test]
+    fn bucket_lines_are_cumulative_and_exemplars_render() {
+        let r = Registry::new();
+        let h = r.histogram("cx_lat_ns");
+        h.record_ns(1); // bucket 0, le="1"
+        h.record_ns_tagged(1000, 0xabcd); // bucket 9, le="1023"
+        let text = r.render();
+        assert!(text.contains("cx_lat_ns_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(
+            text.contains("cx_lat_ns_bucket{le=\"1023\"} 2 # {trace_id=\"000000000000abcd\"}\n"),
+            "{text}"
+        );
+        assert!(text.contains("cx_lat_ns_bucket{le=\"+Inf\"} 2\n"), "{text}");
     }
 
     #[test]

@@ -923,7 +923,9 @@ impl DurableStore {
     }
 
     fn append_locked(&self, w: &mut WalState, op: WalOp) -> Result<()> {
-        let _span = self.metrics.wal_append_ns.span();
+        let _span = self.metrics.wal_append_ns.span_tagged(cxtrace::current_trace_id());
+        let trace = cxtrace::span("wal.append");
+        trace.attr("lsn", w.lsn + 1);
         let pre_len = w.len;
         let line = encode_record(w.lsn + 1, &op);
         // Failpoint: an append that never reaches the disk (`Io`, the
@@ -941,6 +943,7 @@ impl DurableStore {
             let _ = w.file.seek(SeekFrom::Start(pre_len));
             let e = cxfault::io_error("wal.append");
             self.enter_degraded(&format!("WAL append failed: {e}"));
+            trace.err(format!("injected: {e}"));
             return Err(e.into());
         }
         if let Err(e) = w.file.write_all(line.as_bytes()) {
@@ -949,6 +952,7 @@ impl DurableStore {
             let _ = w.file.set_len(pre_len);
             let _ = w.file.seek(SeekFrom::Start(pre_len));
             self.enter_degraded(&format!("WAL append failed: {e}"));
+            trace.err(e.to_string());
             return Err(e.into());
         }
         w.lsn += 1;
@@ -982,14 +986,19 @@ impl DurableStore {
 
     fn sync_locked(&self, w: &mut WalState) -> Result<()> {
         if w.dirty > 0 {
+            let trace = cxtrace::span("wal.fsync");
             // Failpoint + real fsync share one error path: records are
             // sitting in the page cache with no way to make them durable,
             // so the store degrades (the caller additionally rolls back
             // its own record when this failure aborts an append).
-            let r = cxfault::io_check("wal.fsync")
-                .and_then(|()| self.metrics.wal_fsync_ns.time(|| w.file.sync_data()));
+            let r = cxfault::io_check("wal.fsync").and_then(|()| {
+                self.metrics
+                    .wal_fsync_ns
+                    .time_tagged(cxtrace::current_trace_id(), || w.file.sync_data())
+            });
             if let Err(e) = r {
                 self.enter_degraded(&format!("WAL fsync failed: {e}"));
+                trace.err(e.to_string());
                 return Err(e.into());
             }
             self.counters.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
@@ -1102,7 +1111,8 @@ impl DurableStore {
         // path is broken that is exactly the kind of half-completed disk
         // surgery the degraded state exists to prevent.
         self.ensure_writable()?;
-        let _span = self.metrics.checkpoint_ns.span();
+        let _span = self.metrics.checkpoint_ns.span_tagged(cxtrace::current_trace_id());
+        let _trace = cxtrace::span("checkpoint");
         let _exclusive = write_gate(&self.gate);
         let mut w = lock(&self.wal);
         // Everything up to w.lsn is in memory (mutators are drained); the

@@ -30,7 +30,7 @@
 //! unambiguous; edits to distinct documents overlap freely.
 
 use crate::error::{Result, ServeError, WireError};
-use crate::proto::{Request, Response};
+use crate::proto::{Request, Response, TraceQuery, TraceSummaryWire};
 use cxpersist::DocBlob;
 use cxstore::{DocId, EditOp, EditOutcome};
 use goddag::Goddag;
@@ -84,7 +84,10 @@ impl Conn {
     }
 
     fn send(&mut self, req: &Request) -> std::io::Result<()> {
-        cxwire::write_frame(&mut self.stream, &req.encode())
+        // If a trace is active on this thread, its context rides the
+        // frame as the optional `tc` token — the server adopts it and
+        // the whole request becomes one tree across both processes.
+        cxwire::write_frame(&mut self.stream, &req.encode_traced(cxtrace::current()))
     }
 
     fn recv(&mut self) -> Result<Response> {
@@ -139,13 +142,27 @@ impl Client {
     /// transport failure drops the connection — a pooled socket whose
     /// server restarted fails here once, and the retry dials fresh.
     fn call(&self, req: &Request) -> Result<Response> {
-        let mut conn = self.take_conn()?;
+        let trace = cxtrace::span_or_root("client.call");
+        trace.attr("verb", req.verb());
+        let mut conn = match self.take_conn() {
+            Ok(c) => c,
+            Err(e) => {
+                trace.err(e.to_string());
+                return Err(e.into());
+            }
+        };
         match conn.call(req) {
             Ok(resp) => {
                 self.put_back(conn);
+                if let Response::Err(e) = &resp {
+                    trace.err(e.to_string());
+                }
                 Ok(resp)
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                trace.err(e.to_string());
+                Err(e)
+            }
         }
     }
 
@@ -220,6 +237,17 @@ impl Client {
     /// outcome has `node: None` (the created node id, if any, was lost
     /// with the connection).
     pub fn edit_guarded(&self, doc: DocId, expected: u64, op: EditOp) -> Result<EditOutcome> {
+        let trace = cxtrace::span_or_root("client.edit_guarded");
+        trace.attr("doc", doc.raw());
+        trace.attr("guard", expected);
+        let r = self.edit_guarded_inner(doc, expected, op);
+        if let Err(e) = &r {
+            trace.err(e.to_string());
+        }
+        r
+    }
+
+    fn edit_guarded_inner(&self, doc: DocId, expected: u64, op: EditOp) -> Result<EditOutcome> {
         let req = Request::Edit { doc, guard: Some(expected), op };
         let mut resent = false;
         let mut attempt = 0;
@@ -304,6 +332,8 @@ impl Client {
         &self,
         edits: &[(DocId, EditOp)],
     ) -> Result<Vec<std::result::Result<EditOutcome, ServeError>>> {
+        let trace = cxtrace::span_or_root("client.edit_batch");
+        trace.attr("edits", edits.len());
         let mut results: Vec<Option<std::result::Result<EditOutcome, ServeError>>> = Vec::new();
         results.resize_with(edits.len(), || None);
 
@@ -606,6 +636,36 @@ impl Client {
             other => Err(unexpected("routes", &other)),
         }
     }
+
+    /// Summaries of the server's most recently completed traces,
+    /// newest first (the flight recorder's normal ring).
+    pub fn traces_recent(&self, limit: usize) -> Result<Vec<TraceSummaryWire>> {
+        self.traces_req(Request::Trace(TraceQuery::Recent { limit }))
+    }
+
+    /// Summaries of the server's retained slow-or-error traces, newest
+    /// first — the ring normal churn can never evict.
+    pub fn traces_slow(&self, limit: usize) -> Result<Vec<TraceSummaryWire>> {
+        self.traces_req(Request::Trace(TraceQuery::Slow { limit }))
+    }
+
+    fn traces_req(&self, req: Request) -> Result<Vec<TraceSummaryWire>> {
+        match self.call_idem(&req)? {
+            Response::Traces(traces) => Ok(traces),
+            Response::Err(e) => Err(e.into()),
+            other => Err(unexpected("traces", &other)),
+        }
+    }
+
+    /// One retained trace, rendered server-side as an indented span tree
+    /// with per-span self-times (see `cxtrace::render_tree`).
+    pub fn trace_tree(&self, trace_id: u64) -> Result<String> {
+        match self.call_idem(&Request::Trace(TraceQuery::Get { trace_id }))? {
+            Response::Text(text) => Ok(text),
+            Response::Err(e) => Err(e.into()),
+            other => Err(unexpected("text", &other)),
+        }
+    }
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ServeError {
@@ -702,10 +762,14 @@ impl RouterClient {
     /// Run a per-document operation against the believed owner; on a
     /// `wrong_shard` refusal, learn the real owner and retry there once.
     fn on_owner<T>(&self, doc: DocId, f: impl Fn(&Client) -> Result<T>) -> Result<T> {
+        let trace = cxtrace::span_or_root("router.request");
+        trace.attr("doc", doc.raw());
         let shard = self.shard_of(doc).min(self.shards - 1);
+        trace.attr("shard", shard);
         match f(&self.clients[shard]) {
             Err(ServeError::Remote(WireError::WrongShard { owner })) if owner < self.shards => {
                 self.learn(doc, owner);
+                trace.attr("shard", owner);
                 f(&self.clients[owner])
             }
             r => r,
@@ -773,11 +837,32 @@ impl RouterClient {
     /// all-or-nothing, merged id-sorted (each shard-scoped server
     /// answers for its own documents only).
     pub fn query_all(&self, expr: &str) -> Result<Vec<(DocId, Vec<NodeId>)>> {
+        let trace = cxtrace::span_or_root("router.query_all");
+        let parent = cxtrace::current();
         let mut shards: Vec<Result<DocHits>> = std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                self.clients.iter().map(|c| scope.spawn(move || c.query_all(expr))).collect();
+            let handles: Vec<_> = self
+                .clients
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    // Child contexts are minted here, on the calling
+                    // thread, so per-shard worker spans parent onto this
+                    // fan-out deterministically.
+                    let ctx = parent.map(|p| p.child());
+                    scope.spawn(move || {
+                        let g = cxtrace::adopt("router.shard_query", ctx);
+                        g.attr("shard", i);
+                        let r = c.query_all(expr);
+                        if let Err(e) = &r {
+                            g.err(e.to_string());
+                        }
+                        r
+                    })
+                })
+                .collect();
             handles.into_iter().map(|h| h.join().expect("query thread")).collect()
         });
+        drop(trace);
         let mut hits = Vec::new();
         for shard in shards.drain(..) {
             hits.extend(shard?);
@@ -794,14 +879,29 @@ impl RouterClient {
         expr: &str,
         per_shard_timeout: Duration,
     ) -> Result<PartialHits> {
+        let trace = cxtrace::span_or_root("router.query_all_partial");
+        let parent = cxtrace::current();
         let per_shard: Vec<Result<PartialHits>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .clients
                 .iter()
-                .map(|c| scope.spawn(move || c.query_all_partial(expr, per_shard_timeout)))
+                .enumerate()
+                .map(|(i, c)| {
+                    let ctx = parent.map(|p| p.child());
+                    scope.spawn(move || {
+                        let g = cxtrace::adopt("router.shard_query", ctx);
+                        g.attr("shard", i);
+                        let r = c.query_all_partial(expr, per_shard_timeout);
+                        if let Err(e) = &r {
+                            g.err(e.to_string());
+                        }
+                        r
+                    })
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("query thread")).collect()
         });
+        drop(trace);
         let mut hits = Vec::new();
         let mut errors = Vec::new();
         for (shard, r) in per_shard.into_iter().enumerate() {

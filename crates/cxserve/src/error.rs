@@ -69,6 +69,27 @@ pub enum WireError {
     Server(String),
 }
 
+impl WireError {
+    /// The stable machine-readable kind tag — the same token the wire
+    /// encoding leads with, and the `kind` label of the server's
+    /// `cx_server_errors_total{kind=...}` counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireError::Store(_) => "store",
+            WireError::Stale { .. } => "stale",
+            WireError::ShardDown(_) => "shard_down",
+            WireError::Timeout { .. } => "timeout",
+            WireError::Unavailable { .. } => "unavailable",
+            WireError::WrongShard { .. } => "wrong_shard",
+            WireError::Deadline { .. } => "deadline",
+            WireError::Injected(_) => "injected",
+            WireError::BadRequest(_) => "bad_request",
+            WireError::Busy => "busy",
+            WireError::Server(_) => "server",
+        }
+    }
+}
+
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

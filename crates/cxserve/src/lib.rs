@@ -32,6 +32,11 @@
 //! guard ([`cxcluster::Cluster::edit_guarded`]), and after a reconnect
 //! the client probes the document's epoch to learn whether its edit
 //! landed — applied-exactly-once either way.
+//!
+//! The whole tier is traced end to end with [`cxtrace`]: request frames
+//! carry an optional trace-context token, the server adopts it into its
+//! handler span, and the `trace` verb serves the flight recorder's
+//! retained traces — summaries or one rendered tree — over the wire.
 
 #![warn(missing_docs)]
 
@@ -42,5 +47,5 @@ pub mod server;
 
 pub use client::{Client, ClientOptions, RouterClient};
 pub use error::{Result, ServeError, WireError};
-pub use proto::{Request, Response, VERSION};
+pub use proto::{Request, Response, TraceQuery, TraceSummaryWire, VERSION};
 pub use server::{ClusterServer, ServerOptions, SERVE_REQUEST_SITE};

@@ -22,6 +22,15 @@
 //! `wrong_shard`, … — so a client can react structurally (refresh its
 //! routing table, treat a CAS replay as already-applied) instead of
 //! grepping a message.
+//!
+//! **Trace propagation.** Any request line may end with an optional
+//! `tc <trace_id>-<span_id>` token pair ([`Request::encode_traced`]):
+//! the client's current [`cxtrace::TraceContext`] riding the frame so
+//! the server's handler span joins the caller's trace. The extension is
+//! version-negotiated for free by `cxq1`'s grammar — every verb parser
+//! ignores trailing tokens, so an old server drops the pair silently
+//! and an old client simply never sends one; the wire bytes without
+//! tracing enabled are identical to the pre-trace protocol.
 
 use crate::error::WireError;
 use cxpersist::DocBlob;
@@ -117,6 +126,64 @@ pub enum Request {
     /// The routing view: shard count plus the override table, so a
     /// stateless router client can compute `shard_of` locally.
     Routes,
+    /// Flight-recorder access: recent/slow trace summaries, or one
+    /// trace rendered as a tree.
+    Trace(TraceQuery),
+}
+
+/// What a `trace` request asks the flight recorder for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceQuery {
+    /// The newest ordinary completed traces (summaries, newest first).
+    Recent {
+        /// Maximum summaries to return.
+        limit: usize,
+    },
+    /// The retained slow/error traces (summaries, newest first).
+    Slow {
+        /// Maximum summaries to return.
+        limit: usize,
+    },
+    /// One trace by id, rendered as an indented tree with per-span
+    /// self-time.
+    Get {
+        /// The trace to fetch.
+        trace_id: u64,
+    },
+}
+
+/// One trace summary as it crosses the wire (the `&'static str` root
+/// name of [`cxtrace::TraceSummary`] becomes owned text here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummaryWire {
+    /// The id to fetch the full tree with.
+    pub trace_id: u64,
+    /// The root span's name.
+    pub root: String,
+    /// Earliest span start, ns since the serving process's trace epoch.
+    pub start_ns: u64,
+    /// Whole-trace wall time, ns.
+    pub duration_ns: u64,
+    /// Recorded span count.
+    pub spans: usize,
+    /// Classified slow by the serving process.
+    pub slow: bool,
+    /// Holds an error-annotated span.
+    pub error: bool,
+}
+
+impl From<cxtrace::TraceSummary> for TraceSummaryWire {
+    fn from(s: cxtrace::TraceSummary) -> TraceSummaryWire {
+        TraceSummaryWire {
+            trace_id: s.trace_id,
+            root: s.root.to_string(),
+            start_ns: s.start_ns,
+            duration_ns: s.duration_ns,
+            spans: s.spans,
+            slow: s.slow,
+            error: s.error,
+        }
+    }
 }
 
 /// One decoded server response.
@@ -159,6 +226,8 @@ pub enum Response {
         /// `(raw id, owning shard)` for every moved document.
         overrides: Vec<(u64, usize)>,
     },
+    /// Flight-recorder summaries (`trace recent` / `trace slow`).
+    Traces(Vec<TraceSummaryWire>),
     /// A typed failure.
     Err(WireError),
 }
@@ -327,8 +396,78 @@ impl Request {
             }
             Request::Metrics => out.push_str("metrics"),
             Request::Routes => out.push_str("routes"),
+            Request::Trace(q) => match q {
+                TraceQuery::Recent { limit } => {
+                    let _ = write!(out, "trace recent {limit}");
+                }
+                TraceQuery::Slow { limit } => {
+                    let _ = write!(out, "trace slow {limit}");
+                }
+                TraceQuery::Get { trace_id } => {
+                    let _ = write!(out, "trace get {trace_id:016x}");
+                }
+            },
         }
         out.into_bytes()
+    }
+
+    /// [`Request::encode`] with the caller's trace context riding the
+    /// frame as a trailing `tc <trace>-<span>` token pair (spliced
+    /// before the body separator, so body-carrying verbs work too).
+    /// `None` encodes identically to [`Request::encode`].
+    pub fn encode_traced(&self, ctx: Option<cxtrace::TraceContext>) -> Vec<u8> {
+        let bytes = self.encode();
+        let Some(ctx) = ctx else { return bytes };
+        let tok = format!(" tc {}", ctx.token());
+        match bytes.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let mut s = String::from_utf8(bytes).expect("encode produces utf-8");
+                s.insert_str(i, &tok);
+                s.into_bytes()
+            }
+            None => {
+                let mut bytes = bytes;
+                bytes.extend_from_slice(tok.as_bytes());
+                bytes
+            }
+        }
+    }
+
+    /// The verb token this request travels as — the label of the
+    /// per-verb server metrics.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Insert { .. } => "insert",
+            Request::Edit { .. } => "edit",
+            Request::Query { .. } => "query",
+            Request::QueryAll { .. } => "qall",
+            Request::QueryPartial { .. } => "qpart",
+            Request::Suggest { .. } => "suggest",
+            Request::Export { .. } => "export",
+            Request::IdByName { .. } => "name",
+            Request::Epoch { .. } => "epoch",
+            Request::Remove { .. } => "remove",
+            Request::Metrics => "metrics",
+            Request::Routes => "routes",
+            Request::Trace(_) => "trace",
+        }
+    }
+
+    /// Best-effort extraction of the `tc` token pair from a request
+    /// payload — deliberately independent of [`Request::decode`], so a
+    /// request that fails validation (or hits the injected-fault path
+    /// before decoding) can still adopt its caller's trace. Scans the
+    /// token line from the end; a verb argument that merely *looks*
+    /// like `tc` never matches because the following token must parse
+    /// as a well-formed context.
+    pub fn trace_context(payload: &[u8]) -> Option<cxtrace::TraceContext> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let (line, _) = split_body(text);
+        let toks: Vec<&str> = line.split(' ').collect();
+        toks.windows(2).rev().find_map(|w| {
+            (w[0] == "tc").then(|| cxtrace::TraceContext::parse_token(w[1])).flatten()
+        })
     }
 
     /// Parse a frame payload. Every failure is a typed
@@ -388,6 +527,15 @@ impl Request {
             "remove" => Request::Remove { doc: doc_of(tok(&mut it, "doc")?)? },
             "metrics" => Request::Metrics,
             "routes" => Request::Routes,
+            "trace" => Request::Trace(match tok(&mut it, "trace query")? {
+                "recent" => TraceQuery::Recent { limit: num(it.next(), "limit")? },
+                "slow" => TraceQuery::Slow { limit: num(it.next(), "limit")? },
+                "get" => TraceQuery::Get {
+                    trace_id: u64::from_str_radix(tok(&mut it, "trace id")?, 16)
+                        .map_err(|_| bad("expected hex trace id"))?,
+                },
+                other => return Err(bad(format!("unknown trace query `{other}`"))),
+            }),
             other => return Err(bad(format!("unknown verb `{other}`"))),
         };
         Ok(req)
@@ -543,6 +691,22 @@ impl Response {
                     let _ = writeln!(out, "{raw} {shard}");
                 }
             }
+            Response::Traces(list) => {
+                let _ = writeln!(out, "ok traces {}", list.len());
+                for t in list {
+                    let _ = writeln!(
+                        out,
+                        "{:016x} {} {} {} {} {} {}",
+                        t.trace_id,
+                        enc(&t.root),
+                        t.start_ns,
+                        t.duration_ns,
+                        t.spans,
+                        u8::from(t.slow),
+                        u8::from(t.error),
+                    );
+                }
+            }
             Response::Err(e) => {
                 out.push_str("err ");
                 e.encode_tokens(&mut out);
@@ -626,6 +790,25 @@ impl Response {
                     overrides.push((num(rt.next(), "raw id")?, num(rt.next(), "shard")?));
                 }
                 Response::Routes { shards, overrides }
+            }
+            "traces" => {
+                let k: usize = num(it.next(), "count")?;
+                let mut list = Vec::with_capacity(k.min(1 << 12));
+                for _ in 0..k {
+                    let line = tok(&mut body_lines, "trace line")?;
+                    let mut tt = line.split(' ');
+                    list.push(TraceSummaryWire {
+                        trace_id: u64::from_str_radix(tok(&mut tt, "trace id")?, 16)
+                            .map_err(|_| bad("expected hex trace id"))?,
+                        root: dec(tok(&mut tt, "root")?)?,
+                        start_ns: num(tt.next(), "start")?,
+                        duration_ns: num(tt.next(), "duration")?,
+                        spans: num(tt.next(), "spans")?,
+                        slow: num::<u8>(tt.next(), "slow flag")? != 0,
+                        error: num::<u8>(tt.next(), "error flag")? != 0,
+                    });
+                }
+                Response::Traces(list)
             }
             other => return Err(bad(format!("unknown response kind `{other}`"))),
         };

@@ -27,7 +27,7 @@
 //! `METRICS` verb serves one page for the whole stack, store to socket.
 
 use crate::error::WireError;
-use crate::proto::{Request, Response};
+use crate::proto::{Request, Response, TraceQuery};
 use cxcluster::{Cluster, ClusterError, ShardId};
 use cxobs::{Counter, Exposition, Gauge, Histogram, Observable, Registry};
 use cxpersist::PersistError;
@@ -85,14 +85,38 @@ struct Service {
     /// shard owns are refused with `wrong_shard`, and fan-out verbs
     /// cover just this shard's documents.
     scope: Option<ShardId>,
+    scope_label: String,
     deadline: Duration,
     requests: Arc<Counter>,
-    errors: Arc<Counter>,
     panics: Arc<Counter>,
     busy: Arc<Counter>,
     connections: Arc<Gauge>,
-    request_ns: Arc<Histogram>,
     obs: Arc<Registry>,
+}
+
+impl Service {
+    /// Per-verb request latency: `cx_server_request_ns{server=…,verb=…}`.
+    /// The registry interns by full label set, so repeated lookups for
+    /// the same verb return the same histogram — one per verb actually
+    /// served, not one per possible verb.
+    fn request_ns(&self, verb: &'static str) -> Arc<Histogram> {
+        self.obs.histogram_with(
+            "cx_server_request_ns",
+            &[("server", &self.scope_label), ("verb", verb)],
+        )
+    }
+
+    /// Per-kind error counter: `cx_server_errors_total{kind=…,server=…}`
+    /// — the kind tags come from [`WireError::kind`], so the label set is
+    /// closed and stable.
+    fn count_error(&self, kind: &'static str) {
+        self.obs
+            .counter_with(
+                "cx_server_errors_total",
+                &[("kind", kind), ("server", &self.scope_label)],
+            )
+            .bump();
+    }
 }
 
 impl ClusterServer {
@@ -136,16 +160,15 @@ impl ClusterServer {
         let svc = Arc::new(Service {
             deadline: options.deadline,
             requests: obs.counter_with("cx_server_requests_total", labels),
-            errors: obs.counter_with("cx_server_errors_total", labels),
             panics: obs.counter_with("cx_server_panics_total", labels),
             busy: obs.counter_with("cx_server_busy_total", labels),
             connections: obs.gauge_with("cx_server_connections", labels),
-            request_ns: obs.histogram_with("cx_server_request_ns", labels),
             obs: Arc::clone(&obs),
             cluster,
             scope,
+            scope_label,
         });
-        svc.obs.event("serve.start", format!("{scope_label} listening on {addr}"));
+        svc.obs.event("serve.start", format!("{} listening on {addr}", svc.scope_label));
 
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(options.backlog.max(1));
@@ -282,17 +305,15 @@ fn serve_connection(
                 // Hostile declared length: refused before any allocation.
                 // Answer typed, then drop the connection — the stream
                 // position can no longer be trusted.
-                svc.errors.bump();
+                svc.count_error("bad_request");
                 let resp = Response::Err(WireError::BadRequest(e.to_string()));
                 let _ = cxwire::write_frame(&mut stream, &resp.encode());
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
+        // Errors are counted (per kind) inside `respond`.
         let resp = respond(svc, &payload);
-        if matches!(resp, Response::Err(_)) {
-            svc.errors.bump();
-        }
         cxwire::write_frame(&mut stream, &resp.encode())?;
         if stop.load(Ordering::Relaxed) {
             return Ok(());
@@ -300,45 +321,64 @@ fn serve_connection(
     }
 }
 
-/// One request, fully contained: metered, fault-injected, panic-caught,
-/// deadline-checked.
+/// One request, fully contained: metered, traced, fault-injected,
+/// panic-caught, deadline-checked.
 fn respond(svc: &Service, payload: &[u8]) -> Response {
     svc.requests.bump();
-    let _span = svc.request_ns.span();
+    // Adopt the caller's trace context (the optional `tc` token on the
+    // request frame) into a `serve.request` span — the server side of
+    // the one tree a traced wire request produces. The scan is
+    // decode-free, so adoption happens even for frames the injected
+    // fault will refuse before decoding.
+    let trace = match Request::trace_context(payload) {
+        Some(ctx) => cxtrace::start("serve.request", ctx.child()),
+        None => cxtrace::span_or_root("serve.request"),
+    };
     let started = Instant::now();
-    match catch_unwind(AssertUnwindSafe(|| handle(svc, payload, started))) {
-        Ok(resp) => resp,
+    let (verb, resp) = match catch_unwind(AssertUnwindSafe(|| handle(svc, payload, started))) {
+        Ok(out) => out,
         Err(_) => {
             // The panic payload already went to stderr via the panic
             // hook; what matters here is that the handler thread, the
             // connection, and the server all survive it.
             svc.panics.bump();
             svc.obs.event("serve.panic", "request handler panicked; answered as server error");
-            Response::Err(WireError::Server("request handler panicked".into()))
+            ("panic", Response::Err(WireError::Server("request handler panicked".into())))
         }
+    };
+    trace.attr("verb", verb);
+    if let Response::Err(e) = &resp {
+        trace.err(e.to_string());
+        svc.count_error(e.kind());
     }
+    // The histogram exemplar remembers which trace last landed in each
+    // latency bucket — the bridge from "the p99 moved" to "this trace".
+    svc.request_ns(verb)
+        .record_ns_tagged(started.elapsed().as_nanos() as u64, cxtrace::current_trace_id());
+    resp
 }
 
-fn handle(svc: &Service, payload: &[u8], started: Instant) -> Response {
+fn handle(svc: &Service, payload: &[u8], started: Instant) -> (&'static str, Response) {
     // The chaos seam: `Io` becomes a typed `injected` frame, `Delay`
     // stalls right here (and may then trip the deadline below), `Panic`
-    // unwinds into `respond`'s catch.
+    // unwinds into `respond`'s catch. It fires before decoding, so the
+    // verb is contractually unknown on this path.
     if cxfault::fire(SERVE_REQUEST_SITE).is_some() {
-        return Response::Err(WireError::Injected(
-            cxfault::io_error(SERVE_REQUEST_SITE).to_string(),
-        ));
+        let e = WireError::Injected(cxfault::io_error(SERVE_REQUEST_SITE).to_string());
+        return ("unknown", Response::Err(e));
     }
     let req = match Request::decode(payload) {
         Ok(r) => r,
-        Err(e) => return Response::Err(e),
+        Err(e) => return ("unknown", Response::Err(e)),
     };
+    let verb = req.verb();
     let resp = dispatch(svc, req, started);
     if started.elapsed() > svc.deadline && !matches!(resp, Response::Err(_)) {
         let ms = svc.deadline.as_millis() as u64;
         svc.obs.event("serve.deadline", format!("request exceeded the {ms} ms deadline"));
-        return Response::Err(WireError::Deadline { ms });
+        return (verb, Response::Err(WireError::Deadline { ms }));
     }
-    resp
+    (verb, resp)
 }
 
 /// Map a cluster failure onto the wire, keeping everything the client
@@ -474,6 +514,18 @@ fn dispatch(svc: &Service, req: Request, started: Instant) -> Response {
             Request::Routes => Response::Routes {
                 shards: c.shard_count(),
                 overrides: c.router().overrides().into_iter().map(|(raw, s)| (raw, s.0)).collect(),
+            },
+            Request::Trace(q) => match q {
+                TraceQuery::Recent { limit } => Response::Traces(
+                    cxtrace::recent().into_iter().take(limit).map(Into::into).collect(),
+                ),
+                TraceQuery::Slow { limit } => Response::Traces(
+                    cxtrace::slow().into_iter().take(limit).map(Into::into).collect(),
+                ),
+                TraceQuery::Get { trace_id } => match cxtrace::find(trace_id) {
+                    Some(t) => Response::Text(cxtrace::render_tree(&t)),
+                    None => return Err(WireError::Store(format!("no such trace {trace_id:016x}"))),
+                },
             },
         })
     })();

@@ -451,7 +451,9 @@ impl Store {
     /// Evaluate a node-set expression against one document, using the
     /// cached overlap index (built now if stale or missing).
     pub fn query(&self, id: DocId, expr: &str) -> Result<Vec<goddag::NodeId>> {
-        let _span = self.metrics.query_ns.span();
+        let _span = self.metrics.query_ns.span_tagged(cxtrace::current_trace_id());
+        let trace = cxtrace::span("store.query");
+        trace.attr("doc", id.raw());
         let ast = self.compile(expr)?;
         let entry = self.entry(id)?;
         Counters::bump(&self.counters.queries);
@@ -477,7 +479,8 @@ impl Store {
     /// [`Store::query_all_serial`] by construction, which the conformance
     /// test pins down.
     pub fn query_all(&self, expr: &str) -> Result<Vec<(DocId, Vec<goddag::NodeId>)>> {
-        let _span = self.metrics.query_all_ns.span();
+        let _span = self.metrics.query_all_ns.span_tagged(cxtrace::current_trace_id());
+        let _trace = cxtrace::span("store.query_all");
         let ast = self.compile(expr)?;
         let entries = self.entries();
         Counters::bump(&self.counters.batch_queries);
@@ -573,17 +576,34 @@ impl Store {
         op: EditOp,
         log: impl FnOnce(&EditOp, u64) -> std::result::Result<(), E>,
     ) -> std::result::Result<Result<EditOutcome>, E> {
-        let _span = self.metrics.edit_ns.span();
+        let _span = self.metrics.edit_ns.span_tagged(cxtrace::current_trace_id());
+        let trace = cxtrace::span("store.edit");
+        trace.attr("doc", id.raw());
         let entry = match self.entry(id) {
             Ok(e) => e,
-            Err(err) => return Ok(Err(err)),
+            Err(err) => {
+                trace.err(err.to_string());
+                return Ok(Err(err));
+            }
         };
         let mut g = entry.write();
-        let resolved = match self.metrics.gate_ns.time(|| self.gate(&entry, &g, &op)) {
+        let gate_result = {
+            let gate_trace = cxtrace::span("store.gate");
+            let r = self
+                .metrics
+                .gate_ns
+                .time_tagged(cxtrace::current_trace_id(), || self.gate(&entry, &g, &op));
+            if let Err(err) = &r {
+                gate_trace.err(err.to_string());
+            }
+            r
+        };
+        let resolved = match gate_result {
             Ok(resolved) => resolved,
             Err(err) => {
                 Counters::bump(&self.counters.edits_rejected);
                 self.obs.event("gate.reject", format!("{id}: {err}"));
+                trace.err("gate rejected");
                 return Ok(Err(err));
             }
         };

@@ -1,7 +1,7 @@
 //! Service-tier walkthrough: a sharded cluster behind a TCP server, a
 //! pooled client doing gated edits and fan-out queries over the wire,
-//! shard-scoped servers behind a client-side router, and the metrics
-//! page that watched it all happen.
+//! shard-scoped servers behind a client-side router, end-to-end request
+//! tracing, and the metrics page that watched it all happen.
 //!
 //! ```sh
 //! cargo run --release --example served_cluster
@@ -72,6 +72,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("routed query on {ms}: {} words straight from its shard", routed.len());
     let (hits, refused) = router.query_all_partial("//w", std::time::Duration::from_secs(2))?;
     println!("router fan-out: {} docs, {} shards refused", hits.len(), refused.len());
+
+    // ── End-to-end tracing ────────────────────────────────────────────
+    // Flip the process-wide switch, run one guarded edit through the
+    // router, and the flight recorder holds one tree spanning every
+    // layer: router -> client -> wire -> server handler -> cluster ->
+    // shard store -> gate / WAL. The `trace` verb serves it back.
+    cxml::cxtrace::enable();
+    let epoch = router.epoch(ms)?;
+    router.edit_guarded(ms, epoch, EditOp::InsertText { offset: 0, text: "Iterum ".into() })?;
+    let traced = router
+        .shard_client(router.shard_of(ms))
+        .traces_recent(16)?
+        .into_iter()
+        .find(|t| t.root == "router.request")
+        .expect("the traced edit is retained");
+    println!("\none traced guarded edit, fetched over the wire:");
+    print!("{}", router.shard_client(router.shard_of(ms)).trace_tree(traced.trace_id)?);
+    cxml::cxtrace::disable();
 
     // ── The metrics page saw everything ───────────────────────────────
     let page = client.metrics()?;

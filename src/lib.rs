@@ -20,6 +20,7 @@
 //! | [`cxpersist`] | durable stores: `EditOp` write-ahead log, stand-off snapshots, warm restart |
 //! | [`cxrepl`] | WAL log-shipping replication: read replicas, catch-up, follower promotion |
 //! | [`cxcluster`] | multi-primary write sharding: name routing, fan-out queries, live rebalancing |
+//! | [`cxtrace`] | end-to-end request tracing: trace-context propagation, hierarchical spans, bounded flight recorder for slow requests |
 //! | [`cxwire`] | length-prefixed TCP framing shared by the replication and service tiers |
 //! | [`cxserve`] | network service tier: versioned wire protocol, cluster server, pooling/pipelining client, shard-aware router |
 //! | [`corpus`] | synthetic manuscript workloads + the paper's Figure 1 reconstruction |
@@ -57,6 +58,7 @@ pub use cxpersist;
 pub use cxrepl;
 pub use cxserve;
 pub use cxstore;
+pub use cxtrace;
 pub use cxwire;
 pub use expath;
 pub use goddag;

@@ -88,6 +88,53 @@ fn instrumented_gated_edits_stay_within_5_percent_of_noop_registry() {
     );
 }
 
+/// Guards the cxtrace instrumentation cost on the gated-edit path: with
+/// tracing *enabled but idle* (the switch on, no trace active on the
+/// thread — every span call is one relaxed load plus a thread-local
+/// probe returning an inert guard) the path must stay within 5% of the
+/// tracing-off baseline. Both runs use a disabled metrics registry so
+/// the bound isolates cxtrace's tax from cxobs's. Rounds interleave and
+/// each mode keeps its best, as above.
+#[test]
+#[ignore = "release-mode perf budget; run with: cargo test --release --test perf_smoke -- --ignored"]
+fn tracing_enabled_but_idle_gated_edits_stay_within_5_percent() {
+    const EDITS: usize = 400;
+    const ROUNDS: usize = 5;
+
+    let run = || -> Duration {
+        let store = Store::with_registry(Arc::new(Registry::disabled()));
+        let mut ms =
+            corpus::generate(&corpus::Params { words: 300, seed: 42, ..corpus::Params::default() });
+        corpus::dtds::attach_standard(&mut ms.goddag);
+        let id = store.insert(ms.goddag);
+        let t = Instant::now();
+        for k in 0..EDITS {
+            store.edit(id, EditOp::InsertText { offset: 0, text: format!("x{k} ") }).unwrap();
+        }
+        t.elapsed()
+    };
+
+    // Exclusive tracing state for the measurement; restored on drop.
+    let _scenario = cxtrace::Scenario::setup();
+    cxtrace::disable();
+    run(); // Warm-up.
+
+    let (mut off, mut idle) = (Duration::MAX, Duration::MAX);
+    for _ in 0..ROUNDS {
+        cxtrace::disable();
+        off = off.min(run());
+        cxtrace::enable();
+        idle = idle.min(run());
+    }
+    cxtrace::disable();
+    // Same absolute epsilon rationale as the cxobs guard above.
+    let budget = off.mul_f64(1.05) + Duration::from_millis(2);
+    assert!(
+        idle <= budget,
+        "tracing-idle gated edits took {idle:?} vs {off:?} with tracing off (budget {budget:?})"
+    );
+}
+
 /// Guards the cxfault disarmed fast path: with no site armed anywhere in
 /// the process, [`cxfault::fire`] is one relaxed atomic load — the WAL
 /// append, fsync, and replication fetch paths cross it on every
