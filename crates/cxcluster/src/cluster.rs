@@ -198,6 +198,8 @@ impl Cluster {
                         let epoch = shards[s].store().epoch(id).unwrap_or(0);
                         (epoch, s != home, s)
                     })
+                    // invariant: this branch is only taken when `held` has
+                    // at least one shard, so max_by_key cannot be None.
                     .expect("held is non-empty");
                 let winner_names: Vec<String> = doc_names(&shards[winner], id);
                 for &s in held {
@@ -346,6 +348,8 @@ impl Cluster {
     /// Every shard's health, by index.
     pub fn shard_healths(&self) -> Vec<ShardHealth> {
         (0..self.shards.len())
+            // invariant: `i` ranges over this cluster's own shard list, so
+            // shard_health can never see an out-of-range id.
             .map(|i| self.shard_health(ShardId(i)).expect("valid index"))
             .collect()
     }
@@ -735,6 +739,9 @@ impl Cluster {
                     })
                 })
                 .collect();
+            // invariant: shard query threads run store code that returns
+            // errors rather than panicking; a panic here is a bug worth
+            // propagating, not a condition to mask.
             handles.into_iter().map(|h| h.join().expect("shard query panicked")).collect()
         });
         let mut out = Vec::new();

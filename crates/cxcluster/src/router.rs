@@ -63,6 +63,9 @@ impl Router {
     /// migration). Routing a document back to its home shard drops the
     /// override instead of storing a redundant entry.
     pub fn route(&self, id: DocId, shard: ShardId) {
+        // Poison recovery (here and in `forget`/`overrides` below): every
+        // writer performs a single insert or remove, so a panicked holder
+        // cannot leave the table mid-update — see the field invariant.
         let mut overrides = self.overrides.write().unwrap_or_else(PoisonError::into_inner);
         if shard == self.home_shard(id) {
             overrides.remove(&id.raw());

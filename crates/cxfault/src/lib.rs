@@ -118,9 +118,10 @@ fn registry() -> &'static Mutex<HashMap<String, Site>> {
 }
 
 fn lock_registry() -> MutexGuard<'static, HashMap<String, Site>> {
-    // A panic while holding the registry lock (only possible through
-    // Fault::Panic, which fires after the guard is dropped, or a caller
-    // panicking mid-configure) leaves plain counters — safe to reuse.
+    // Poison recovery: a panic while holding the registry lock (only
+    // possible through Fault::Panic, which fires after the guard is
+    // dropped, or a caller panicking mid-configure) leaves plain counters
+    // — safe to reuse.
     registry().lock().unwrap_or_else(PoisonError::into_inner)
 }
 

@@ -1,0 +1,222 @@
+//! The allowlist: `cxlint.toml` at the workspace root, parsed by hand
+//! (the rule engine is dependency-free on purpose).
+//!
+//! Grammar — a strict subset of TOML, enough for an exceptions file and
+//! nothing more:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "fp-dynamic"
+//! path = "crates/cxrepl/src/fault.rs"
+//! note = "per-link sites are chosen at construction; FAULT_SITE covers the default"
+//! ```
+//!
+//! Every entry must carry `rule`, `path`, and a non-empty `note` — an
+//! exception without a written justification is itself an error. An
+//! entry may also carry `contains = "…"`: it then only matches findings
+//! whose message contains that substring (for narrowing within a file).
+//! Entries that match nothing are reported (`allow-unused`), so the file
+//! can never silently rot.
+
+use crate::findings::Finding;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule id the entry silences.
+    pub rule: String,
+    /// Repo-relative path it applies to.
+    pub path: String,
+    /// Required human justification.
+    pub note: String,
+    /// Optional message-substring narrowing.
+    pub contains: Option<String>,
+    /// 1-based line in `cxlint.toml` (for `allow-unused` reporting).
+    pub line: u32,
+}
+
+impl Allow {
+    /// Does this entry silence `f`?
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule
+            && self.path == f.file
+            && self.contains.as_ref().is_none_or(|c| f.message.contains(c))
+    }
+}
+
+/// Parse `cxlint.toml`. Malformed entries come back as findings against
+/// the config file itself rather than being dropped.
+pub fn parse_allowlist(text: &str) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    let mut current: Option<Allow> = None;
+    let mut current_start = 0u32;
+    let mut flush = |cur: &mut Option<Allow>, start: u32, findings: &mut Vec<Finding>| {
+        if let Some(a) = cur.take() {
+            if a.rule.is_empty() || a.path.is_empty() {
+                findings.push(Finding::new(
+                    "allow-malformed",
+                    "cxlint.toml",
+                    start,
+                    "allow entry needs both `rule` and `path`",
+                ));
+            } else if a.note.trim().is_empty() {
+                findings.push(Finding::new(
+                    "allow-malformed",
+                    "cxlint.toml",
+                    start,
+                    format!(
+                        "allow entry for `{}` at `{}` has no `note` — every exception \
+                         must say why it is safe",
+                        a.rule, a.path
+                    ),
+                ));
+            } else {
+                allows.push(a);
+            }
+        }
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            flush(&mut current, current_start, &mut findings);
+            current_start = lineno;
+            current = Some(Allow {
+                rule: String::new(),
+                path: String::new(),
+                note: String::new(),
+                contains: None,
+                line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            findings.push(Finding::new(
+                "allow-malformed",
+                "cxlint.toml",
+                lineno,
+                format!("unparsable line: `{line}`"),
+            ));
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            findings.push(Finding::new(
+                "allow-malformed",
+                "cxlint.toml",
+                lineno,
+                format!("value for `{key}` must be a double-quoted string"),
+            ));
+            continue;
+        };
+        match (&mut current, key) {
+            (Some(a), "rule") => a.rule = value.to_string(),
+            (Some(a), "path") => a.path = value.to_string(),
+            (Some(a), "note") => a.note = value.to_string(),
+            (Some(a), "contains") => a.contains = Some(value.to_string()),
+            (Some(_), other) => findings.push(Finding::new(
+                "allow-malformed",
+                "cxlint.toml",
+                lineno,
+                format!("unknown key `{other}` (expected rule/path/note/contains)"),
+            )),
+            (None, _) => findings.push(Finding::new(
+                "allow-malformed",
+                "cxlint.toml",
+                lineno,
+                "key outside any [[allow]] entry",
+            )),
+        }
+    }
+    flush(&mut current, current_start, &mut findings);
+    (allows, findings)
+}
+
+/// Apply the allowlist: silenced findings are removed; entries that
+/// silenced nothing become `allow-unused` findings.
+pub fn apply_allowlist(findings: Vec<Finding>, allows: &[Allow]) -> Vec<Finding> {
+    let mut used = vec![false; allows.len()];
+    let mut kept = Vec::with_capacity(findings.len());
+    for f in findings {
+        match allows.iter().position(|a| a.matches(&f)) {
+            Some(i) => used[i] = true,
+            None => kept.push(f),
+        }
+    }
+    for (i, a) in allows.iter().enumerate() {
+        if !used[i] {
+            kept.push(Finding::new(
+                "allow-unused",
+                "cxlint.toml",
+                a.line,
+                format!(
+                    "allow entry (rule `{}`, path `{}`) matched no finding — delete it",
+                    a.rule, a.path
+                ),
+            ));
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_enforces_notes() {
+        let (allows, errs) = parse_allowlist(
+            "# comment\n[[allow]]\nrule = \"fp-dynamic\"\npath = \"a.rs\"\nnote = \"why\"\n\
+             \n[[allow]]\nrule = \"x\"\npath = \"b.rs\"\nnote = \"\"\n",
+        );
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "fp-dynamic");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("no `note`"));
+    }
+
+    #[test]
+    fn apply_silences_and_reports_unused() {
+        let allows = vec![
+            Allow {
+                rule: "r1".into(),
+                path: "a.rs".into(),
+                note: "ok".into(),
+                contains: None,
+                line: 1,
+            },
+            Allow {
+                rule: "r2".into(),
+                path: "never.rs".into(),
+                note: "ok".into(),
+                contains: None,
+                line: 5,
+            },
+        ];
+        let fs =
+            vec![Finding::new("r1", "a.rs", 3, "hit"), Finding::new("r1", "other.rs", 4, "kept")];
+        let out = apply_allowlist(fs, &allows);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].file, "other.rs");
+        assert_eq!(out[1].rule, "allow-unused");
+        assert_eq!(out[1].line, 5);
+    }
+
+    #[test]
+    fn contains_narrows() {
+        let a = Allow {
+            rule: "r".into(),
+            path: "a.rs".into(),
+            note: "ok".into(),
+            contains: Some("site `x`".into()),
+            line: 1,
+        };
+        assert!(a.matches(&Finding::new("r", "a.rs", 1, "about site `x` here")));
+        assert!(!a.matches(&Finding::new("r", "a.rs", 1, "about site `y` here")));
+    }
+}

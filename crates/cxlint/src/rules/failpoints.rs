@@ -1,0 +1,345 @@
+//! `fp-*`: failpoint conformance between code, tests, and the README.
+//!
+//! The fault-injection contract (PR 7) only means something if every
+//! seam stays visible: a failpoint that no test arms is dead weight, a
+//! failpoint missing from the README table is an undocumented seam, and
+//! a site string that exists only in the arming call is a typo waiting
+//! to silently never fire.
+//!
+//! A *known site* is any string fired through `cxfault::fire` /
+//! `cxfault::io_check` on a production path, plus the value of any
+//! `…_SITE` constant (constants cover transports that fire a
+//! per-instance site, like `cxrepl::FaultTransport`).
+//!
+//! Rule ids: `fp-dynamic` (unresolvable fire argument),
+//! `fp-cross-crate-dup` (same site fired from two crates),
+//! `fp-undocumented` (site missing from the README table),
+//! `fp-stale-doc` (table row with no live site),
+//! `fp-unarmed` (no test ever arms the site),
+//! `fp-unknown-armed` (arming a site that does not exist).
+
+use crate::findings::Finding;
+use crate::lexer::Tok;
+use crate::source::{FileKind, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A site with the place it was established (fire call or const def).
+#[derive(Debug, Clone)]
+struct Site {
+    name: String,
+    crate_name: String,
+    file: String,
+    line: u32,
+}
+
+/// True when tokens `i-3..=i` spell `cxfault :: <method>` for one of
+/// `methods`, with `(` right after. Returns the method name.
+fn qualified_call<'a>(t: &'a [crate::lexer::Token], i: usize, methods: &[&str]) -> Option<&'a str> {
+    let Tok::Ident(m) = &t[i].tok else { return None };
+    if !methods.iter().any(|x| x == m) || !crate::rules::is_punct(t, i + 1, '(') {
+        return None;
+    }
+    if i >= 3
+        && crate::rules::is_punct(t, i - 1, ':')
+        && crate::rules::is_punct(t, i - 2, ':')
+        && crate::rules::is_ident(t, i - 3, "cxfault")
+    {
+        Some(m)
+    } else {
+        None
+    }
+}
+
+/// Run the rule family.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let consts = ws.str_consts();
+
+    // Known sites: production fires + `…_SITE` constants.
+    let mut fired: Vec<Site> = Vec::new();
+    let mut armed: Vec<Site> = Vec::new();
+    for f in &ws.files {
+        if f.crate_name == "cxfault" {
+            continue; // the framework's own internals and self-tests
+        }
+        let t = &f.lexed.tokens;
+        for i in 0..t.len() {
+            // Production fire/io_check sites.
+            if f.kind == FileKind::Src
+                && f.is_production(i)
+                && qualified_call(t, i, &["fire", "io_check"]).is_some()
+            {
+                match crate::rules::resolve_str_arg(t, i + 2, &consts) {
+                    Some(name) => fired.push(Site {
+                        name,
+                        crate_name: f.crate_name.clone(),
+                        file: f.path.clone(),
+                        line: t[i].line,
+                    }),
+                    None => out.push(Finding::new(
+                        "fp-dynamic",
+                        &f.path,
+                        t[i].line,
+                        "failpoint fired with a dynamic site name — cxlint cannot audit it; \
+                         route the default through a `…_SITE` const or allowlist with a note",
+                    )),
+                }
+            }
+            // Test/bench arming.
+            if qualified_call(t, i, &["configure", "configure_seeded"]).is_some() {
+                if let Some(name) = crate::rules::resolve_str_arg(t, i + 2, &consts) {
+                    armed.push(Site {
+                        name,
+                        crate_name: f.crate_name.clone(),
+                        file: f.path.clone(),
+                        line: t[i].line,
+                    });
+                }
+            }
+            // `…_SITE` constants define sites even when fired indirectly.
+            if f.kind == FileKind::Src
+                && f.is_production(i)
+                && crate::rules::is_ident(t, i, "const")
+            {
+                if let Some(Tok::Ident(n)) = t.get(i + 1).map(|x| &x.tok) {
+                    if n.ends_with("_SITE") {
+                        if let Some(value) = consts.get(n) {
+                            fired.push(Site {
+                                name: value.clone(),
+                                crate_name: f.crate_name.clone(),
+                                file: f.path.clone(),
+                                line: t[i].line,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cross-crate duplicates: one site string, one owning crate.
+    let mut by_name: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for s in &fired {
+        by_name.entry(&s.name).or_default().insert(&s.crate_name);
+    }
+    for (name, crates) in &by_name {
+        if crates.len() > 1 {
+            let s = fired.iter().find(|s| s.name == *name).unwrap();
+            let crates: Vec<&str> = crates.iter().copied().collect();
+            out.push(Finding::new(
+                "fp-cross-crate-dup",
+                &s.file,
+                s.line,
+                format!(
+                    "failpoint site `{name}` is established in more than one crate ({}) — \
+                     site names must be globally unique",
+                    crates.join(", ")
+                ),
+            ));
+        }
+    }
+
+    // README table conformance.
+    let table = readme_failpoint_table(&ws.readme);
+    let documented: BTreeSet<&str> = table.iter().map(|(s, _)| s.as_str()).collect();
+    let known: BTreeSet<&str> = by_name.keys().copied().collect();
+    let mut reported: BTreeSet<&str> = BTreeSet::new();
+    for s in &fired {
+        if !reported.insert(&s.name) {
+            continue;
+        }
+        if !documented.contains(s.name.as_str()) {
+            out.push(Finding::new(
+                "fp-undocumented",
+                &s.file,
+                s.line,
+                format!("failpoint site `{}` is missing from the README failpoint table", s.name),
+            ));
+        }
+    }
+    for (site, line) in &table {
+        if !known.contains(site.as_str()) {
+            out.push(Finding::new(
+                "fp-stale-doc",
+                "README.md",
+                *line,
+                format!("README failpoint table lists `{site}` but no production code fires it"),
+            ));
+        }
+    }
+
+    // Arming: every known site exercised by at least one test.
+    let armed_names: BTreeSet<&str> = armed.iter().map(|s| s.name.as_str()).collect();
+    let mut reported: BTreeSet<&str> = BTreeSet::new();
+    for s in &fired {
+        if !reported.insert(&s.name) {
+            continue;
+        }
+        if !armed_names.contains(s.name.as_str()) {
+            out.push(Finding::new(
+                "fp-unarmed",
+                &s.file,
+                s.line,
+                format!(
+                    "failpoint site `{}` is never armed by any test — add a test that \
+                     configures it and asserts the failure contract",
+                    s.name
+                ),
+            ));
+        }
+    }
+    let mut reported: BTreeSet<&str> = BTreeSet::new();
+    for s in &armed {
+        if !reported.insert(&s.name) {
+            continue;
+        }
+        if !known.contains(s.name.as_str()) {
+            out.push(Finding::new(
+                "fp-unknown-armed",
+                &s.file,
+                s.line,
+                format!(
+                    "test arms failpoint site `{}` but no production code fires that name — \
+                     likely a typo",
+                    s.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Extract `(site, 1-based line)` rows from the README failpoint table —
+/// the Markdown table whose header row has a `site` cell. Returns an
+/// empty list when the README has no such table.
+fn readme_failpoint_table(readme: &str) -> Vec<(String, u32)> {
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for (idx, raw) in readme.lines().enumerate() {
+        let line = raw.trim();
+        if !line.starts_with('|') {
+            in_table = false;
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        let first = cells.first().copied().unwrap_or("");
+        if !in_table {
+            if first.eq_ignore_ascii_case("site") {
+                in_table = true;
+            }
+            continue;
+        }
+        if first.starts_with('-') {
+            continue; // the |---|---| separator row
+        }
+        let site = first.trim_matches('`');
+        if !site.is_empty() {
+            rows.push((site.to_string(), idx as u32 + 1));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE: &str = "| site | crossed by | armed means |\n\
+                         |------|-----------|-------------|\n\
+                         | `a.b` | thing | boom |\n\
+                         | `c.d` | other | bang |\n";
+
+    fn ws(files: &[(&str, &str)], readme: &str) -> Workspace {
+        let mut w = Workspace::from_files(files);
+        w.readme = readme.to_string();
+        w
+    }
+
+    #[test]
+    fn clean_workspace_passes() {
+        let w = ws(
+            &[
+                (
+                    "crates/x/src/lib.rs",
+                    "pub const X_SITE: &str = \"c.d\";\n\
+                     fn f() { cxfault::fire(\"a.b\"); cxfault::fire(X_SITE); }",
+                ),
+                (
+                    "crates/x/tests/t.rs",
+                    "fn t() { cxfault::configure(\"a.b\", Trigger::Always, Fault::Io); \
+                     cxfault::configure_seeded(x::X_SITE, Trigger::Always, Fault::Io, 7); }",
+                ),
+            ],
+            TABLE,
+        );
+        let fs = check(&w);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn unarmed_undocumented_stale_and_unknown() {
+        let w = ws(
+            &[
+                (
+                    "crates/x/src/lib.rs",
+                    "fn f() { cxfault::fire(\"a.b\"); cxfault::io_check(\"x.y\"); }",
+                ),
+                (
+                    "crates/x/tests/t.rs",
+                    "fn t() { cxfault::configure(\"a.b\", Trigger::Always, Fault::Io); \
+                     cxfault::configure(\"ty.po\", Trigger::Always, Fault::Io); }",
+                ),
+            ],
+            TABLE,
+        );
+        let fs = check(&w);
+        let has =
+            |rule: &str, frag: &str| fs.iter().any(|f| f.rule == rule && f.message.contains(frag));
+        assert!(has("fp-undocumented", "`x.y`"), "{fs:?}");
+        assert!(has("fp-unarmed", "`x.y`"), "{fs:?}");
+        assert!(has("fp-stale-doc", "`c.d`"), "{fs:?}");
+        assert!(has("fp-unknown-armed", "`ty.po`"), "{fs:?}");
+        assert_eq!(fs.len(), 4, "{fs:?}");
+    }
+
+    #[test]
+    fn dynamic_fire_and_cross_crate_dup() {
+        let w = ws(
+            &[
+                (
+                    "crates/x/src/lib.rs",
+                    "fn f(s: &Site) { cxfault::fire(&s.name); cxfault::fire(\"a.b\"); }",
+                ),
+                ("crates/y/src/lib.rs", "fn g() { cxfault::fire(\"a.b\"); }"),
+                (
+                    "crates/x/tests/t.rs",
+                    "fn t() { cxfault::configure(\"a.b\", Trigger::Always, Fault::Io); }",
+                ),
+            ],
+            TABLE,
+        );
+        let fs = check(&w);
+        assert!(fs.iter().any(|f| f.rule == "fp-dynamic"), "{fs:?}");
+        assert!(
+            fs.iter().any(|f| f.rule == "fp-cross-crate-dup" && f.message.contains("x, y")),
+            "{fs:?}"
+        );
+    }
+
+    #[test]
+    fn unqualified_or_test_code_fire_ignored() {
+        let w = ws(
+            &[(
+                "crates/x/src/lib.rs",
+                "fn f(gun: &Gun) { gun.fire(\"zz.zz\"); }\n\
+                 #[cfg(test)]\nmod tests { fn t() { cxfault::fire(\"tt.tt\"); } }",
+            )],
+            TABLE,
+        );
+        let fs = check(&w);
+        // Only stale-doc findings for the two table rows; the method call
+        // `gun.fire` and the in-test fire establish nothing.
+        assert!(fs.iter().all(|f| f.rule == "fp-stale-doc"), "{fs:?}");
+        assert_eq!(fs.len(), 2);
+    }
+}

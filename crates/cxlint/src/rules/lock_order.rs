@@ -1,0 +1,855 @@
+//! `lock-order-cycle`: the cross-crate lock graph must be acyclic.
+//!
+//! Two threads taking the same pair of locks in opposite orders is the
+//! classic distributed-store deadlock, and nothing in the type system
+//! prevents it. This rule rebuilds the *lock-order graph* from tokens:
+//!
+//! * An **acquisition** is a zero-argument `.lock()` / `.read()` /
+//!   `.write()` call. (With arguments those names are io traits —
+//!   `read(&mut buf)` — and are ignored.) The lock's identity is the
+//!   receiver field/binding name, namespaced by crate: `self.index.lock()`
+//!   in `cxstore` is the lock `cxstore/index`. Identity is by *name*, so
+//!   two instances of the same field are one node — which is exactly the
+//!   right granularity for order auditing (and why self-edges are
+//!   ignored: same-name pairs are instance-indistinguishable here).
+//! * **Wrapper functions** that acquire on a parameter
+//!   (`fn read_lock<T>(l: &RwLock<T>) -> …` — the PR 7 poison-tolerant
+//!   helpers) are resolved at their call sites: `read_lock(&self.doc)`
+//!   is an acquisition of `doc` in the caller.
+//! * A guard bound with `let g = …` is **held** until its block closes
+//!   or `drop(g)`; unbound (temporary) guards are released at the end
+//!   of the expression and hold nothing.
+//! * While holding locks, calling another workspace function adds edges
+//!   to every lock that function can transitively acquire (a fixpoint
+//!   over the call graph). Callees resolve by name, narrowed by every
+//!   cue the tokens carry — `Type::f` by impl block, `self.f` to the
+//!   caller's type, bare calls nearest-scope-first, and everything
+//!   intersected with the caller crate's `Cargo.toml` dependency
+//!   closure; what remains is deliberately an over-approximation.
+//!
+//! Every edge `a → b` means "somewhere, `b` is acquired while `a` is
+//! held". A cycle is a potential deadlock; the finding prints the
+//! witness path with one `file:line` per edge.
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::source::{FileKind, FnItem, SourceFile, Workspace};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+const ACQUIRE: &[&str] = &["lock", "read", "write"];
+
+/// Method names that collide with std container/iterator/TCP methods.
+/// Name-based callee resolution cannot tell `deque.len()` from
+/// `Cluster::len()`, and std methods never take workspace locks — so
+/// calls to these names do not propagate effective lock sets. The
+/// trade-off is documented: a workspace function that takes locks AND
+/// shares a name on this list is invisible to call propagation (its
+/// direct acquisitions are still analysed); give lock-relevant helpers
+/// distinctive names.
+const AMBIENT: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_str",
+    "clear",
+    "clone",
+    "collect",
+    "contains",
+    "contains_key",
+    "count",
+    "drain",
+    "drop",
+    "entry",
+    "eq",
+    "extend",
+    "filter",
+    "find",
+    "first",
+    "flush",
+    "fold",
+    "get",
+    "get_mut",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "new",
+    "next",
+    "parse",
+    "position",
+    "pop",
+    "pop_front",
+    "push",
+    "push_back",
+    "push_str",
+    "recv",
+    "remove",
+    "replace",
+    "send",
+    "spawn",
+    "split",
+    "sum",
+    "take",
+    "to_string",
+    "to_vec",
+    "trim",
+    "values",
+    "wait",
+];
+
+/// A function's lock-relevant facts.
+struct FnFacts {
+    name: String,
+    file: String,
+    crate_name: String,
+    /// Parameters acquired on (wrapper functions).
+    param_locks: BTreeSet<String>,
+    /// Body tokens (cloned slice bounds) for the edge walk.
+    body: std::ops::Range<usize>,
+    file_idx: usize,
+    params: Vec<String>,
+    /// Enclosing `impl` type, for `Type::fn` / `Self::fn` resolution.
+    impl_type: Option<String>,
+}
+
+/// Candidate callees for the call at token `j` (an ident followed by
+/// `(`), resolved by the tightest scope the tokens justify:
+///
+/// * `Type::f(…)` — the workspace `impl Type` fns named `f`; *nothing*
+///   when the type has no workspace impl (std paths like `String::new`).
+///   `Self::f(…)` uses the caller's impl type.
+/// * `path::f(…)` with a lowercase path segment — free fns named `f` in
+///   that crate when the segment is a workspace crate name, else in the
+///   caller's own crate (module paths are crate-local; std paths like
+///   `mem::take` resolve to nothing).
+/// * `recv.f(…)` — only `impl` fns (a method call can never dispatch to
+///   a free fn), minus the [`AMBIENT`] std-method names.
+/// * bare `f(…)` — free fns, nearest scope first: same file, else same
+///   crate, else any. Only when no free fn exists anywhere does it fall
+///   back to the whole-workspace name union (a `use Type::f` import).
+///
+/// Every candidate list is finally intersected with the crates the
+/// caller's crate can actually reach through `Cargo.toml` dependencies
+/// (`reach`; `None` = no manifest information, keep everything): code in
+/// `cxpersist` cannot call into `cxcluster` no matter what the names say.
+#[allow(clippy::too_many_arguments)]
+fn callees_at(
+    t: &[Token],
+    j: usize,
+    caller: &FnFacts,
+    fns: &[FnFacts],
+    crate_names: &BTreeSet<&str>,
+    by_name: &HashMap<&str, Vec<usize>>,
+    by_type_name: &HashMap<(String, String), Vec<usize>>,
+    reach: Option<&BTreeSet<String>>,
+) -> Vec<usize> {
+    let mut out = candidate_callees(t, j, caller, fns, crate_names, by_name, by_type_name);
+    if let Some(reach) = reach {
+        out.retain(|&c| reach.contains(&fns[c].crate_name));
+    }
+    out
+}
+
+fn candidate_callees(
+    t: &[Token],
+    j: usize,
+    caller: &FnFacts,
+    fns: &[FnFacts],
+    crate_names: &BTreeSet<&str>,
+    by_name: &HashMap<&str, Vec<usize>>,
+    by_type_name: &HashMap<(String, String), Vec<usize>>,
+) -> Vec<usize> {
+    let Tok::Ident(callee) = &t[j].tok else { return Vec::new() };
+    if j >= 3 && crate::rules::is_punct(t, j - 1, ':') && crate::rules::is_punct(t, j - 2, ':') {
+        if let Tok::Ident(q) = &t[j - 3].tok {
+            let q = if q == "Self" { caller.impl_type.as_deref().unwrap_or("Self") } else { q };
+            if q.starts_with(|c: char| c.is_ascii_uppercase()) {
+                return by_type_name
+                    .get(&(q.to_string(), callee.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            // Lowercase path segment: a crate- or module-qualified free fn.
+            let q: &str = q;
+            let within = if crate_names.contains(q) { q } else { caller.crate_name.as_str() };
+            let cands = by_name.get(callee.as_str()).map(Vec::as_slice).unwrap_or(&[]);
+            return cands
+                .iter()
+                .copied()
+                .filter(|&c| fns[c].impl_type.is_none() && fns[c].crate_name == *within)
+                .collect();
+        }
+    }
+    if AMBIENT.contains(&callee.as_str()) {
+        return Vec::new();
+    }
+    let cands = by_name.get(callee.as_str()).map(Vec::as_slice).unwrap_or(&[]);
+    if j >= 1 && crate::rules::is_punct(t, j - 1, '.') {
+        let mut methods: Vec<usize> =
+            cands.iter().copied().filter(|&c| fns[c].impl_type.is_some()).collect();
+        if let Some(ty) = &caller.impl_type {
+            if j >= 2 && crate::rules::is_ident(t, j - 2, "self") {
+                // `self.f(…)` — a method of the caller's own type.
+                return by_type_name
+                    .get(&(ty.clone(), callee.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            if j >= 4
+                && crate::rules::is_punct(t, j - 3, '.')
+                && crate::rules::is_ident(t, j - 4, "self")
+                && matches!(&t[j - 2].tok, Tok::Ident(_))
+            {
+                // `self.field.f(…)` — a component's method, so not the
+                // caller's own type.
+                methods.retain(|&c| fns[c].impl_type.as_deref() != Some(ty.as_str()));
+            }
+        }
+        return methods;
+    }
+    let free: Vec<usize> = cands.iter().copied().filter(|&c| fns[c].impl_type.is_none()).collect();
+    for narrowed in [
+        free.iter().copied().filter(|&c| fns[c].file == caller.file).collect::<Vec<_>>(),
+        free.iter().copied().filter(|&c| fns[c].crate_name == caller.crate_name).collect(),
+        free,
+    ] {
+        if !narrowed.is_empty() {
+            return narrowed;
+        }
+    }
+    cands.to_vec()
+}
+
+/// An edge `from → to` with one witness site.
+#[derive(Debug, Clone)]
+struct Edge {
+    to: String,
+    file: String,
+    line: u32,
+    via: String,
+}
+
+/// True when token `i` starts a zero-arg acquisition method call:
+/// `. lock ( )` — returns the receiver ident just before the dot.
+fn acquisition_at(t: &[Token], i: usize) -> Option<(&str, u32)> {
+    let Tok::Ident(m) = &t[i].tok else { return None };
+    if !ACQUIRE.iter().any(|a| a == m)
+        || !crate::rules::is_punct(t, i.wrapping_sub(1), '.')
+        || !crate::rules::is_punct(t, i + 1, '(')
+        || !crate::rules::is_punct(t, i + 2, ')')
+    {
+        return None;
+    }
+    if i < 2 {
+        return None;
+    }
+    match &t[i - 2].tok {
+        Tok::Ident(recv) => Some((recv, t[i].line)),
+        _ => None,
+    }
+}
+
+/// Parameters a function acquires on (wrapper functions).
+fn param_locks(f: &SourceFile, item: &FnItem) -> BTreeSet<String> {
+    let t = &f.lexed.tokens;
+    let mut out = BTreeSet::new();
+    for i in item.body.clone() {
+        if let Some((recv, _)) = acquisition_at(t, i) {
+            if recv != "self" && item.params.iter().any(|p| p == recv) {
+                out.insert(recv.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// The last identifier of the call argument starting at `arg_start`
+/// (used to resolve `read_lock(&self.doc)` → `doc`).
+fn arg_last_ident(t: &[Token], arg_start: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut last: Option<&str> = None;
+    for tok in t.iter().skip(arg_start) {
+        match &tok.tok {
+            Tok::Punct('(' | '[') => depth += 1,
+            Tok::Punct(')' | ']') if depth > 0 => depth -= 1,
+            Tok::Punct(')' | ',') => break,
+            Tok::Ident(s) => last = Some(s),
+            _ => {}
+        }
+    }
+    last.map(str::to_string)
+}
+
+/// Run the rule.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    // ---- Pass 1: collect every production function and its facts. ----
+    let mut fns: Vec<FnFacts> = Vec::new();
+    for (file_idx, f) in ws.files.iter().enumerate() {
+        if f.kind != FileKind::Src || f.crate_name == "cxlint" {
+            continue;
+        }
+        for item in crate::source::functions(f) {
+            if !f.is_production(item.body.start) {
+                continue;
+            }
+            let param_locks = param_locks(f, &item);
+            fns.push(FnFacts {
+                name: item.name.clone(),
+                file: f.path.clone(),
+                crate_name: f.crate_name.clone(),
+                param_locks,
+                body: item.body.clone(),
+                file_idx,
+                params: item.params.clone(),
+                impl_type: item.impl_type.clone(),
+            });
+        }
+    }
+    let by_name: HashMap<&str, Vec<usize>> = {
+        let mut m: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, ff) in fns.iter().enumerate() {
+            m.entry(&ff.name).or_default().push(i);
+        }
+        m
+    };
+    let by_type_name: HashMap<(String, String), Vec<usize>> = {
+        let mut m: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        for (i, ff) in fns.iter().enumerate() {
+            if let Some(ty) = &ff.impl_type {
+                m.entry((ty.clone(), ff.name.clone())).or_default().push(i);
+            }
+        }
+        m
+    };
+    let crate_names: BTreeSet<&str> = fns.iter().map(|ff| ff.crate_name.as_str()).collect();
+    // Transitive dependency closure per crate (including itself) — the
+    // crates its code can actually name a function in.
+    let reach: HashMap<&str, BTreeSet<String>> = ws
+        .crate_deps
+        .keys()
+        .map(|name| {
+            let mut seen: BTreeSet<String> = BTreeSet::new();
+            let mut stack = vec![name.clone()];
+            while let Some(c) = stack.pop() {
+                if seen.insert(c.clone()) {
+                    if let Some(ds) = ws.crate_deps.get(&c) {
+                        stack.extend(ds.iter().cloned());
+                    }
+                }
+            }
+            (name.as_str(), seen)
+        })
+        .collect();
+    let wrapper_names: BTreeSet<&str> =
+        fns.iter().filter(|ff| !ff.param_locks.is_empty()).map(|ff| ff.name.as_str()).collect();
+
+    // Concrete acquisitions per function, with wrapper calls resolved to
+    // the caller's argument.
+    let resolved_acqs = |idx: usize| -> Vec<(String, u32)> {
+        let ff = &fns[idx];
+        let f = &ws.files[ff.file_idx];
+        let t = &f.lexed.tokens;
+        let mut out = Vec::new();
+        for i in ff.body.clone() {
+            if let Some((recv, line)) = acquisition_at(t, i) {
+                if recv != "self" && !ff.params.iter().any(|p| p == recv) {
+                    out.push((format!("{}/{recv}", ff.crate_name), line));
+                }
+                continue;
+            }
+            // `read_lock(&self.doc)`-style wrapper call (direct, not a
+            // method), resolved to the argument's field name.
+            if let Tok::Ident(callee) = &t[i].tok {
+                if wrapper_names.contains(callee.as_str())
+                    && crate::rules::is_punct(t, i + 1, '(')
+                    && !crate::rules::is_punct(t, i.wrapping_sub(1), '.')
+                {
+                    if let Some(field) = arg_last_ident(t, i + 2) {
+                        if field != "self" {
+                            out.push((format!("{}/{field}", ff.crate_name), t[i].line));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    };
+
+    // ---- Pass 2: effective lock sets, to a fixpoint. ----
+    let mut eff: Vec<BTreeSet<String>> =
+        (0..fns.len()).map(|i| resolved_acqs(i).into_iter().map(|(id, _)| id).collect()).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..fns.len() {
+            let f = &ws.files[fns[i].file_idx];
+            let t = &f.lexed.tokens;
+            let mut grown: Vec<String> = Vec::new();
+            for j in fns[i].body.clone() {
+                if !matches!(&t[j].tok, Tok::Ident(_)) || !crate::rules::is_punct(t, j + 1, '(') {
+                    continue;
+                }
+                for c in callees_at(
+                    t,
+                    j,
+                    &fns[i],
+                    &fns,
+                    &crate_names,
+                    &by_name,
+                    &by_type_name,
+                    reach.get(fns[i].crate_name.as_str()),
+                ) {
+                    if c != i {
+                        grown.extend(eff[c].iter().cloned());
+                    }
+                }
+            }
+            for id in grown {
+                if eff[i].insert(id) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    if std::env::var("CXLINT_DEBUG_LOCKS").is_ok() {
+        for (i, ff) in fns.iter().enumerate() {
+            if !eff[i].is_empty() {
+                eprintln!(
+                    "eff {}::{} ({}) = {:?}",
+                    ff.impl_type.as_deref().unwrap_or("-"),
+                    ff.name,
+                    ff.file,
+                    eff[i]
+                );
+            }
+        }
+    }
+    if let Ok(target) = std::env::var("CXLINT_DEBUG_FN") {
+        for (i, ff) in fns.iter().enumerate() {
+            if ff.name != target {
+                continue;
+            }
+            eprintln!(
+                "calls from {}::{} ({}):",
+                ff.impl_type.as_deref().unwrap_or("-"),
+                ff.name,
+                ff.file
+            );
+            let t = &ws.files[ff.file_idx].lexed.tokens;
+            for j in ff.body.clone() {
+                if !matches!(&t[j].tok, Tok::Ident(_)) || !crate::rules::is_punct(t, j + 1, '(') {
+                    continue;
+                }
+                for c in callees_at(
+                    t,
+                    j,
+                    ff,
+                    &fns,
+                    &crate_names,
+                    &by_name,
+                    &by_type_name,
+                    reach.get(ff.crate_name.as_str()),
+                ) {
+                    if c != i && !eff[c].is_empty() {
+                        eprintln!(
+                            "  line {} {:?} -> {}::{} ({}) eff={:?}",
+                            t[j].line,
+                            t[j].tok,
+                            fns[c].impl_type.as_deref().unwrap_or("-"),
+                            fns[c].name,
+                            fns[c].file,
+                            eff[c]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Pass 3: walk bodies with a held-set, emitting edges. ----
+    let mut edges: BTreeMap<String, Vec<Edge>> = BTreeMap::new();
+    let mut add_edge = |from: &str, to: &str, file: &str, line: u32, via: String| {
+        if from == to {
+            return; // same-name pair: instance-indistinguishable
+        }
+        let list = edges.entry(from.to_string()).or_default();
+        if !list.iter().any(|e| e.to == to) {
+            list.push(Edge { to: to.to_string(), file: file.to_string(), line, via });
+        }
+    };
+    for (i, ff) in fns.iter().enumerate() {
+        let f = &ws.files[ff.file_idx];
+        let t = &f.lexed.tokens;
+        // (binder, lock id, brace depth at binding)
+        let mut held: Vec<(Option<String>, String, i32)> = Vec::new();
+        let mut depth = 0i32;
+        let mut pending_let: Option<String> = None;
+        let mut j = ff.body.start;
+        while j < ff.body.end {
+            match &t[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    held.retain(|(_, _, d)| *d <= depth);
+                }
+                Tok::Punct(';') => pending_let = None,
+                Tok::Ident(s) if s == "let" => {
+                    // Binder: next ident, skipping `mut`.
+                    let mut k = j + 1;
+                    if crate::rules::is_ident(t, k, "mut") {
+                        k += 1;
+                    }
+                    if let Some(Tok::Ident(b)) = t.get(k).map(|x| &x.tok) {
+                        pending_let = Some(b.clone());
+                    }
+                }
+                Tok::Ident(s) if s == "drop" && crate::rules::is_punct(t, j + 1, '(') => {
+                    if let Some(Tok::Ident(g)) = t.get(j + 2).map(|x| &x.tok) {
+                        held.retain(|(b, _, _)| b.as_deref() != Some(g.as_str()));
+                    }
+                }
+                Tok::Ident(_) => {
+                    // Acquisition (direct or via wrapper call)?
+                    let acq: Option<(String, u32)> =
+                        if let Some((recv, line)) = acquisition_at(t, j) {
+                            (recv != "self" && !ff.params.iter().any(|p| p == recv))
+                                .then(|| (format!("{}/{recv}", ff.crate_name), line))
+                        } else if let Tok::Ident(callee) = &t[j].tok {
+                            if wrapper_names.contains(callee.as_str())
+                                && crate::rules::is_punct(t, j + 1, '(')
+                                && !crate::rules::is_punct(t, j.wrapping_sub(1), '.')
+                            {
+                                arg_last_ident(t, j + 2)
+                                    .filter(|n| n != "self")
+                                    .map(|n| (format!("{}/{n}", ff.crate_name), t[j].line))
+                            } else {
+                                None
+                            }
+                        } else {
+                            None
+                        };
+                    if let Some((id, line)) = acq {
+                        for (_, held_id, _) in &held {
+                            add_edge(
+                                held_id,
+                                &id,
+                                &ff.file,
+                                line,
+                                format!(
+                                    "`{id}` acquired while holding `{held_id}` in `{}`",
+                                    ff.name
+                                ),
+                            );
+                        }
+                        held.push((pending_let.take(), id, depth));
+                    } else if let Tok::Ident(callee) = &t[j].tok {
+                        // Call propagation: edges into everything the
+                        // callee can acquire.
+                        if !held.is_empty()
+                            && crate::rules::is_punct(t, j + 1, '(')
+                            && !ACQUIRE.iter().any(|a| a == callee)
+                            && callee != &ff.name
+                        {
+                            let mut targets: BTreeSet<&str> = BTreeSet::new();
+                            for c in callees_at(
+                                t,
+                                j,
+                                ff,
+                                &fns,
+                                &crate_names,
+                                &by_name,
+                                &by_type_name,
+                                reach.get(ff.crate_name.as_str()),
+                            ) {
+                                if c != i {
+                                    targets.extend(eff[c].iter().map(String::as_str));
+                                }
+                            }
+                            for to in targets {
+                                for (_, held_id, _) in &held {
+                                    add_edge(
+                                        held_id,
+                                        to,
+                                        &ff.file,
+                                        t[j].line,
+                                        format!(
+                                            "call to `{callee}` (which can acquire `{to}`) \
+                                             while holding `{held_id}` in `{}`",
+                                            ff.name
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+
+    // ---- Pass 4: find a cycle (DFS with a path stack). ----
+    find_cycle(&edges)
+        .map(|cycle| {
+            let mut msg = String::from("lock-order cycle — witness path:");
+            for w in 0..cycle.len() {
+                let from = &cycle[w];
+                let to = &cycle[(w + 1) % cycle.len()];
+                if let Some(e) = edges.get(from).and_then(|l| l.iter().find(|e| &e.to == to)) {
+                    msg.push_str(&format!(
+                        "\n    {from} -> {to}  [{}:{} {}]",
+                        e.file, e.line, e.via
+                    ));
+                }
+            }
+            let first = edges
+                .get(&cycle[0])
+                .and_then(|l| l.iter().find(|e| e.to == cycle[1 % cycle.len()]))
+                .expect("cycle edges exist");
+            vec![Finding::new("lock-order-cycle", &first.file, first.line, msg)]
+        })
+        .unwrap_or_default()
+}
+
+/// First cycle in the edge set, as the list of nodes on it.
+fn find_cycle(edges: &BTreeMap<String, Vec<Edge>>) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<&str, Mark> = BTreeMap::new();
+    for from in edges.keys() {
+        marks.insert(from, Mark::White);
+        for e in &edges[from] {
+            marks.entry(&e.to).or_insert(Mark::White);
+        }
+    }
+    fn dfs<'a>(
+        node: &'a str,
+        edges: &'a BTreeMap<String, Vec<Edge>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        marks.insert(node, Mark::Grey);
+        stack.push(node);
+        if let Some(out) = edges.get(node) {
+            for e in out {
+                match marks.get(e.to.as_str()).copied().unwrap_or(Mark::White) {
+                    Mark::Grey => {
+                        let pos = stack.iter().position(|n| *n == e.to).expect("grey is on stack");
+                        return Some(stack[pos..].iter().map(|s| s.to_string()).collect());
+                    }
+                    Mark::White => {
+                        // Re-borrow the key from `edges` to keep 'a.
+                        let key = edges
+                            .get_key_value(e.to.as_str())
+                            .map(|(k, _)| k.as_str())
+                            .unwrap_or_else(|| {
+                                marks.get_key_value(e.to.as_str()).map(|(k, _)| *k).expect("marked")
+                            });
+                        if let Some(c) = dfs(key, edges, marks, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Black);
+        None
+    }
+    let roots: Vec<&str> = marks.keys().copied().collect();
+    for root in roots {
+        if marks[root] == Mark::White {
+            let mut stack = Vec::new();
+            if let Some(c) = dfs(root, edges, &mut marks, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        check(&Workspace::from_files(files))
+    }
+
+    #[test]
+    fn consistent_order_passes() {
+        let fs = run(&[(
+            "crates/x/src/lib.rs",
+            "impl S {\n\
+             fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+             fn g(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+             }",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn direct_cycle_reports_witness() {
+        let fs = run(&[(
+            "crates/x/src/lib.rs",
+            "impl S {\n\
+             fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+             fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }\n\
+             }",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "lock-order-cycle");
+        assert!(fs[0].message.contains("x/alpha -> x/beta"), "{}", fs[0].message);
+        assert!(fs[0].message.contains("x/beta -> x/alpha"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let fs = run(&[(
+            "crates/x/src/lib.rs",
+            "impl S {\n\
+             fn f(&self) { let a = self.alpha.lock(); drop(a); let b = self.beta.lock(); }\n\
+             fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }\n\
+             }",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn block_scope_releases_the_guard() {
+        let fs = run(&[(
+            "crates/x/src/lib.rs",
+            "impl S {\n\
+             fn f(&self) { { let a = self.alpha.lock(); } let b = self.beta.lock(); }\n\
+             fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }\n\
+             }",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn cycle_through_a_call_is_found() {
+        let fs = run(&[(
+            "crates/x/src/lib.rs",
+            "impl S {\n\
+             fn f(&self) { let a = self.alpha.lock(); self.helper(); }\n\
+             fn helper(&self) { let b = self.beta.lock(); }\n\
+             fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }\n\
+             }",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("helper"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn wrapper_functions_resolve_to_the_argument() {
+        let fs = run(&[(
+            "crates/x/src/lib.rs",
+            "fn read_lock<T>(l: &RwLock<T>) -> Guard<T> { l.read().unwrap() }\n\
+             impl S {\n\
+             fn f(&self) { let a = read_lock(&self.alpha); let b = read_lock(&self.beta); }\n\
+             fn g(&self) { let b = read_lock(&self.beta); let a = read_lock(&self.alpha); }\n\
+             }",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("x/alpha"), "{}", fs[0].message);
+        assert!(fs[0].message.contains("x/beta"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn io_reads_with_arguments_are_not_locks() {
+        let fs = run(&[(
+            "crates/x/src/lib.rs",
+            "fn f(s: &mut TcpStream, buf: &mut [u8]) { let a = GLOBAL.alpha.lock(); \
+             s.read(buf).unwrap(); s.write(buf).unwrap(); }",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn same_name_self_edges_ignored() {
+        let fs = run(&[(
+            "crates/x/src/lib.rs",
+            "fn merge(a: &Entry, b: &Entry) { let x = a.doc.read(); let y = b.doc.read(); }",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn qualified_calls_resolve_by_impl_type() {
+        // `B::build` is lock-free; only a name union with `A::build`
+        // (alpha then beta) would manufacture the beta -> alpha edge.
+        let fs = run(&[(
+            "crates/x/src/lib.rs",
+            "impl A {\n\
+             fn build(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+             }\n\
+             impl B { fn build(&self) { let t = Vec::new(); } }\n\
+             fn g(world: &World) { let b = world.beta.lock(); B::build(); }",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn self_field_methods_exclude_own_type() {
+        // `self.store.bind(…)` targets the field's type, not the caller's:
+        // resolving it to `Durable::bind` (gate before wal) would close a
+        // wal -> gate -> wal cycle that no real call path contains.
+        let fs = run(&[(
+            "crates/x/src/lib.rs",
+            "impl Durable {\n\
+             fn insert(&self) { let w = self.wal.lock(); self.store.bind(); }\n\
+             fn bind(&self) { let g = self.gate.lock(); let w = self.wal.lock(); }\n\
+             }\n\
+             impl Store { fn bind(&self) { let n = self.names.lock(); } }",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn dependency_closure_limits_method_unions() {
+        // Without manifest information the `wobble` union closes a
+        // cross-crate cycle; with it, crate `x` cannot reach crate `y`,
+        // so the x/alpha -> y/beta edge never forms.
+        let files = [
+            (
+                "crates/x/src/lib.rs",
+                "impl A {\n\
+                 fn f(&self) { let a = self.alpha.lock(); self.thing.wobble(); }\n\
+                 fn alpha_taker(&self) { let a = self.alpha.lock(); }\n\
+                 }",
+            ),
+            (
+                "crates/y/src/lib.rs",
+                "impl C { fn wobble(&self) { let b = self.beta.lock(); } }\n\
+                 impl D {\n\
+                 fn h(&self, a: &A) { let b = self.beta.lock(); a.alpha_taker(); }\n\
+                 }",
+            ),
+        ];
+        let mut w = Workspace::from_files(&files);
+        let fs = check(&w);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "lock-order-cycle");
+        w.crate_deps.insert("x".to_string(), BTreeSet::new());
+        w.crate_deps.insert("y".to_string(), ["x".to_string()].into_iter().collect());
+        let fs = check(&w);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

@@ -1,0 +1,93 @@
+//! `ps-undocumented`: every poison-recovery site must say why recovered
+//! state is consistent.
+//!
+//! PR 7's audit established the convention: any
+//! `unwrap_or_else(PoisonError::into_inner)`-style lock recovery carries
+//! a nearby comment arguing why serving the recovered guard is safe
+//! (op-boundary, derived-state, or rebuilt-on-assemble arguments). This
+//! rule mechanizes it: a recovery site with no comment mentioning
+//! "poison" within the preceding window is a finding.
+
+use crate::findings::Finding;
+use crate::lexer::Tok;
+use crate::source::Workspace;
+
+/// How far above the site (in lines) a justification comment may sit.
+/// Generous on purpose: one shared comment often covers a small cluster
+/// of helpers (`read_lock`/`write_lock`/`mutex_lock`).
+const WINDOW: u32 = 30;
+
+/// Run the rule.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        let t = &f.lexed.tokens;
+        for i in 0..t.len() {
+            if !matches!(&t[i].tok, Tok::Ident(s) if s == "unwrap_or_else") {
+                continue;
+            }
+            if !f.is_production(i) {
+                continue;
+            }
+            let Some(close) = crate::source::matching(t, i + 1, '(', ')') else { continue };
+            let recovers_poison = t[i + 1..close]
+                .iter()
+                .any(|x| matches!(&x.tok, Tok::Ident(s) if s == "into_inner"));
+            if !recovers_poison {
+                continue;
+            }
+            let line = t[i].line;
+            if !f.lexed.comment_near(line, WINDOW, "poison") {
+                out.push(Finding::new(
+                    "ps-undocumented",
+                    &f.path,
+                    line,
+                    "poison-recovery site has no justification comment: say (mentioning \
+                     \"poison\") why state behind this lock is consistent when a panicked \
+                     holder abandoned it"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documented_site_passes_undocumented_fails() {
+        let src = "// Poison-tolerant: counters only, safe to reuse.\n\
+             fn a(m: &Mutex<u32>) { m.lock().unwrap_or_else(PoisonError::into_inner); }\n\
+             fn b(m: &Mutex<u32>) { let _x = 1; }\n\
+             // far away filler\n"
+            .to_string()
+            + &"\n".repeat(40)
+            + "fn c(m: &Mutex<u32>) { m.lock().unwrap_or_else(|e| e.into_inner()); }\n";
+        let ws = Workspace::from_files(&[("crates/x/src/lib.rs", src.as_str())]);
+        let fs = check(&ws);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "ps-undocumented");
+        assert!(fs[0].line > 40);
+    }
+
+    #[test]
+    fn non_poison_unwrap_or_else_ignored() {
+        let ws = Workspace::from_files(&[(
+            "crates/x/src/lib.rs",
+            "fn a(v: Option<String>) { v.unwrap_or_else(|| \"d\".into()); }",
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let ws = Workspace::from_files(&[(
+            "crates/x/tests/t.rs",
+            "fn a(m: &Mutex<u32>) { m.lock().unwrap_or_else(PoisonError::into_inner); }",
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+}

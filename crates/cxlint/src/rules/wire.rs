@@ -1,0 +1,295 @@
+//! `wx-*`: wire-protocol exhaustiveness across the cxserve tier.
+//!
+//! The protocol is text-dispatched: a `Request` variant with no
+//! `decode` arm, no server dispatch arm, or no client constructor still
+//! compiles (the string matches have wildcard arms), and dies only at
+//! runtime as `unknown verb`. Same for `WireError` round-tripping. This
+//! rule closes the gap the compiler cannot: every `Request` variant
+//! must appear in `verb()`, `encode()`, `decode()`, the server dispatch,
+//! and the client library; every `WireError` variant must appear in
+//! `kind()`, `encode_tokens()`, and `decode_tokens()`.
+//!
+//! Rule ids: `wx-verb-missing`, `wx-encode-missing`, `wx-decode-missing`,
+//! `wx-dispatch-missing`, `wx-client-missing`, `wx-kind-missing`,
+//! `wx-err-encode-missing`, `wx-err-decode-missing`.
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::source::{SourceFile, Workspace};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Variant names (with the line of each) of `enum <name>` in `f`.
+fn enum_variants(f: &SourceFile, name: &str) -> Vec<(String, u32)> {
+    let t = &f.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if !crate::rules::is_ident(t, i, "enum") || !crate::rules::is_ident(t, i + 1, name) {
+            continue;
+        }
+        let Some(open) = (i..t.len()).find(|&j| crate::rules::is_punct(t, j, '{')) else {
+            break;
+        };
+        let Some(close) = crate::source::matching(t, open, '{', '}') else { break };
+        let mut j = open + 1;
+        while j < close {
+            // Skip `#[…]` attributes on the variant.
+            if crate::rules::is_punct(t, j, '#') && crate::rules::is_punct(t, j + 1, '[') {
+                match crate::source::matching(t, j + 1, '[', ']') {
+                    Some(end) => {
+                        j = end + 1;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let Tok::Ident(v) = &t[j].tok else {
+                j += 1;
+                continue;
+            };
+            out.push((v.clone(), t[j].line));
+            // Skip the payload and trailing `,`.
+            j += 1;
+            while j < close && !crate::rules::is_punct(t, j, ',') {
+                if crate::rules::is_punct(t, j, '{') {
+                    j = crate::source::matching(t, j, '{', '}').map_or(close, |e| e + 1);
+                } else if crate::rules::is_punct(t, j, '(') {
+                    j = crate::source::matching(t, j, '(', ')').map_or(close, |e| e + 1);
+                } else {
+                    j += 1;
+                }
+            }
+            j += 1;
+        }
+        break;
+    }
+    out
+}
+
+/// All `X` mentioned as `<enum_name> :: X` within `range` of `t`.
+fn mentions(t: &[Token], range: Range<usize>, enum_name: &str, into: &mut BTreeSet<String>) {
+    for i in range {
+        if crate::rules::is_ident(t, i, enum_name)
+            && crate::rules::is_punct(t, i + 1, ':')
+            && crate::rules::is_punct(t, i + 2, ':')
+        {
+            if let Some(Tok::Ident(v)) = t.get(i + 3).map(|x| &x.tok) {
+                into.insert(v.clone());
+            }
+        }
+    }
+}
+
+/// Union of `<enum_name> :: X` mentions inside every fn named `fn_name`.
+fn fn_mentions(f: &SourceFile, fn_name: &str, enum_name: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for item in crate::source::functions(f) {
+        if item.name == fn_name {
+            mentions(&f.lexed.tokens, item.body.clone(), enum_name, &mut out);
+        }
+    }
+    out
+}
+
+/// All production-code mentions anywhere in the file.
+fn file_mentions(f: &SourceFile, enum_name: &str) -> BTreeSet<String> {
+    let t = &f.lexed.tokens;
+    let mut out = BTreeSet::new();
+    for i in 0..t.len() {
+        if f.is_production(i)
+            && crate::rules::is_ident(t, i, enum_name)
+            && crate::rules::is_punct(t, i + 1, ':')
+            && crate::rules::is_punct(t, i + 2, ':')
+        {
+            if let Some(Tok::Ident(v)) = t.get(i + 3).map(|x| &x.tok) {
+                out.insert(v.clone());
+            }
+        }
+    }
+    out
+}
+
+fn file<'a>(ws: &'a Workspace, suffix: &str) -> Option<&'a SourceFile> {
+    ws.files.iter().find(|f| f.path.ends_with(suffix))
+}
+
+/// Run the rule family.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(proto) = file(ws, "cxserve/src/proto.rs") else {
+        return out; // no wire tier in this workspace — nothing to audit
+    };
+
+    let requests = enum_variants(proto, "Request");
+    let surfaces: &[(&str, BTreeSet<String>, &SourceFile)] = &[
+        ("wx-verb-missing", fn_mentions(proto, "verb", "Request"), proto),
+        ("wx-encode-missing", fn_mentions(proto, "encode", "Request"), proto),
+        ("wx-decode-missing", fn_mentions(proto, "decode", "Request"), proto),
+    ];
+    for (rule, covered, anchor) in surfaces {
+        for (v, line) in &requests {
+            if !covered.contains(v) {
+                out.push(Finding::new(
+                    rule,
+                    &anchor.path,
+                    *line,
+                    format!(
+                        "Request::{v} is not handled by the `{}` surface",
+                        &rule[3..rule.len() - 8]
+                    ),
+                ));
+            }
+        }
+    }
+    if let Some(server) = file(ws, "cxserve/src/server.rs") {
+        let covered = file_mentions(server, "Request");
+        for (v, line) in &requests {
+            if !covered.contains(v) {
+                out.push(Finding::new(
+                    "wx-dispatch-missing",
+                    &proto.path,
+                    *line,
+                    format!("Request::{v} has no dispatch arm in the server"),
+                ));
+            }
+        }
+    }
+    if let Some(client) = file(ws, "cxserve/src/client.rs") {
+        let covered = file_mentions(client, "Request");
+        for (v, line) in &requests {
+            if !covered.contains(v) {
+                out.push(Finding::new(
+                    "wx-client-missing",
+                    &proto.path,
+                    *line,
+                    format!(
+                        "Request::{v} is never sent by the client library — add a client method"
+                    ),
+                ));
+            }
+        }
+    }
+
+    if let Some(err) = file(ws, "cxserve/src/error.rs") {
+        let wire_errors = enum_variants(err, "WireError");
+        let err_surfaces: &[(&str, &str, BTreeSet<String>, &SourceFile)] = &[
+            ("wx-kind-missing", "kind()", fn_mentions(err, "kind", "WireError"), err),
+            (
+                "wx-err-encode-missing",
+                "encode_tokens()",
+                fn_mentions(proto, "encode_tokens", "WireError"),
+                proto,
+            ),
+            (
+                "wx-err-decode-missing",
+                "decode_tokens()",
+                fn_mentions(proto, "decode_tokens", "WireError"),
+                proto,
+            ),
+        ];
+        for (rule, surface, covered, anchor) in err_surfaces {
+            for (v, line) in &wire_errors {
+                if !covered.contains(v) {
+                    out.push(Finding::new(
+                        rule,
+                        &anchor.path,
+                        *line,
+                        format!("WireError::{v} is not handled by `{surface}`"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROTO_OK: &str = "\
+pub enum Request { Ping, Edit { doc: u32, op: String }, Trace(TraceQuery) }\n\
+impl Request {\n\
+  pub fn verb(&self) -> &'static str { match self {\n\
+    Request::Ping => \"ping\", Request::Edit { .. } => \"edit\", Request::Trace(_) => \"trace\" } }\n\
+  pub fn encode(&self) -> Vec<u8> { match self {\n\
+    Request::Ping => b\"ping\".to_vec(), Request::Edit { doc, op } => vec![], Request::Trace(_) => vec![] } }\n\
+  pub fn decode(s: &str) -> Request { match s {\n\
+    \"ping\" => Request::Ping, \"edit\" => Request::Edit { doc: 0, op: String::new() },\n\
+    _ => Request::Trace(TraceQuery) } }\n\
+}\n\
+impl WireError {\n\
+  fn encode_tokens(&self, out: &mut String) { match self { WireError::Busy => {} } }\n\
+  fn decode_tokens(s: &str) -> WireError { match s { _ => WireError::Busy } }\n\
+}\n";
+
+    const ERROR_OK: &str = "\
+pub enum WireError { Busy }\n\
+impl WireError { pub fn kind(&self) -> &'static str { match self { WireError::Busy => \"busy\" } } }\n";
+
+    const SERVER_OK: &str = "fn dispatch(r: Request) { match r {\n\
+        Request::Ping => {}, Request::Edit { .. } => {}, Request::Trace(_) => {} } }\n";
+
+    const CLIENT_OK: &str = "fn ping() { send(Request::Ping); }\n\
+        fn edit() { send(Request::Edit { doc: 1, op: String::new() }); }\n\
+        fn trace() { send(Request::Trace(TraceQuery)); }\n";
+
+    fn ws(proto: &str, error: &str, server: &str, client: &str) -> Workspace {
+        Workspace::from_files(&[
+            ("crates/cxserve/src/proto.rs", proto),
+            ("crates/cxserve/src/error.rs", error),
+            ("crates/cxserve/src/server.rs", server),
+            ("crates/cxserve/src/client.rs", client),
+        ])
+    }
+
+    #[test]
+    fn complete_surfaces_pass() {
+        let w = ws(PROTO_OK, ERROR_OK, SERVER_OK, CLIENT_OK);
+        let fs = check(&w);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn missing_dispatch_and_client_arms_flagged() {
+        let server = "fn dispatch(r: Request) { match r { Request::Ping => {}, _ => {} } }";
+        let client = "fn ping() { send(Request::Ping); }";
+        let fs = check(&ws(PROTO_OK, ERROR_OK, server, client));
+        let rules: Vec<(&str, &str)> =
+            fs.iter().map(|f| (f.rule, f.message.split_whitespace().next().unwrap())).collect();
+        assert!(rules.contains(&("wx-dispatch-missing", "Request::Edit")), "{fs:?}");
+        assert!(rules.contains(&("wx-dispatch-missing", "Request::Trace")), "{fs:?}");
+        assert!(rules.contains(&("wx-client-missing", "Request::Edit")), "{fs:?}");
+        assert!(rules.contains(&("wx-client-missing", "Request::Trace")), "{fs:?}");
+        assert_eq!(fs.len(), 4, "{fs:?}");
+    }
+
+    #[test]
+    fn missing_codec_arm_flagged() {
+        // `decode` forgets Edit; `verb` and `encode` still cover it.
+        let proto =
+            PROTO_OK.replace("\"edit\" => Request::Edit { doc: 0, op: String::new() },\n", "");
+        let fs = check(&ws(&proto, ERROR_OK, SERVER_OK, CLIENT_OK));
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "wx-decode-missing");
+        assert!(fs[0].message.contains("Request::Edit"));
+    }
+
+    #[test]
+    fn wire_error_surfaces_checked() {
+        let error = "pub enum WireError { Busy, Timeout { ms: u64 } }\n\
+            impl WireError { pub fn kind(&self) -> &'static str { match self {\n\
+            WireError::Busy => \"busy\", WireError::Timeout { .. } => \"timeout\" } } }\n";
+        // proto's WireError codec only handles Busy.
+        let fs = check(&ws(PROTO_OK, error, SERVER_OK, CLIENT_OK));
+        let rules: Vec<&str> = fs.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["wx-err-encode-missing", "wx-err-decode-missing"], "{fs:?}");
+        assert!(fs.iter().all(|f| f.message.contains("WireError::Timeout")));
+    }
+
+    #[test]
+    fn workspaces_without_a_wire_tier_are_exempt() {
+        let w = Workspace::from_files(&[("crates/x/src/lib.rs", "fn a() {}")]);
+        assert!(check(&w).is_empty());
+    }
+}

@@ -52,6 +52,9 @@ pub struct EventRing {
 }
 
 fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    // Poison recovery: the ring's writers push one complete event and pop
+    // whole entries, so a panicked holder leaves valid (at worst slightly
+    // stale) telemetry — dropping diagnostics over it would be backwards.
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 

@@ -146,6 +146,9 @@ impl Registry {
         &self.events
     }
 
+    // Poison recovery (both `metrics` acquisitions below): the map's only
+    // writer inserts one fully-constructed metric per critical section,
+    // so a panicked holder leaves a smaller but valid registry.
     fn register<T>(
         &self,
         name: &str,
@@ -181,6 +184,9 @@ impl Registry {
     /// tagged observation carry an exemplar suffix
     /// `# {trace_id="<016x>"}`.
     pub fn expose_into(&self, out: &mut Exposition) {
+        // Poison recovery: registration (the only writer) inserts whole
+        // metrics, so a recovered read sees a valid registry — and hiding
+        // telemetry after a panic would hide the incident being diagnosed.
         let map = self.metrics.read().unwrap_or_else(PoisonError::into_inner);
         for ((name, labels), metric) in map.iter() {
             let labels: Vec<(&str, &str)> =

@@ -149,3 +149,59 @@ fn heal_fails_while_the_disk_is_still_sick_then_succeeds() {
     let page = store.exposition();
     assert!(page.contains("cx_store_degraded 0"), "{page}");
 }
+
+#[test]
+fn failed_snapshot_capture_errors_without_degrading() {
+    let _fp = cxfault::Scenario::setup();
+    let dir = TempDir::new("capture-fault");
+    let store = DurableStore::open(dir.path()).unwrap();
+    let id = store.insert_named("d", corpus::figure1::goddag()).unwrap();
+    let before = export(&store, "d");
+
+    // A bootstrap capture that fails after the log sync: the caller (a
+    // follower fetch) sees the error and retries — the primary must not
+    // flip read-only over a replication-path hiccup.
+    cxfault::configure("snapshot.capture", Trigger::Always, Fault::Io);
+    let err = store.capture_snapshot().unwrap_err();
+    assert!(matches!(err, PersistError::Io(_)), "{err}");
+    assert_eq!(store.health(), StoreHealth::Healthy, "capture failure never degrades");
+    store.edit(id, EditOp::InsertText { offset: 0, text: "still writable ".into() }).unwrap();
+
+    // Fault gone: the retried capture ships the post-edit state.
+    cxfault::disarm("snapshot.capture");
+    let snap = store.capture_snapshot().unwrap();
+    assert_eq!(snap.lsn, store.last_lsn());
+    assert_ne!(export(&store, "d"), before);
+}
+
+#[test]
+fn failed_checkpoint_rename_keeps_the_previous_generation_authoritative() {
+    let _fp = cxfault::Scenario::setup();
+    let dir = TempDir::new("ckpt-rename");
+    let store = DurableStore::open(dir.path()).unwrap();
+    let id = store.insert_named("d", corpus::figure1::goddag()).unwrap();
+    store.checkpoint().unwrap();
+    store.edit(id, EditOp::InsertText { offset: 0, text: "after ckpt ".into() }).unwrap();
+    let state = export(&store, "d");
+
+    // ENOSPC/crash at the publish rename: the whole checkpoint is one
+    // atomic rename away from existing, so a failure there must leave
+    // only a `.tmp` leftover — never a half-visible generation.
+    cxfault::configure("checkpoint.rename", Trigger::Always, Fault::Io);
+    let err = store.checkpoint().unwrap_err();
+    assert!(matches!(err, PersistError::Io(_)), "{err}");
+    assert_eq!(store.health(), StoreHealth::Healthy, "a failed publish never degrades");
+    cxfault::clear();
+
+    // Recovery ignores the `.tmp` debris: a reopen replays the previous
+    // generation plus the retained log to the exact acknowledged state.
+    drop(store);
+    let reopened = DurableStore::open(dir.path()).unwrap();
+    assert_eq!(export(&reopened, "d"), state);
+
+    // And the next attempt simply replaces the debris and publishes.
+    reopened.checkpoint().unwrap();
+    drop(reopened);
+    let again = DurableStore::open(dir.path()).unwrap();
+    assert_eq!(export(&again, "d"), state);
+}

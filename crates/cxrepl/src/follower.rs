@@ -272,6 +272,8 @@ impl<T: LogTransport> Follower<T> {
             let mut failures: u32 = 0;
             let park = |f: &Follower<T>, e: FollowerError| {
                 f.replica.store().registry().event("follower.parked", e.to_string());
+                // Poison recovery: the slot holds one whole Option write,
+                // so a panicked holder cannot leave a torn value.
                 *terminal2.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(e);
             };
             while !stop2.load(Ordering::Relaxed) {
@@ -359,6 +361,8 @@ impl FollowerHandle {
     /// reads at its last applied state, but it will never advance;
     /// re-bootstrap or promote it.
     pub fn terminal_error(&self) -> Option<FollowerError> {
+        // Poison recovery: writes are single whole-Option stores, so a
+        // recovered guard always reads a coherent error.
         self.terminal.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 

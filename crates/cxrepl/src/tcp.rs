@@ -145,10 +145,13 @@ fn serve_connection(
             Err(e) => return Err(e),
         }
         read_full(&mut stream, &mut req[1..])?;
+        // invariant: req is a fixed 12-byte buffer, so both 8- and 4-byte
+        // slices below always convert (here and for max_bytes).
         let after = u64::from_be_bytes(req[..8].try_into().unwrap());
         // The request's byte budget comes straight off the wire: clamp it
         // to the frame cap rather than letting a corrupt or hostile value
-        // drive an arbitrarily large slice.
+        // drive an arbitrarily large slice. (Same invariant: a fixed-size
+        // req buffer makes the 4-byte conversion infallible.)
         let max_bytes =
             (u32::from_be_bytes(req[8..12].try_into().unwrap()).min(MAX_FRAME)) as usize;
         let (kind, head, payload) = match primary.handle_fetch(after, max_bytes) {
@@ -222,6 +225,7 @@ impl TcpTransport {
             stream.set_read_timeout(Some(Duration::from_secs(10)))?;
             self.conn = Some(stream);
         }
+        // invariant: the branch above just filled `conn` on the None path.
         Ok(self.conn.as_mut().expect("just connected"))
     }
 }
@@ -238,6 +242,8 @@ impl LogTransport for TcpTransport {
             let mut header = [0u8; 13];
             read_full(stream, &mut header)?;
             let kind = header[0];
+            // invariant: header is a fixed 13-byte buffer, so the 8- and
+            // 4-byte field slices always convert.
             let head = u64::from_be_bytes(header[1..9].try_into().unwrap());
             let len = u32::from_be_bytes(header[9..13].try_into().unwrap());
             // The cap check runs before the allocation (cxwire refuses a

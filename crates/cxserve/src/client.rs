@@ -124,6 +124,9 @@ impl Client {
     }
 
     fn take_conn(&self) -> std::io::Result<Conn> {
+        // Poison recovery (also `put_back`): the pool holds whole
+        // connections pushed/popped one at a time, so a panicked holder
+        // leaves a valid (possibly shorter) free list.
         let pooled = self.idle.lock().unwrap_or_else(PoisonError::into_inner).pop();
         match pooled {
             Some(c) => Ok(c),
@@ -426,6 +429,8 @@ impl Client {
             // Responses arrive strictly in request order.
             match conn.recv() {
                 Ok(resp) => {
+                    // invariant: the server answers strictly in request
+                    // order, so a response implies a non-empty queue.
                     let p = inflight.pop_front().expect("response with nothing in flight");
                     finish_doc(p.doc, &mut busy_docs, &mut waiting, &mut ready);
                     match resp {
@@ -475,6 +480,8 @@ impl Client {
         }
 
         self.put_back(conn);
+        // invariant: the loop above exits only when `remaining == 0`, and
+        // every decrement writes that edit's slot first.
         return Ok(results.into_iter().map(|r| r.expect("every edit resolved")).collect());
 
         /// The connection died with `inflight` edits unresolved. Probe
@@ -719,6 +726,10 @@ impl RouterClient {
 
     /// Re-fetch the routing view from any shard that answers.
     pub fn refresh_routes(&self) -> Result<()> {
+        // Poison recovery (all three `overrides` acquisitions below): the
+        // map is only ever replaced whole or updated by single
+        // insert/remove, so a recovered guard sees a coherent routing
+        // view — at worst stale, which the protocol already retries on.
         let mut last = None;
         for c in &self.clients {
             match c.routes() {
@@ -751,6 +762,8 @@ impl RouterClient {
 
     fn learn(&self, doc: DocId, owner: usize) {
         let home = (doc.raw() % self.shards as u64) as usize;
+        // Poison recovery: single insert/remove per holder (see
+        // `refresh_routes`) — a recovered guard sees a coherent view.
         let mut overrides = self.overrides.write().unwrap_or_else(PoisonError::into_inner);
         if owner == home {
             overrides.remove(&doc.raw());
@@ -860,6 +873,8 @@ impl RouterClient {
                     })
                 })
                 .collect();
+            // invariant: shard query threads return errors instead of
+            // panicking; a panic is a bug worth propagating.
             handles.into_iter().map(|h| h.join().expect("query thread")).collect()
         });
         drop(trace);
@@ -899,6 +914,8 @@ impl RouterClient {
                     })
                 })
                 .collect();
+            // invariant: shard query threads return errors instead of
+            // panicking; a panic is a bug worth propagating.
             handles.into_iter().map(|h| h.join().expect("query thread")).collect()
         });
         drop(trace);

@@ -421,6 +421,8 @@ impl Request {
         let tok = format!(" tc {}", ctx.token());
         match bytes.iter().position(|&b| b == b'\n') {
             Some(i) => {
+                // invariant: encode() emits only ASCII verbs, hex and
+                // percent-escaped text, so the bytes are always utf-8.
                 let mut s = String::from_utf8(bytes).expect("encode produces utf-8");
                 s.insert_str(i, &tok);
                 s.into_bytes()
@@ -490,11 +492,13 @@ impl Request {
             "insert" | "insertn" if body.is_none() => return Err(bad("insert carries no blob")),
             "insert" => Request::Insert {
                 name: None,
+                // invariant: the arm above rejects insert without a body.
                 blob: DocBlob::parse_text(body.expect("checked above"))
                     .map_err(|e| bad(format!("blob: {e}")))?,
             },
             "insertn" => Request::Insert {
                 name: Some(dec(tok(&mut it, "name")?)?),
+                // invariant: the arm above rejects insertn without a body.
                 blob: DocBlob::parse_text(body.expect("checked above"))
                     .map_err(|e| bad(format!("blob: {e}")))?,
             },

@@ -255,7 +255,10 @@ fn accept_loop(
 fn worker(svc: &Service, rx: &Mutex<Receiver<TcpStream>>, stop: &AtomicBool) {
     loop {
         // Hold the lock only around the dequeue; a 100 ms tick keeps the
-        // stop flag observed even when no connections arrive.
+        // stop flag observed even when no connections arrive. Poison
+        // recovery: the guard protects only `recv_timeout` on the channel,
+        // whose state lives in the channel itself — a panicked holder
+        // leaves nothing half-updated behind the mutex.
         let next = {
             let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             guard.recv_timeout(Duration::from_millis(100))

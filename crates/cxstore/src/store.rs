@@ -498,6 +498,8 @@ impl Store {
                 .collect();
             let mut out = Vec::with_capacity(entries.len());
             for h in handles {
+                // invariant: query workers return errors, never panic; a
+                // panic is a bug worth propagating.
                 out.extend(h.join().expect("query worker panicked")?);
             }
             Ok(out)
@@ -696,6 +698,8 @@ impl Store {
     ) -> Result<EditOutcome> {
         let node = match op {
             EditOp::InsertElement { attrs, start, end, .. } => {
+                // invariant: `gate` ran first and always resolves
+                // InsertElement (or fails the edit before apply).
                 let (h, name) = resolved.expect("gate resolves InsertElement");
                 let attrs = attrs
                     .into_iter()

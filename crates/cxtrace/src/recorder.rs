@@ -156,6 +156,10 @@ static RECORDER: Mutex<Recorder> = Mutex::new(Recorder {
 });
 
 fn lock() -> MutexGuard<'static, Recorder> {
+    // Poison recovery: recorder writers append whole frames / whole trace
+    // records, so a panicked holder leaves valid (at worst truncated)
+    // flight data — and a recorder that refuses to record after a panic
+    // would lose exactly the trace that matters.
     RECORDER.lock().unwrap_or_else(|p| p.into_inner())
 }
 
@@ -434,6 +438,9 @@ impl Scenario {
 
     /// Begin an exclusive tracing scenario with an explicit config.
     pub fn setup_with(cfg: TraceConfig) -> Scenario {
+        // Poison recovery: the scenario mutex carries no data — it only
+        // serialises exclusive test scenarios — and `clear()` below resets
+        // all recorder state a panicked predecessor may have left.
         let guard = SCENARIO.lock().unwrap_or_else(|p| p.into_inner());
         clear();
         crate::enable_with(cfg);
